@@ -1,0 +1,52 @@
+"""Figure 5a: SPEC power breakdown, real vs predicted, CMP-SMT 4-4.
+
+Prints one row per SPEC CPU2006 benchmark on the 4-core/4-way-SMT
+configuration: measured power, predicted power, and the per-component
+stack (workload-independent, uncore, CMP, SMT, dynamic).  Only the
+dynamic component varies with the workload -- the paper's observation
+that the configuration-dependent components stay constant.
+"""
+
+from __future__ import annotations
+
+from repro.sim import MachineConfig
+
+
+def test_fig5a_breakdown(benchmark, campaign_result):
+    model = campaign_result.bottom_up
+    config = MachineConfig(4, 4)
+    measurements = campaign_result.spec_by_config[config]
+
+    breakdowns = benchmark.pedantic(
+        lambda: [model.breakdown(m) for m in measurements],
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Figure 5a: SPEC power breakdown, config 4-4 "
+          "(normalized to max measured) ===")
+    peak = max(m.mean_power for m in measurements)
+    header = (f"{'Benchmark':12s} {'Real':>6s} {'Pred':>6s} {'WI':>6s} "
+              f"{'Uncore':>7s} {'CMP':>6s} {'SMT':>6s} {'Dyn':>6s}")
+    print(header)
+    for measurement, parts in zip(measurements, breakdowns):
+        predicted = sum(parts.values())
+        print(
+            f"{measurement.workload_name:12s} "
+            f"{measurement.mean_power / peak:6.3f} {predicted / peak:6.3f} "
+            f"{parts['Workload_Independent'] / peak:6.3f} "
+            f"{parts['Uncore'] / peak:7.3f} {parts['CMP_effect'] / peak:6.3f} "
+            f"{parts['SMT_effect'] / peak:6.3f} {parts['Dynamic'] / peak:6.3f}"
+        )
+
+    # Tracking: predictions follow the measured per-benchmark variation.
+    errors = [
+        abs(sum(parts.values()) - m.mean_power) / m.mean_power
+        for m, parts in zip(measurements, breakdowns)
+    ]
+    assert max(errors) < 0.10, "prediction does not track measured power"
+
+    # Non-dynamic components are constant across benchmarks.
+    for key in ("Workload_Independent", "Uncore", "CMP_effect", "SMT_effect"):
+        values = {round(parts[key], 6) for parts in breakdowns}
+        assert len(values) == 1, f"{key} varies across workloads"

@@ -1,0 +1,49 @@
+"""Figure 6: bottom-up vs top-down models across all configurations.
+
+Paper result: all four models land in the 2-4% mean PAAE range on SPEC
+CPU2006; TD_SPEC (trained on the validation set) is the optimistic
+bound, and the proposed BU model comes closest to it, ahead of
+TD_Micro and TD_Random.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.power_model.metrics import paae
+
+
+def test_fig6_model_comparison(benchmark, campaign_result):
+    models = {"BU": campaign_result.bottom_up, **campaign_result.top_down}
+
+    def compute():
+        return {
+            name: {
+                config.label: paae(model, measurements)
+                for config, measurements
+                in campaign_result.spec_by_config.items()
+            }
+            for name, model in models.items()
+        }
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print("\n=== Figure 6: PAAE per configuration and model ===")
+    names = ["TD_Micro", "TD_Random", "TD_SPEC", "BU"]
+    print(f"{'Config':>6s} " + " ".join(f"{n:>10s}" for n in names))
+    labels = list(next(iter(table.values())))
+    for label in labels:
+        row = " ".join(f"{table[name][label]:9.2f}%" for name in names)
+        print(f"{label:>6s} {row}")
+    means = {
+        name: statistics.fmean(table[name].values()) for name in names
+    }
+    print(f"{'Mean':>6s} " + " ".join(f"{means[n]:9.2f}%" for n in names))
+
+    # Paper orderings: TD_SPEC is optimistic-best; BU beats both
+    # honest baselines and sits within 2 points of TD_SPEC.
+    assert means["BU"] <= means["TD_Micro"] + 0.05
+    assert means["BU"] <= means["TD_Random"]
+    assert means["BU"] - means["TD_SPEC"] < 2.0
+    for name in names:
+        assert means[name] < 5.0, f"{name} outside the paper's 2-4% regime"

@@ -1,0 +1,60 @@
+"""Figure 7: model accuracy on extreme-activity workloads.
+
+Paper result: the micro-benchmark-trained models (BU, TD_Micro) hold
+their accuracy on extreme single-activity workloads, while the
+workload-trained models blow up -- TD_Random spectacularly so (62% on
+the FXU-High case).  The *shape* to reproduce: BU/TD_Micro flat,
+TD_Random worst on at least one extreme case by a wide margin.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.conftest import LOOP_SIZE
+from repro.power_model.metrics import paae
+from repro.workloads.extreme import EXTREME_CASE_NAMES, extreme_kernels
+
+
+def test_fig7_extreme_cases(benchmark, machine, campaign_result):
+    models = {"BU": campaign_result.bottom_up, **campaign_result.top_down}
+    kernels = extreme_kernels(machine.arch, loop_size=LOOP_SIZE)
+
+    def compute():
+        table = {}
+        for case, kernel in kernels.items():
+            measurements = [
+                machine.run(kernel, config)
+                for config in campaign_result.configs
+            ]
+            table[case] = {
+                name: paae(model, measurements)
+                for name, model in models.items()
+            }
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    names = ["TD_Micro", "TD_Random", "TD_SPEC", "BU"]
+    print("\n=== Figure 7: PAAE on extreme activity cases ===")
+    print(f"{'Case':14s} " + " ".join(f"{n:>10s}" for n in names))
+    for case in EXTREME_CASE_NAMES:
+        row = " ".join(f"{table[case][name]:9.2f}%" for name in names)
+        print(f"{case:14s} {row}")
+    means = {
+        name: statistics.fmean(table[case][name] for case in table)
+        for name in names
+    }
+    print(f"{'Mean':14s} " + " ".join(f"{means[n]:9.2f}%" for n in names))
+
+    # Micro-trained models stay in their normal regime on extremes.
+    assert means["BU"] < 6.0
+    assert means["TD_Micro"] < 6.0
+    # Workload-trained models degrade; TD_Random has a blow-up case.
+    worst_random = max(table[case]["TD_Random"] for case in table)
+    worst_micro_trained = max(
+        max(table[case]["BU"], table[case]["TD_Micro"]) for case in table
+    )
+    assert worst_random > worst_micro_trained, (
+        "TD_Random should be the worst extrapolator"
+    )

@@ -1,0 +1,81 @@
+"""Figure 8: average SPEC power breakdown across all 24 configurations.
+
+Paper results reproduced here:
+
+* the configuration-independent components (workload-independent +
+  uncore) fall from ~85% of total power at 1-1 to ~50% at 8-4;
+* enabling SMT shifts roughly 10 points into the dynamic component;
+* the SMT-effect component itself stays minimal (<3% everywhere);
+* beyond 4 cores the percentage breakdown changes only slowly
+  (1-1 to 2-1 drops the static share far more than 7-1 to 8-1).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+_COMPONENTS = (
+    "Workload_Independent", "Uncore", "CMP_effect", "SMT_effect", "Dynamic",
+)
+
+
+def test_fig8_breakdown_sweep(benchmark, campaign_result):
+    model = campaign_result.bottom_up
+
+    def compute():
+        shares = {}
+        for config, measurements in campaign_result.spec_by_config.items():
+            stacks = [model.breakdown(m) for m in measurements]
+            mean_parts = {
+                key: statistics.fmean(stack[key] for stack in stacks)
+                for key in _COMPONENTS
+            }
+            total = sum(mean_parts.values())
+            shares[config] = {
+                key: value / total * 100.0
+                for key, value in mean_parts.items()
+            }
+        return shares
+
+    shares = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print("\n=== Figure 8: average SPEC power breakdown (percent) ===")
+    print(f"{'Config':>6s} {'WI':>6s} {'Uncore':>7s} {'CMP':>6s} "
+          f"{'SMT':>6s} {'Dynamic':>8s}")
+    for config, parts in shares.items():
+        print(
+            f"{config.label:>6s} {parts['Workload_Independent']:6.1f} "
+            f"{parts['Uncore']:7.1f} {parts['CMP_effect']:6.1f} "
+            f"{parts['SMT_effect']:6.1f} {parts['Dynamic']:8.1f}"
+        )
+
+    def static_share(label):
+        config = next(
+            c for c in shares if c.label == label
+        )
+        parts = shares[config]
+        return parts["Workload_Independent"] + parts["Uncore"]
+
+    lowest = static_share("1-1")
+    highest = static_share("8-4")
+    print(f"\nStatic (WI+Uncore) share: {lowest:.0f}% at 1-1 -> "
+          f"{highest:.0f}% at 8-4 (paper: 85% -> 50%)")
+    drop_first = static_share("1-1") - static_share("2-1")
+    drop_last = static_share("7-1") - static_share("8-1")
+    print(f"Static-share drop 1-1 -> 2-1: {drop_first:.1f} points; "
+          f"7-1 -> 8-1: {drop_last:.1f} points (paper: 8 vs 1)")
+
+    assert lowest > 70.0, "1-1 static share too low vs paper's 85%"
+    assert highest < 65.0, "8-4 static share should approach ~50%"
+    assert drop_first > drop_last, "diminishing static-share drops"
+
+    # SMT effect minimal everywhere (<3% in the paper).
+    worst_smt = max(parts["SMT_effect"] for parts in shares.values())
+    print(f"Max SMT-effect share: {worst_smt:.1f}% (paper: <3%)")
+    assert worst_smt < 3.0
+
+    # Enabling SMT raises the dynamic share by several points.
+    for cores in (1, 4, 8):
+        smt1 = next(c for c in shares if c.label == f"{cores}-1")
+        smt4 = next(c for c in shares if c.label == f"{cores}-4")
+        assert shares[smt4]["Dynamic"] > shares[smt1]["Dynamic"] + 3.0

@@ -1,0 +1,56 @@
+"""The analytical set-associative cache model vs functional simulation.
+
+Shows section 2.1.3's claim in action: the model *statically* plans an
+address stream for any requested hierarchy hit distribution, with no
+design-space exploration, and a functional cache simulation (LRU,
+inclusive, with a stride prefetcher enabled) confirms the plan on every
+mix.
+
+Run:  python examples/cache_model_demo.py
+"""
+
+from repro.march import get_architecture
+from repro.march.cache_model import SetAssociativeCacheModel
+from repro.sim.hierarchy import simulate_hit_distribution
+
+arch = get_architecture("POWER7")
+model = SetAssociativeCacheModel.for_architecture(arch)
+
+print("POWER7 hierarchy geometry (address fields, Figure 3b):")
+for cache in arch.caches:
+    fields = cache.fields
+    print(f"  {cache}: offset bits 0-{fields.offset_bits - 1}, "
+          f"set bits {fields.offset_bits}-{fields.tag_shift - 1}, "
+          f"tag above bit {fields.tag_shift}")
+
+mixes = [
+    {"L1": 1.0},
+    {"L1": 0.75, "L2": 0.25},
+    {"L1": 0.33, "L2": 0.33, "L3": 0.34},
+    {"L2": 0.50, "L3": 0.50},
+    {"L1": 0.25, "L3": 0.25, "MEM": 0.50},
+    {"MEM": 1.0},
+]
+
+print("\nRequested mix -> functional-simulation measurement "
+      "(1024-access loop, prefetcher ON):")
+for weights in mixes:
+    plan = model.plan(weights, slot_count=1024, seed=7)
+    simulated = simulate_hit_distribution(
+        arch.caches, arch.memory, plan.slots, prefetch=True
+    )
+    requested = ", ".join(
+        f"{level}={share:.0%}" for level, share in weights.items()
+    )
+    measured = ", ".join(
+        f"{level}={share:.1%}" for level, share in simulated.items()
+        if share > 0.001
+    )
+    footprint = plan.footprint_bytes(arch.caches[0].line_bytes)
+    print(f"  [{requested:>34s}] -> {measured}  "
+          f"(footprint {footprint // 1024} KiB)")
+
+print("\nEvery stream lands within rounding of its target: the model "
+      "assigns disjoint sets per level,\noverflows the associativity of "
+      "the levels above the target, and randomizes tags so the\n"
+      "hardware prefetcher cannot convert planned misses into hits.")

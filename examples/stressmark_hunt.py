@@ -1,0 +1,57 @@
+"""Case study C walkthrough: systematic max-power stressmark generation.
+
+The paper's query (c): "How to bound the worst-case (maximum) power
+consumption?"  The script bootstraps per-instruction EPI/IPC data,
+prunes the design space with the IPC*EPI heuristic, exhaustively
+searches the 540-sequence space, and reports the margin over the SPEC
+CPU2006 maximum -- the whole Section 6 flow.
+
+Run:  python examples/stressmark_hunt.py   (takes ~1 minute)
+"""
+
+from repro.march import get_architecture
+from repro.march.bootstrap import Bootstrapper
+from repro.sim import Machine, MachineConfig
+from repro.stressmark import select_candidates, stressmark_search
+from repro.stressmark.report import (
+    best_sequence,
+    order_spread_analysis,
+    summarize_set,
+)
+from repro.stressmark.search import covering_sequences
+from repro.workloads import spec_cpu2006
+
+arch = get_architecture("POWER7")
+machine = Machine(arch)
+
+print("Bootstrapping per-instruction latency/throughput/EPI "
+      "(two generated micro-benchmarks per instruction)...")
+records = Bootstrapper(arch, machine, loop_size=256).run()
+
+candidates = select_candidates(arch, records)
+print(f"IPC*EPI candidates per unit: {candidates}")
+
+print("Measuring the SPEC CPU2006 maximum power (the Figure 9 baseline)...")
+baseline = max(
+    machine.run(workload, MachineConfig(8, smt)).mean_power
+    for workload in spec_cpu2006()
+    for smt in (1, 2, 4)
+)
+print(f"SPEC maximum: {baseline:.1f} W")
+
+sequences = covering_sequences(tuple(candidates.values()))
+print(f"Exhaustively searching {len(sequences)} sequences x 3 SMT modes...")
+results = stressmark_search(machine, sequences, loop_size=384)
+
+summary = summarize_set("MicroProbe", results, baseline)
+winner = best_sequence(results)
+spread = order_spread_analysis(results, baseline)
+
+print(f"\nBest stressmark: {' '.join(winner)}")
+print(f"Max power: {summary.maximum:.3f}x the SPEC maximum "
+      f"(+{(summary.maximum - 1) * 100:.1f}%; paper: +10.7%)")
+print(f"Set range: min {summary.minimum:.3f} / mean {summary.mean:.3f} / "
+      f"max {summary.maximum:.3f}")
+print(f"Order-only power spread at identical max IPC: "
+      f"{spread.spread_percent:.1f}% over {spread.sequences_at_max_ipc} "
+      "orderings (paper: up to 17%)")

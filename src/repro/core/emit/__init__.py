@@ -1,0 +1,14 @@
+"""Emitters: turn the IR into compilable C or assembly artifacts.
+
+The generated micro-benchmarks are what a user of the framework would
+actually compile and run on real hardware: a ``.c`` file with the loop
+as one inline-assembly block, or a bare ``.s`` file.  The machine
+substrate consumes the same IR directly (``Program.to_kernel``), so
+emission and simulation can never drift apart.
+"""
+
+from repro.core.emit.asm_emitter import emit_assembly
+from repro.core.emit.c_emitter import emit_c
+from repro.core.emit.formatting import format_instruction
+
+__all__ = ["emit_assembly", "emit_c", "format_instruction"]

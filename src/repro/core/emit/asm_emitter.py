@@ -1,0 +1,119 @@
+"""Bare-assembly emitter (``.s`` files).
+
+The generated file is a self-contained POWER assembly translation unit:
+a BSS memory region sized to the benchmark's planned footprint, a
+prologue that materializes the base pointer and initializes the
+architected registers per the program's value-init policy, the endless
+loop, and (for completeness of the artifact) a never-reached epilogue.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.ir import Program
+from repro.core.emit.formatting import format_instruction
+from repro.core.registers import (
+    ADDRESS_SCRATCH_REGISTER,
+    MEMORY_BASE_REGISTER,
+    format_register,
+)
+from repro.isa.operand import OperandKind
+
+#: Memory region size when no memory plan bounds it (64 MiB covers
+#: every stream the analytical model generates for the POWER7 hierarchy).
+DEFAULT_REGION_BYTES = 64 * 1024 * 1024
+
+
+def _init_value(program: Program, rng: random.Random) -> int:
+    if program.register_init == "zero":
+        return 0
+    if program.register_init == "pattern":
+        pattern = program.init_pattern & 0xFFFF
+        return pattern | (pattern << 16)
+    return rng.getrandbits(32)
+
+
+def _used_registers(program: Program) -> dict[OperandKind, set[int]]:
+    used: dict[OperandKind, set[int]] = {}
+    for instruction in program.body:
+        for operand in instruction.definition.operands:
+            if not operand.is_register or operand.kind is OperandKind.SPR:
+                continue
+            number = instruction.registers.get(operand.name)
+            if number is not None:
+                used.setdefault(operand.kind, set()).add(number)
+    return used
+
+
+def _prologue(program: Program, materialize_base: bool = True) -> list[str]:
+    rng = random.Random(program.name)
+    base = format_register(OperandKind.GPR, MEMORY_BASE_REGISTER)
+    scratch = format_register(OperandKind.GPR, ADDRESS_SCRATCH_REGISTER)
+    lines = []
+    if materialize_base:
+        lines += [
+            f"# materialize the memory-region base pointer in {base}",
+            f"lis {base}, ubench_region@highest",
+            f"ori {base}, {base}, ubench_region@higher",
+            f"rldicr {base}, {base}, 32, 31",
+            f"oris {base}, {base}, ubench_region@ha",
+            f"addi {base}, {base}, ubench_region@l",
+        ]
+    lines.append(
+        f"# initialize architected registers ({program.register_init})"
+    )
+    used = _used_registers(program)
+    for number in sorted(used.get(OperandKind.GPR, ())):
+        if number in (MEMORY_BASE_REGISTER, ADDRESS_SCRATCH_REGISTER):
+            continue
+        value = _init_value(program, rng)
+        register = format_register(OperandKind.GPR, number)
+        lines.append(f"lis {register}, {value >> 16}")
+        lines.append(f"ori {register}, {register}, {value & 0xFFFF}")
+    for number in sorted(used.get(OperandKind.FPR, ())):
+        register = format_register(OperandKind.FPR, number)
+        lines.append(f"lfd {register}, {8 * number}({base})")
+    for kind in (OperandKind.VSR, OperandKind.VR):
+        for number in sorted(used.get(kind, ())):
+            register = format_register(kind, number)
+            mnemonic = "lxvd2x" if kind is OperandKind.VSR else "lvx"
+            lines.append(f"li {scratch}, {16 * number}")
+            lines.append(f"{mnemonic} {register}, {base}, {scratch}")
+    return lines
+
+
+def emit_assembly(program: Program) -> str:
+    """Render the program as a complete ``.s`` translation unit."""
+    pass_names = program.metadata.get("passes", [])
+    header = [
+        f"# {program.name}.s -- generated micro-benchmark",
+        f"# target: {program.arch.name} ({program.arch.isa.name})",
+        f"# passes: {', '.join(pass_names)}" if pass_names else "# passes: (none recorded)",
+        f"# value init: registers={program.register_init}, "
+        f"immediates={program.immediate_init}",
+        '\t.machine "power7"',
+        "\t.abiversion 2",
+        "\t.section .bss",
+        "\t.align 7",
+        "ubench_region:",
+        f"\t.space {DEFAULT_REGION_BYTES}",
+        "\t.text",
+        "\t.globl ubench_main",
+        "\t.type ubench_main, @function",
+        "ubench_main:",
+    ]
+    body_lines: list[str] = []
+    for line in _prologue(program):
+        prefix = "" if line.startswith("#") else "\t"
+        body_lines.append(prefix + line)
+    body_lines.append(f"{program.loop_label}:")
+    for instruction in program.body:
+        for line in format_instruction(instruction, program):
+            comment = f"\t# {instruction.comment}" if instruction.comment else ""
+            body_lines.append(f"\t{line}{comment}")
+    footer = [
+        "\t.size ubench_main, . - ubench_main",
+        "",
+    ]
+    return "\n".join(header + body_lines + footer)

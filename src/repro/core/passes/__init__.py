@@ -1,0 +1,37 @@
+"""The pass repository (paper section 2.2).
+
+Every transformation the synthesizer can apply lives here.  The paper's
+five canonical steps map to: skeleton
+(:class:`~repro.core.passes.skeleton.EndlessLoopSkeleton`), instruction
+distribution
+(:class:`~repro.core.passes.distribution.InstructionDistribution`),
+memory behaviour (:class:`~repro.core.passes.memory.MemoryModel`),
+branch behaviour (:class:`~repro.core.passes.branch.BranchBehavior`)
+and ILP via register allocation
+(:class:`~repro.core.passes.ilp.DependencyDistance`), plus the
+value-initialisation and sequence-order passes the case studies use.
+"""
+
+from repro.core.passes.base import Pass, PassContext
+from repro.core.passes.branch import BranchBehavior
+from repro.core.passes.distribution import InstructionDistribution
+from repro.core.passes.ilp import DependencyDistance
+from repro.core.passes.init_values import InitImmediates, InitRegisters
+from repro.core.passes.memory import MemoryModel
+from repro.core.passes.order import SequenceOrder
+from repro.core.passes.skeleton import EndlessLoopSkeleton
+from repro.core.passes.verify import ValidateProgram
+
+__all__ = [
+    "BranchBehavior",
+    "DependencyDistance",
+    "EndlessLoopSkeleton",
+    "InitImmediates",
+    "InitRegisters",
+    "InstructionDistribution",
+    "MemoryModel",
+    "Pass",
+    "PassContext",
+    "SequenceOrder",
+    "ValidateProgram",
+]

@@ -1,0 +1,51 @@
+"""Pass protocol and the shared pass context."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.ir import Program
+from repro.core.registers import RegisterPools
+from repro.march.definition import MicroArchitecture
+
+
+@dataclass
+class PassContext:
+    """State shared by the passes of one synthesis run.
+
+    Attributes:
+        arch: The target micro-architecture.
+        rng: Seeded generator; all pass randomness must come from here
+            so a synthesis run is reproducible from its seed.
+        pools: Round-robin register allocator shared across passes.
+        synthesis_index: Ordinal of this run within the synthesizer
+            (the paper's example calls ``synthesize()`` ten times).
+    """
+
+    arch: MicroArchitecture
+    rng: random.Random
+    pools: RegisterPools = field(default_factory=RegisterPools)
+    synthesis_index: int = 0
+
+
+class Pass(ABC):
+    """One transformation of the program under construction."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable pass name (defaults to the class name)."""
+        return type(self).__name__
+
+    @abstractmethod
+    def apply(self, program: Program, context: PassContext) -> None:
+        """Transform ``program`` in place.
+
+        Raises:
+            PassError: If the program is not in a state this pass can
+                handle (e.g. distribution before skeleton).
+        """
+
+    def __repr__(self) -> str:
+        return f"<pass {self.name}>"

@@ -1,0 +1,117 @@
+"""Instruction-distribution pass.
+
+Fills the skeleton's slots with instructions drawn from a user-selected
+pool, either as an exact proportional mix (shuffled multiset, the
+default -- distributions are then exact, not just expected) or by
+independent weighted draws.  Register operands receive round-robin
+default assignments; memory operands are left for the memory pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.ir import IRInstruction, Program
+from repro.core.passes.base import Pass, PassContext
+from repro.core.registers import MEMORY_BASE_REGISTER
+from repro.errors import PassError
+from repro.isa.instruction import InstructionDef
+
+
+class InstructionDistribution(Pass):
+    """Fill workload slots with a mix of instructions.
+
+    Args:
+        pool: Instruction definitions (or mnemonics, resolved against
+            the target ISA) to draw from.
+        weights: Optional relative weight per pool entry, parallel to
+            ``pool``; uniform when omitted.
+        exact: When true (default), realize the weights exactly as a
+            shuffled multiset; when false, draw each slot independently.
+    """
+
+    def __init__(
+        self,
+        pool: Sequence[InstructionDef | str],
+        weights: Sequence[float] | None = None,
+        exact: bool = True,
+    ) -> None:
+        if not pool:
+            raise ValueError("instruction pool must not be empty")
+        if weights is not None and len(weights) != len(pool):
+            raise ValueError("weights must parallel the pool")
+        if weights is not None and (min(weights) < 0 or sum(weights) <= 0):
+            raise ValueError("weights must be non-negative and sum > 0")
+        self.pool = list(pool)
+        self.weights = list(weights) if weights is not None else None
+        self.exact = exact
+
+    @property
+    def name(self) -> str:
+        return f"InstructionDistribution({len(self.pool)} instructions)"
+
+    def apply(self, program: Program, context: PassContext) -> None:
+        slots = program.workload_slots()
+        if not slots:
+            raise PassError(
+                f"{program.name}: no slots to fill; run a skeleton pass first"
+            )
+        definitions = [
+            entry if isinstance(entry, InstructionDef)
+            else context.arch.isa.instruction(entry)
+            for entry in self.pool
+        ]
+        if self.exact:
+            choices = self._exact_mix(definitions, len(slots), context)
+        else:
+            weights = self.weights or [1.0] * len(definitions)
+            choices = context.rng.choices(definitions, weights, k=len(slots))
+
+        for slot, definition in zip(slots, choices):
+            program.body[slot] = self._instantiate(definition, context)
+
+    def _exact_mix(
+        self,
+        definitions: list[InstructionDef],
+        count: int,
+        context: PassContext,
+    ) -> list[InstructionDef]:
+        weights = self.weights or [1.0] * len(definitions)
+        total = sum(weights)
+        raw = [weight / total * count for weight in weights]
+        counts = [int(value) for value in raw]
+        remainder = count - sum(counts)
+        order = sorted(
+            range(len(raw)), key=lambda i: raw[i] - counts[i], reverse=True
+        )
+        for index in order[:remainder]:
+            counts[index] += 1
+        mix: list[InstructionDef] = []
+        for definition, amount in zip(definitions, counts):
+            mix.extend([definition] * amount)
+        context.rng.shuffle(mix)
+        return mix
+
+    def _instantiate(
+        self, definition: InstructionDef, context: PassContext
+    ) -> IRInstruction:
+        """Create an instruction instance with default register operands."""
+        instruction = IRInstruction(definition=definition)
+        memory_names = {op.name for op in definition.memory_operands}
+        for operand in definition.operands:
+            if not operand.is_register:
+                continue
+            if definition.is_memory and operand.name in memory_names:
+                # Address operands: base points at the benchmark's
+                # memory region; the memory pass plans the rest.
+                if operand.name == "RA":
+                    instruction.registers[operand.name] = MEMORY_BASE_REGISTER
+                else:
+                    instruction.registers[operand.name] = context.pools.take(
+                        operand.kind
+                    )
+                continue
+            instruction.registers[operand.name] = context.pools.take(
+                operand.kind
+            )
+        return instruction

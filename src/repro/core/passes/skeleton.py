@@ -1,0 +1,45 @@
+"""Program-skeleton pass: the endless loop."""
+
+from __future__ import annotations
+
+from repro.core.ir import IRInstruction, Program
+from repro.core.passes.base import Pass, PassContext
+from repro.errors import PassError
+
+
+class EndlessLoopSkeleton(Pass):
+    """Define the program as an endless loop of ``size`` instructions.
+
+    The body is created as ``size`` nop placeholder slots that the
+    instruction-distribution pass later fills, plus a structural
+    backward branch closing the loop.  This is the paper's
+    "Single end-less loop of 4096 instructions" pass.
+    """
+
+    def __init__(self, size: int = 4096) -> None:
+        if size < 1:
+            raise ValueError("loop size must be >= 1")
+        self.size = size
+
+    @property
+    def name(self) -> str:
+        return f"EndlessLoopSkeleton({self.size})"
+
+    def apply(self, program: Program, context: PassContext) -> None:
+        if program.body:
+            raise PassError(
+                f"{program.name}: skeleton applied to a non-empty program"
+            )
+        isa = context.arch.isa
+        nop = isa.instruction("nop")
+        branch = isa.instruction("b")
+        program.body = [
+            IRInstruction(definition=nop) for _ in range(self.size)
+        ]
+        closing = IRInstruction(
+            definition=branch,
+            structural=True,
+            comment="loop-closing branch",
+        )
+        program.body.append(closing)
+        program.loop_label = "loop"

@@ -1,0 +1,46 @@
+"""Final IR validation pass.
+
+The synthesizer appends this pass automatically: it enforces the
+invariants every downstream consumer (emitters, machine substrate)
+relies on, so a mis-ordered pass pipeline fails loudly at synthesis
+time rather than producing a silently wrong micro-benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.core.ir import Program
+from repro.core.passes.base import Pass, PassContext
+from repro.errors import PassError
+
+
+class ValidateProgram(Pass):
+    """Check IR well-formedness after all transformations."""
+
+    def apply(self, program: Program, context: PassContext) -> None:
+        if not program.body:
+            raise PassError(f"{program.name}: empty program")
+        size = len(program.body)
+        for index, instruction in enumerate(program.body):
+            where = f"{program.name} slot {index} ({instruction.mnemonic})"
+            for operand in instruction.definition.operands:
+                if operand.is_register and not operand.kind.name == "SPR":
+                    if operand.name not in instruction.registers:
+                        raise PassError(f"{where}: operand {operand.name} unassigned")
+            if instruction.definition.is_memory and not instruction.definition.is_prefetch:
+                if not instruction.structural and instruction.address is None:
+                    raise PassError(
+                        f"{where}: memory instruction without a planned "
+                        "address; run a MemoryModel pass"
+                    )
+            distance = instruction.dep_distance
+            if distance is not None:
+                if distance < 1 or distance >= size:
+                    raise PassError(
+                        f"{where}: dependency distance {distance} out of range"
+                    )
+                producer = program.body[(index - distance) % size]
+                if producer.target_register() is None:
+                    raise PassError(
+                        f"{where}: producer at distance {distance} "
+                        f"({producer.mnemonic}) writes no register"
+                    )

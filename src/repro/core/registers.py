@@ -1,0 +1,78 @@
+"""Architected register pools and round-robin allocation.
+
+Code generation needs concrete register numbers for emission and for
+expressing dependencies (a consumer reads the producer's target
+register).  The allocator reserves the ABI registers a real POWER
+toolchain would (r0 quirk, r1 stack, r2 TOC, r13 thread pointer) plus
+the registers the generated skeleton itself uses (loop counter and
+memory base).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.operand import OperandKind
+
+#: Register reserved as the memory-region base pointer in generated code.
+MEMORY_BASE_REGISTER = 28
+#: Register reserved as scratch for large-displacement address forming.
+ADDRESS_SCRATCH_REGISTER = 27
+
+_RESERVED_GPRS = frozenset({0, 1, 2, 13, ADDRESS_SCRATCH_REGISTER, MEMORY_BASE_REGISTER})
+
+_POOL_SIZES = {
+    OperandKind.GPR: 32,
+    OperandKind.FPR: 32,
+    OperandKind.VR: 32,
+    OperandKind.VSR: 64,
+    OperandKind.CR: 8,
+    OperandKind.SPR: 1,
+}
+
+
+@dataclass
+class RegisterPools:
+    """Round-robin register allocator over the architected files."""
+
+    _cursors: dict[OperandKind, int] = field(default_factory=dict)
+
+    def allocatable(self, kind: OperandKind) -> list[int]:
+        """Register numbers available to generated code for ``kind``."""
+        size = _POOL_SIZES.get(kind)
+        if size is None:
+            raise ValueError(f"no register pool for {kind}")
+        if kind is OperandKind.GPR:
+            return [n for n in range(size) if n not in _RESERVED_GPRS]
+        return list(range(size))
+
+    def take(self, kind: OperandKind) -> int:
+        """Next register in round-robin order for ``kind``."""
+        pool = self.allocatable(kind)
+        cursor = self._cursors.get(kind, 0)
+        register = pool[cursor % len(pool)]
+        self._cursors[kind] = cursor + 1
+        return register
+
+    def reset(self) -> None:
+        self._cursors.clear()
+
+
+def register_prefix(kind: OperandKind) -> str:
+    """Assembly prefix for a register kind (``r3``, ``f5``, ``vs12``...)."""
+    prefixes = {
+        OperandKind.GPR: "r",
+        OperandKind.FPR: "f",
+        OperandKind.VR: "v",
+        OperandKind.VSR: "vs",
+        OperandKind.CR: "cr",
+        OperandKind.SPR: "",
+    }
+    return prefixes[kind]
+
+
+def format_register(kind: OperandKind, number: int) -> str:
+    """Render a register operand for assembly output."""
+    if kind is OperandKind.SPR:
+        return ""  # SPR operands are implicit in PowerPC mnemonics
+    return f"{register_prefix(kind)}{number}"

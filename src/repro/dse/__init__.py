@@ -1,0 +1,29 @@
+"""Integrated design-space exploration (paper section 2.3).
+
+Unlike prior work, where a genetic-algorithm driver lived in an
+external tool, the DSE support here shares the process with the
+synthesizer: search drivers evaluate candidate micro-benchmarks by
+building them with the same pass pipelines and measuring them on the
+machine substrate, and *guided* drivers prune the space by querying the
+micro-architecture property database (the Section 6 use case).
+"""
+
+from repro.dse.evaluator import CachingEvaluator, MeasurementEvaluator
+from repro.dse.exhaustive import ExhaustiveSearch
+from repro.dse.genetic import GeneticSearch
+from repro.dse.guided import GuidedSearch
+from repro.dse.results import Evaluation, SearchResult
+from repro.dse.space import DesignPoint, DesignSpace, Dimension
+
+__all__ = [
+    "CachingEvaluator",
+    "DesignPoint",
+    "DesignSpace",
+    "Dimension",
+    "Evaluation",
+    "ExhaustiveSearch",
+    "GeneticSearch",
+    "GuidedSearch",
+    "MeasurementEvaluator",
+    "SearchResult",
+]

@@ -1,0 +1,90 @@
+"""Evaluators: map design points to scalar scores.
+
+The standard evaluator builds a micro-benchmark from the point with a
+user-supplied builder (a pass-pipeline closure), runs it on the machine
+substrate, and reduces the measurement to a score -- mean power for
+max-power searches, negated |IPC - target| for IPC-targeting searches,
+and so on.  A caching wrapper avoids re-measuring identical points,
+which matters for GA populations that revisit genotypes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.measure.measurement import Measurement
+from repro.sim.config import MachineConfig
+from repro.sim.kernel import Kernel
+from repro.sim.machine import Machine
+
+#: Builds a runnable kernel from a design point.
+KernelBuilder = Callable[[DesignPoint], Kernel]
+#: Reduces a measurement to the score being maximized.
+Objective = Callable[[Measurement], float]
+
+
+def mean_power_objective(measurement: Measurement) -> float:
+    """Score = mean sensor power (max-power searches)."""
+    return measurement.mean_power
+
+
+def ipc_target_objective(target: float) -> Objective:
+    """Score = -|IPC - target| (IPC-tracking searches, Table 2)."""
+
+    def objective(measurement: Measurement) -> float:
+        counters = measurement.thread_counters[0]
+        cycles = counters.get("PM_RUN_CYC", 0.0)
+        instructions = counters.get("PM_RUN_INST_CMPL", 0.0)
+        ipc = instructions / cycles if cycles else 0.0
+        return -abs(ipc - target)
+
+    return objective
+
+
+class MeasurementEvaluator:
+    """Build-measure-score evaluator over the machine substrate."""
+
+    def __init__(
+        self,
+        builder: KernelBuilder,
+        machine: Machine,
+        config: MachineConfig,
+        objective: Objective = mean_power_objective,
+        duration: float = 10.0,
+    ) -> None:
+        self.builder = builder
+        self.machine = machine
+        self.config = config
+        self.objective = objective
+        self.duration = duration
+        self.measurements = 0
+
+    def __call__(self, point: DesignPoint) -> float:
+        kernel = self.builder(point)
+        measurement = self.machine.run(kernel, self.config, self.duration)
+        self.measurements += 1
+        return self.objective(measurement)
+
+
+class CachingEvaluator:
+    """Memoizing wrapper keyed on the canonical point form."""
+
+    def __init__(
+        self,
+        evaluator: Callable[[DesignPoint], float],
+        space: DesignSpace,
+    ) -> None:
+        self.evaluator = evaluator
+        self.space = space
+        self._cache: dict[tuple, float] = {}
+
+    def __call__(self, point: DesignPoint) -> float:
+        key = self.space.key(point)
+        if key not in self._cache:
+            self._cache[key] = self.evaluator(point)
+        return self._cache[key]
+
+    @property
+    def unique_evaluations(self) -> int:
+        return len(self._cache)

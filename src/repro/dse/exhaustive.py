@@ -1,0 +1,47 @@
+"""Exhaustive search driver.
+
+Evaluates every point of the space.  Practical when guided pruning has
+already shrunk the space to the points of interest -- the Section 6
+observation: "in a real measurement context, being able to constrain
+the search space to the actual points of interest is crucial".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.dse.results import SearchResult
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.errors import SearchError
+
+
+class ExhaustiveSearch:
+    """Enumerate and evaluate the entire design space."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        evaluator: Callable[[DesignPoint], float],
+        limit: int = 1_000_000,
+    ) -> None:
+        self.space = space
+        self.evaluator = evaluator
+        self.limit = limit
+
+    def run(self) -> SearchResult:
+        """Evaluate every point.
+
+        Raises:
+            SearchError: If the space exceeds the configured limit
+                (exhaustive search on an unpruned space is a usage
+                error, not something to silently grind through).
+        """
+        if self.space.size > self.limit:
+            raise SearchError(
+                f"space has {self.space.size} points, over the exhaustive "
+                f"limit of {self.limit}; prune the space or raise limit"
+            )
+        result = SearchResult()
+        for point in self.space.points():
+            result.record(point, self.evaluator(point))
+        return result

@@ -1,0 +1,114 @@
+"""Genetic-algorithm search driver.
+
+The GA prior work relied on exclusively; here it is one driver among
+several.  Chromosomes are design points (one categorical gene per
+dimension); selection is tournament-based; crossover is uniform;
+mutation re-draws a gene uniformly.  Elitism keeps the best candidate
+across generations.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.dse.results import SearchResult
+from repro.dse.space import DesignPoint, DesignSpace
+
+
+@dataclass(frozen=True)
+class GAParameters:
+    """Genetic-search hyper-parameters."""
+
+    population: int = 24
+    generations: int = 12
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.08
+    tournament: int = 3
+    elite: int = 2
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 0 <= self.crossover_rate <= 1:
+            raise ValueError("crossover_rate must be within [0, 1]")
+        if not 0 <= self.mutation_rate <= 1:
+            raise ValueError("mutation_rate must be within [0, 1]")
+        if self.tournament < 1 or self.elite < 0:
+            raise ValueError("bad tournament/elite sizes")
+
+
+class GeneticSearch:
+    """Tournament-selection GA over a categorical design space."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        evaluator: Callable[[DesignPoint], float],
+        parameters: GAParameters | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.space = space
+        self.evaluator = evaluator
+        self.parameters = parameters or GAParameters()
+        self.seed = seed
+
+    def run(self) -> SearchResult:
+        params = self.parameters
+        rng = random.Random(self.seed)
+        result = SearchResult()
+
+        population = [
+            self.space.random_point(rng) for _ in range(params.population)
+        ]
+        scored = [
+            (point, result.record(point, self.evaluator(point)).score)
+            for point in population
+        ]
+
+        for _ in range(params.generations - 1):
+            scored.sort(key=lambda pair: pair[1], reverse=True)
+            next_population = [
+                dict(point) for point, _ in scored[: params.elite]
+            ]
+            while len(next_population) < params.population:
+                parent_a = self._tournament(scored, rng)
+                parent_b = self._tournament(scored, rng)
+                child = self._crossover(parent_a, parent_b, rng)
+                self._mutate(child, rng)
+                next_population.append(child)
+            scored = [
+                (point, result.record(point, self.evaluator(point)).score)
+                for point in next_population
+            ]
+        return result
+
+    def _tournament(
+        self,
+        scored: list[tuple[DesignPoint, float]],
+        rng: random.Random,
+    ) -> DesignPoint:
+        contenders = rng.sample(scored, min(self.parameters.tournament, len(scored)))
+        return max(contenders, key=lambda pair: pair[1])[0]
+
+    def _crossover(
+        self, parent_a: DesignPoint, parent_b: DesignPoint, rng: random.Random
+    ) -> DesignPoint:
+        if rng.random() > self.parameters.crossover_rate:
+            return dict(parent_a)
+        return {
+            dimension.name: (
+                parent_a[dimension.name]
+                if rng.random() < 0.5
+                else parent_b[dimension.name]
+            )
+            for dimension in self.space.dimensions
+        }
+
+    def _mutate(self, point: DesignPoint, rng: random.Random) -> None:
+        for dimension in self.space.dimensions:
+            if rng.random() < self.parameters.mutation_rate:
+                point[dimension.name] = rng.choice(dimension.values)

@@ -1,0 +1,60 @@
+"""Search bookkeeping: evaluations, results, convergence traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dse.space import DesignPoint
+from repro.errors import SearchError
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One evaluated design point."""
+
+    point: DesignPoint
+    score: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a design-space exploration (maximization)."""
+
+    evaluations: list[Evaluation] = field(default_factory=list)
+
+    def record(self, point: DesignPoint, score: float) -> Evaluation:
+        evaluation = Evaluation(point=dict(point), score=score)
+        self.evaluations.append(evaluation)
+        return evaluation
+
+    @property
+    def count(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def best(self) -> Evaluation:
+        if not self.evaluations:
+            raise SearchError("no evaluations recorded")
+        return max(self.evaluations, key=lambda evaluation: evaluation.score)
+
+    @property
+    def worst(self) -> Evaluation:
+        if not self.evaluations:
+            raise SearchError("no evaluations recorded")
+        return min(self.evaluations, key=lambda evaluation: evaluation.score)
+
+    def top(self, count: int) -> list[Evaluation]:
+        """The ``count`` best evaluations, descending."""
+        ranked = sorted(
+            self.evaluations, key=lambda e: e.score, reverse=True
+        )
+        return ranked[:count]
+
+    def convergence(self) -> list[float]:
+        """Best-so-far score after each evaluation."""
+        trace: list[float] = []
+        best = float("-inf")
+        for evaluation in self.evaluations:
+            best = max(best, evaluation.score)
+            trace.append(best)
+        return trace

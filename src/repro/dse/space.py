@@ -1,0 +1,112 @@
+"""Design-space abstraction: named categorical dimensions.
+
+A design point assigns one value to every dimension; micro-benchmark
+searches use dimensions like "instruction in slot 3" or "dependency
+distance mode".  Values may be any hashable object (mnemonics,
+numbers, mode strings), which keeps the abstraction honest for both
+abstract workload models and the paper's instruction-level spaces.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.errors import SearchError
+
+#: A fully specified candidate: dimension name -> chosen value.
+DesignPoint = dict[str, Hashable]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One categorical axis of the design space."""
+
+    name: str
+    values: tuple[Hashable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SearchError(f"dimension {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise SearchError(f"dimension {self.name!r} has duplicate values")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class DesignSpace:
+    """The cartesian product of a list of dimensions."""
+
+    def __init__(self, dimensions: Sequence[Dimension]) -> None:
+        if not dimensions:
+            raise SearchError("design space needs at least one dimension")
+        names = [dimension.name for dimension in dimensions]
+        if len(set(names)) != len(names):
+            raise SearchError("dimension names must be unique")
+        self.dimensions = tuple(dimensions)
+
+    @classmethod
+    def from_slots(
+        cls, slot_count: int, values: Sequence[Hashable], prefix: str = "slot"
+    ) -> "DesignSpace":
+        """A space of ``slot_count`` positions drawing from ``values``.
+
+        This is the Section 6 space: which instruction occupies each of
+        the stressmark's sequence slots.
+        """
+        return cls(
+            [
+                Dimension(f"{prefix}{index}", tuple(values))
+                for index in range(slot_count)
+            ]
+        )
+
+    @property
+    def size(self) -> int:
+        """Total number of design points."""
+        return math.prod(len(dimension) for dimension in self.dimensions)
+
+    def __iter__(self) -> Iterator[DesignPoint]:
+        return self.points()
+
+    def points(self) -> Iterator[DesignPoint]:
+        """Enumerate every design point (odometer order)."""
+        cursors = [0] * len(self.dimensions)
+        while True:
+            yield {
+                dimension.name: dimension.values[cursor]
+                for dimension, cursor in zip(self.dimensions, cursors)
+            }
+            position = len(cursors) - 1
+            while position >= 0:
+                cursors[position] += 1
+                if cursors[position] < len(self.dimensions[position]):
+                    break
+                cursors[position] = 0
+                position -= 1
+            if position < 0:
+                return
+
+    def validate(self, point: DesignPoint) -> None:
+        """Raise :class:`SearchError` if ``point`` is not in the space."""
+        for dimension in self.dimensions:
+            if dimension.name not in point:
+                raise SearchError(f"point missing dimension {dimension.name!r}")
+            if point[dimension.name] not in dimension.values:
+                raise SearchError(
+                    f"value {point[dimension.name]!r} not valid for "
+                    f"dimension {dimension.name!r}"
+                )
+
+    def random_point(self, rng) -> DesignPoint:
+        """A uniformly random design point."""
+        return {
+            dimension.name: rng.choice(dimension.values)
+            for dimension in self.dimensions
+        }
+
+    def key(self, point: DesignPoint) -> tuple:
+        """Hashable canonical form of a point (dimension order)."""
+        return tuple(point[dimension.name] for dimension in self.dimensions)

@@ -1,0 +1,12 @@
+"""EPI-based instruction taxonomy (paper section 5)."""
+
+from repro.epi.categories import category_label, category_of
+from repro.epi.taxonomy import TaxonomyEntry, build_taxonomy, taxonomy_table
+
+__all__ = [
+    "TaxonomyEntry",
+    "build_taxonomy",
+    "category_label",
+    "category_of",
+    "taxonomy_table",
+]

@@ -1,0 +1,33 @@
+"""Instruction categories from functional-unit usage (Table 3).
+
+Categories are named after the units an instruction stresses and the
+number of operations it injects there, exactly the scheme of the
+paper's Table 3: pure ``FXU``/``LSU``/``VSU``, the flexible
+``FXU or LSU`` simple-integer class, cracked loads like
+``LSU and 2FXU``, and compound stores like ``LSU and VSU and FXU``.
+"""
+
+from __future__ import annotations
+
+from repro.march.properties import InstructionProperties
+
+
+def category_of(props: InstructionProperties) -> tuple[str, ...]:
+    """Canonical category key: one ``unit`` or ``nXunit`` term per usage."""
+    terms = []
+    for usage in props.usages:
+        unit = "/".join(usage.units)
+        ops = usage.ops
+        if ops == 1:
+            terms.append(unit)
+        else:
+            terms.append(f"{ops:g}{unit}")
+    return tuple(terms)
+
+
+def category_label(category: tuple[str, ...]) -> str:
+    """Paper-style label, e.g. ``LSU and 2FXU`` or ``FXU or LSU``."""
+    if not category:
+        return "none"
+    rendered = [term.replace("/", " or ") for term in category]
+    return " and ".join(rendered)

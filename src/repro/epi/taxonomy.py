@@ -1,0 +1,169 @@
+"""Taxonomy builder: Table 3 from bootstrap records.
+
+The taxonomy groups instructions by functional-unit usage category,
+normalizes EPIs within the category and globally (to the overall
+minimum, ``addic`` on the POWER7), and selects the paper's three rows
+per category: the instruction with the highest IPC*EPI product first
+(the max-power heuristic's pick), then examples sharing its core IPC
+but differing notably in EPI.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.epi.categories import category_label, category_of
+from repro.errors import MicroProbeError
+from repro.march.bootstrap import BootstrapRecord
+from repro.march.definition import MicroArchitecture
+
+#: Measured EPIs at or below this value are within sensor noise of the
+#: bootstrap's reference subtraction and are excluded from taxonomies.
+_EPI_RESOLUTION_NJ = 0.02
+
+
+@dataclass(frozen=True)
+class TaxonomyEntry:
+    """One taxonomy row."""
+
+    category: str
+    mnemonic: str
+    core_ipc: float
+    epi_nj: float
+    global_epi: float  # normalized to the global minimum EPI
+    category_epi: float  # normalized to the category minimum EPI
+
+    @property
+    def ipc_epi_product(self) -> float:
+        return self.core_ipc * self.epi_nj
+
+
+def build_taxonomy(
+    arch: MicroArchitecture,
+    records: Mapping[str, BootstrapRecord],
+    threads: int | None = None,
+) -> dict[str, list[TaxonomyEntry]]:
+    """Group bootstrap records into the EPI taxonomy.
+
+    Args:
+        arch: Architecture whose property database describes the
+            unit-usage categories.
+        records: Bootstrap measurements per mnemonic.
+        threads: Hardware threads the bootstrap ran with (defaults to
+            the taxonomy configuration: all cores, SMT-1); converts the
+            measured chip-level throughput into per-core IPC.
+
+    Returns:
+        Category label -> entries sorted by descending EPI.
+    """
+    if not records:
+        raise MicroProbeError("taxonomy needs at least one bootstrap record")
+    if threads is None:
+        threads = arch.chip.max_cores
+
+    # Records whose measured EPI sits at or below the sensor resolution
+    # (nop-like instructions whose dynamic power drowns in noise) carry
+    # no taxonomic information and are excluded, as a measurement study
+    # would exclude below-noise readings.
+    usable = {
+        mnemonic: record for mnemonic, record in records.items()
+        if record.epi_nj > _EPI_RESOLUTION_NJ
+    }
+    if not usable:
+        raise MicroProbeError("no bootstrap EPI above sensor resolution")
+    minimum_epi = min(record.epi_nj for record in usable.values())
+
+    by_category: dict[str, list[BootstrapRecord]] = {}
+    for mnemonic, record in usable.items():
+        label = category_label(category_of(arch.props(mnemonic)))
+        by_category.setdefault(label, []).append(record)
+
+    taxonomy: dict[str, list[TaxonomyEntry]] = {}
+    for label, members in by_category.items():
+        category_minimum = min(record.epi_nj for record in members)
+        entries = [
+            TaxonomyEntry(
+                category=label,
+                mnemonic=record.mnemonic,
+                core_ipc=record.throughput_ipc,
+                epi_nj=record.epi_nj,
+                global_epi=record.epi_nj / minimum_epi,
+                category_epi=record.epi_nj / category_minimum,
+            )
+            for record in members
+        ]
+        entries.sort(key=lambda entry: entry.epi_nj, reverse=True)
+        taxonomy[label] = entries
+    return taxonomy
+
+
+def top_by_ipc_epi(
+    taxonomy: Mapping[str, list[TaxonomyEntry]]
+) -> dict[str, TaxonomyEntry]:
+    """Per category, the entry with the highest IPC*EPI product.
+
+    This is the selection rule of the max-power heuristic (section 6).
+    """
+    return {
+        label: max(entries, key=lambda entry: entry.ipc_epi_product)
+        for label, entries in taxonomy.items()
+        if entries
+    }
+
+
+def taxonomy_table(
+    taxonomy: Mapping[str, list[TaxonomyEntry]],
+    rows_per_category: int = 3,
+) -> list[TaxonomyEntry]:
+    """The paper's Table 3 selection.
+
+    Per category: the highest-IPC*EPI instruction first, then examples
+    that share a core IPC *with each other* but differ notably in EPI
+    (the paper's demonstration that energy varies even at identical
+    utilization).  The same-IPC group with the widest EPI contrast is
+    chosen.
+    """
+    table: list[TaxonomyEntry] = []
+    for label in sorted(taxonomy):
+        entries = taxonomy[label]
+        if not entries:
+            continue
+        top = max(entries, key=lambda entry: entry.ipc_epi_product)
+        rows = [top]
+
+        groups: dict[float, list[TaxonomyEntry]] = {}
+        for entry in entries:
+            if entry is top:
+                continue
+            groups.setdefault(round(entry.core_ipc, 1), []).append(entry)
+        contrasting = [
+            sorted(group, key=lambda e: e.epi_nj, reverse=True)
+            for group in groups.values()
+            if len(group) >= 2
+        ]
+        if contrasting:
+            best_group = max(
+                contrasting,
+                key=lambda group: group[0].epi_nj / group[-1].epi_nj,
+            )
+            rows.extend(best_group[: rows_per_category - 1])
+        else:
+            leftovers = sorted(
+                (entry for entry in entries if entry is not top),
+                key=lambda entry: entry.epi_nj,
+                reverse=True,
+            )
+            rows.extend(leftovers[: rows_per_category - 1])
+        table.extend(rows)
+    return table
+
+
+def epi_spread(entries: Iterable[TaxonomyEntry]) -> float:
+    """Max/min EPI ratio minus one, as a percentage (the paper's
+    "up to 78% variations ... even when they stress the same
+    functional unit at the same rate")."""
+    values = [entry.epi_nj for entry in entries]
+    if not values or min(values) <= 0:
+        return 0.0
+    return (max(values) / min(values) - 1.0) * 100.0

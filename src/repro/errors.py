@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the framework derives from :class:`MicroProbeError`
+so callers can catch framework failures without masking programming
+errors (``TypeError``, ``KeyError`` from unrelated code, and so on).
+"""
+
+from __future__ import annotations
+
+
+class MicroProbeError(Exception):
+    """Base class for all errors raised by the framework."""
+
+
+class DefinitionError(MicroProbeError):
+    """A textual ISA or micro-architecture definition file is invalid."""
+
+    def __init__(self, path: str, line_number: int, message: str) -> None:
+        self.path = path
+        self.line_number = line_number
+        super().__init__(f"{path}:{line_number}: {message}")
+
+
+class UnknownInstructionError(MicroProbeError):
+    """An instruction mnemonic is not present in the loaded ISA."""
+
+    def __init__(self, mnemonic: str) -> None:
+        self.mnemonic = mnemonic
+        super().__init__(f"unknown instruction: {mnemonic!r}")
+
+
+class UnknownArchitectureError(MicroProbeError):
+    """A requested architecture name has no registered definition."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown architecture {name!r}; known architectures: {', '.join(known)}"
+        )
+
+
+class PassError(MicroProbeError):
+    """A code-generation pass could not be applied to the program IR."""
+
+
+class SynthesisError(MicroProbeError):
+    """The synthesizer could not produce a valid micro-benchmark."""
+
+
+class CacheModelError(MicroProbeError):
+    """The analytical cache model cannot satisfy a requested distribution."""
+
+
+class SearchError(MicroProbeError):
+    """A design-space exploration failed or was misconfigured."""
+
+
+class MeasurementError(MicroProbeError):
+    """The measurement harness was used incorrectly."""
+
+
+class ModelingError(MicroProbeError):
+    """Power-model training or application failed."""

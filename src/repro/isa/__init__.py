@@ -1,0 +1,50 @@
+"""ISA definition module (paper section 2.1.1).
+
+The module loads instruction-set definitions from readable text files and
+exposes them through the :class:`~repro.isa.registry.ISA` registry.  The
+definitions carry the semantic information the paper enumerates: the
+instruction type (load, store, vector, int, float or branch), operand
+lengths, conditional execution, privilege level, pre-fetch behaviour, the
+registers used and defined, and the binary encoding.
+
+The registry is intentionally mutable: a user can add or remove
+instructions and re-run the very same generation script without touching
+the framework internals, exactly as the paper describes.
+"""
+
+from repro.isa.instruction import InstructionDef, InstructionType
+from repro.isa.operand import Operand, OperandDirection, OperandKind
+from repro.isa.parser import parse_isa_file, parse_isa_text
+from repro.isa.queries import (
+    branches,
+    by_mnemonic,
+    loads,
+    memory_ops,
+    non_branch_non_memory,
+    of_type,
+    select,
+    stores,
+    updates,
+)
+from repro.isa.registry import ISA, load_default_isa
+
+__all__ = [
+    "ISA",
+    "InstructionDef",
+    "InstructionType",
+    "Operand",
+    "OperandDirection",
+    "OperandKind",
+    "branches",
+    "by_mnemonic",
+    "load_default_isa",
+    "loads",
+    "memory_ops",
+    "non_branch_non_memory",
+    "of_type",
+    "parse_isa_file",
+    "parse_isa_text",
+    "select",
+    "stores",
+    "updates",
+]

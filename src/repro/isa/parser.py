@@ -1,0 +1,164 @@
+"""Parser for the readable text-file ISA definitions.
+
+The definition files (``*.isa``) follow a columnar, pipe-separated format
+that stays close to the ISA manual's tables while remaining trivially
+editable by users (the paper's portability argument: add or remove
+instructions and re-run the same generation script).
+
+Grammar, one record per line::
+
+    isa <name>                      # header, once, first non-comment line
+    <mnemonic> | <type> | <width> | <operands> | <flags> | <encoding> | <desc>
+
+where
+
+* ``type``     is an :class:`~repro.isa.instruction.InstructionType` value,
+* ``width``    is the data width in bits,
+* ``operands`` is a space-separated list of ``NAME:KIND[WIDTH]:DIR`` specs
+  (``-`` for none),
+* ``flags``    is a comma-separated list of semantic flags (``-`` for none),
+* ``encoding`` is ``opcode`` or ``opcode.extended_opcode``,
+* ``desc``     is free text.
+
+``#`` starts a comment; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import DefinitionError
+from repro.isa.instruction import InstructionDef, InstructionType
+from repro.isa.operand import parse_operand
+from repro.isa.registry import ISA
+
+_EXPECTED_FIELDS = 7
+
+
+def parse_isa_text(text: str, origin: str = "<string>") -> ISA:
+    """Parse ISA definition text into an :class:`~repro.isa.registry.ISA`.
+
+    Args:
+        text: The full contents of a definition file.
+        origin: Path or label used in error messages.
+
+    Raises:
+        DefinitionError: On any malformed line, with file/line context.
+    """
+    name: str | None = None
+    instructions: list[InstructionDef] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if name is None:
+            if not line.startswith("isa "):
+                raise DefinitionError(
+                    origin, line_number, "first record must be 'isa <name>'"
+                )
+            name = line[len("isa "):].strip()
+            if not name:
+                raise DefinitionError(origin, line_number, "empty ISA name")
+            continue
+        instructions.append(_parse_record(line, origin, line_number))
+
+    if name is None:
+        raise DefinitionError(origin, 0, "empty ISA definition")
+
+    isa = ISA(name=name)
+    for instruction in instructions:
+        if instruction.mnemonic in isa:
+            raise DefinitionError(
+                origin, 0, f"duplicate instruction {instruction.mnemonic!r}"
+            )
+        isa.add(instruction)
+    return isa
+
+
+def parse_isa_file(path: str | Path) -> ISA:
+    """Parse an ISA definition file from disk."""
+    path = Path(path)
+    with open(path) as handle:
+        return parse_isa_text(handle.read(), origin=str(path))
+
+
+def _strip_comment(line: str) -> str:
+    index = line.find("#")
+    if index == -1:
+        return line
+    return line[:index]
+
+
+def _parse_record(line: str, origin: str, line_number: int) -> InstructionDef:
+    fields = [field.strip() for field in line.split("|")]
+    if len(fields) != _EXPECTED_FIELDS:
+        raise DefinitionError(
+            origin,
+            line_number,
+            f"expected {_EXPECTED_FIELDS} pipe-separated fields, "
+            f"got {len(fields)}",
+        )
+    mnemonic, type_spec, width_spec, ops_spec, flag_spec, enc_spec, desc = fields
+
+    if not mnemonic:
+        raise DefinitionError(origin, line_number, "empty mnemonic")
+
+    try:
+        itype = InstructionType(type_spec)
+    except ValueError:
+        raise DefinitionError(
+            origin, line_number, f"unknown instruction type {type_spec!r}"
+        ) from None
+
+    try:
+        width = int(width_spec)
+    except ValueError:
+        raise DefinitionError(
+            origin, line_number, f"width must be an integer, got {width_spec!r}"
+        ) from None
+
+    operands = ()
+    if ops_spec != "-":
+        try:
+            operands = tuple(
+                parse_operand(spec) for spec in ops_spec.split()
+            )
+        except ValueError as exc:
+            raise DefinitionError(origin, line_number, str(exc)) from None
+
+    flags: frozenset[str] = frozenset()
+    if flag_spec != "-":
+        flags = frozenset(flag.strip() for flag in flag_spec.split(","))
+
+    opcode, extended = _parse_encoding(enc_spec, origin, line_number)
+
+    try:
+        return InstructionDef(
+            mnemonic=mnemonic,
+            itype=itype,
+            width=width,
+            operands=operands,
+            flags=flags,
+            opcode=opcode,
+            extended_opcode=extended,
+            description=desc,
+        )
+    except ValueError as exc:
+        raise DefinitionError(origin, line_number, str(exc)) from None
+
+
+def _parse_encoding(
+    spec: str, origin: str, line_number: int
+) -> tuple[int, int | None]:
+    if spec == "-":
+        return 0, None
+    head, _, tail = spec.partition(".")
+    try:
+        opcode = int(head)
+        extended = int(tail) if tail else None
+    except ValueError:
+        raise DefinitionError(
+            origin, line_number, f"bad encoding {spec!r}"
+        ) from None
+    return opcode, extended

@@ -1,0 +1,76 @@
+"""Declarative instruction-selection helpers (the paper's ISA queries).
+
+These mirror the selection idioms of the Figure-2 script, e.g.::
+
+    loads = [ins for ins in arch.isa() if ins.load()]
+
+but packaged as named, composable functions so generation policies read
+naturally: ``loads(isa)``, ``of_type(isa, InstructionType.VECTOR)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.isa.instruction import InstructionDef, InstructionType
+from repro.isa.registry import ISA
+
+Predicate = Callable[[InstructionDef], bool]
+
+
+def select(isa: ISA | Iterable[InstructionDef], *predicates: Predicate) -> list[InstructionDef]:
+    """Instructions satisfying every predicate, in definition order."""
+    return [ins for ins in isa if all(pred(ins) for pred in predicates)]
+
+
+def loads(isa: ISA | Iterable[InstructionDef]) -> list[InstructionDef]:
+    """All load instructions."""
+    return select(isa, lambda ins: ins.is_load)
+
+
+def stores(isa: ISA | Iterable[InstructionDef]) -> list[InstructionDef]:
+    """All store instructions."""
+    return select(isa, lambda ins: ins.is_store)
+
+
+def memory_ops(isa: ISA | Iterable[InstructionDef]) -> list[InstructionDef]:
+    """All loads and stores."""
+    return select(isa, lambda ins: ins.is_memory)
+
+
+def branches(isa: ISA | Iterable[InstructionDef]) -> list[InstructionDef]:
+    """All branch instructions."""
+    return select(isa, lambda ins: ins.is_branch)
+
+
+def updates(isa: ISA | Iterable[InstructionDef]) -> list[InstructionDef]:
+    """All update-form (address write-back) instructions."""
+    return select(isa, lambda ins: ins.is_update_form)
+
+
+def of_type(
+    isa: ISA | Iterable[InstructionDef], itype: InstructionType
+) -> list[InstructionDef]:
+    """Instructions of one coarse type."""
+    return select(isa, lambda ins: ins.itype is itype)
+
+
+def non_branch_non_memory(
+    isa: ISA | Iterable[InstructionDef]
+) -> list[InstructionDef]:
+    """Computation instructions: everything but branches, loads, stores.
+
+    This is the paper's "non memory, no branch" instruction pool used by
+    the Unit Mix training family (Table 2).
+    """
+    return select(
+        isa,
+        lambda ins: not ins.is_memory and not ins.is_branch and not ins.is_nop,
+    )
+
+
+def by_mnemonic(
+    isa: ISA, mnemonics: Iterable[str]
+) -> list[InstructionDef]:
+    """Look up several mnemonics, preserving the requested order."""
+    return [isa.instruction(name) for name in mnemonics]

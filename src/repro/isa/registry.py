@@ -1,0 +1,101 @@
+"""The ISA registry: a mutable, queryable collection of instructions."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from importlib import resources
+
+from repro.errors import UnknownInstructionError
+from repro.isa.instruction import InstructionDef, InstructionType
+
+#: Name of the bundled default definition file.
+DEFAULT_ISA_RESOURCE = "power_v206b.isa"
+
+
+class ISA:
+    """A named set of instruction definitions.
+
+    The registry preserves insertion order (definition-file order) and is
+    mutable so user scripts can extend or prune the instruction set
+    without editing framework code.
+    """
+
+    def __init__(
+        self, name: str, instructions: list[InstructionDef] | None = None
+    ) -> None:
+        self.name = name
+        self._instructions: dict[str, InstructionDef] = {}
+        for instruction in instructions or []:
+            self.add(instruction)
+
+    # -- container protocol --------------------------------------------------
+
+    def __contains__(self, mnemonic: str) -> bool:
+        return mnemonic in self._instructions
+
+    def __iter__(self) -> Iterator[InstructionDef]:
+        return iter(self._instructions.values())
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __repr__(self) -> str:
+        return f"ISA({self.name!r}, {len(self)} instructions)"
+
+    # -- access ----------------------------------------------------------------
+
+    def instruction(self, mnemonic: str) -> InstructionDef:
+        """Return the definition for ``mnemonic``.
+
+        Raises:
+            UnknownInstructionError: If the mnemonic is not registered.
+        """
+        try:
+            return self._instructions[mnemonic]
+        except KeyError:
+            raise UnknownInstructionError(mnemonic) from None
+
+    def mnemonics(self) -> tuple[str, ...]:
+        """All registered mnemonics in definition order."""
+        return tuple(self._instructions)
+
+    def select(
+        self, predicate: Callable[[InstructionDef], bool]
+    ) -> list[InstructionDef]:
+        """Instructions satisfying ``predicate``, in definition order."""
+        return [ins for ins in self if predicate(ins)]
+
+    def of_type(self, itype: InstructionType) -> list[InstructionDef]:
+        """Instructions of the given coarse type."""
+        return self.select(lambda ins: ins.itype is itype)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, instruction: InstructionDef) -> None:
+        """Register (or replace) an instruction definition."""
+        self._instructions[instruction.mnemonic] = instruction
+
+    def remove(self, mnemonic: str) -> InstructionDef:
+        """Remove and return an instruction definition.
+
+        Raises:
+            UnknownInstructionError: If the mnemonic is not registered.
+        """
+        try:
+            return self._instructions.pop(mnemonic)
+        except KeyError:
+            raise UnknownInstructionError(mnemonic) from None
+
+    def copy(self) -> "ISA":
+        """An independent copy (definitions themselves are immutable)."""
+        return ISA(self.name, list(self))
+
+
+def load_default_isa() -> ISA:
+    """Load the bundled Power ISA v2.06B subset definition."""
+    from repro.isa.parser import parse_isa_text
+
+    source = (
+        resources.files("repro.isa") / "data" / DEFAULT_ISA_RESOURCE
+    ).read_text()
+    return parse_isa_text(source, origin=DEFAULT_ISA_RESOURCE)

@@ -1,0 +1,42 @@
+"""Micro-architecture definition module (paper sections 2.1.2-2.1.3).
+
+This module carries the implementation-specific information the ISA
+module deliberately omits: functional units and their pipe counts, the
+cache hierarchy and its address-field geometry, performance-counter
+definitions with derived formulas (IPC and per-unit rates), and the
+per-instruction dynamic properties (units stressed, latency, inverse
+throughput, and -- once bootstrapped -- EPI and average power).
+
+Like the ISA, the definition is supplied through a readable text file
+(``data/power7.march``), keeping the generation process portable across
+target machines.
+"""
+
+from repro.march.caches import AddressFields, CacheGeometry, MemoryLevel
+from repro.march.components import ChipGeometry, FunctionalUnit
+from repro.march.counters import CounterDef, CounterFormula, evaluate_formula
+from repro.march.definition import MicroArchitecture, get_architecture
+from repro.march.parser import parse_march_file, parse_march_text
+from repro.march.properties import (
+    InstructionProperties,
+    PropertyDatabase,
+    UnitUsage,
+)
+
+__all__ = [
+    "AddressFields",
+    "CacheGeometry",
+    "ChipGeometry",
+    "CounterDef",
+    "CounterFormula",
+    "FunctionalUnit",
+    "InstructionProperties",
+    "MemoryLevel",
+    "MicroArchitecture",
+    "PropertyDatabase",
+    "UnitUsage",
+    "evaluate_formula",
+    "get_architecture",
+    "parse_march_file",
+    "parse_march_text",
+]

@@ -1,0 +1,75 @@
+"""Functional units and chip-level geometry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """One execution unit of a core (FXU, LSU, VSU, ...).
+
+    Attributes:
+        name: Short unit name used throughout the framework.
+        pipes: Number of identical execution pipes in the unit.
+        counter: Name of the performance counter that counts operations
+            finished by this unit.
+        description: Human-readable description.
+    """
+
+    name: str
+    pipes: int
+    counter: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pipes < 1:
+            raise ValueError(f"unit {self.name}: pipes must be >= 1")
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.pipes} pipes)"
+
+
+@dataclass(frozen=True)
+class ChipGeometry:
+    """Chip-level configuration limits and clocking.
+
+    Attributes:
+        max_cores: Cores physically present on the chip.
+        max_smt: Hardware threads per core.
+        frequency_ghz: Nominal clock frequency.
+        dispatch_width: Instructions dispatched per cycle per core.
+        issue_width: Instructions issued per cycle per core.
+    """
+
+    max_cores: int
+    max_smt: int
+    frequency_ghz: float
+    dispatch_width: int
+    issue_width: int
+
+    def __post_init__(self) -> None:
+        if self.max_cores < 1 or self.max_smt < 1:
+            raise ValueError("chip must have at least one core and thread")
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.dispatch_width < 1 or self.issue_width < 1:
+            raise ValueError("dispatch and issue widths must be >= 1")
+
+    @property
+    def max_hardware_threads(self) -> int:
+        """Total hardware thread contexts on the chip."""
+        return self.max_cores * self.max_smt
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.frequency_ghz * 1e9
+
+    def smt_modes(self) -> tuple[int, ...]:
+        """Supported SMT ways (powers of two up to ``max_smt``)."""
+        modes = []
+        way = 1
+        while way <= self.max_smt:
+            modes.append(way)
+            way *= 2
+        return tuple(modes)

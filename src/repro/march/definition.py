@@ -1,0 +1,149 @@
+"""The MicroArchitecture aggregate and the architecture registry.
+
+``get_architecture("POWER7")`` is the entry point of the Figure-2 user
+script: it returns a fully assembled :class:`MicroArchitecture` binding
+the ISA definition, the functional units, the cache hierarchy, the
+performance counters (with the IPC formula) and the per-instruction
+property database.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from functools import lru_cache
+from importlib import resources
+
+from repro.errors import UnknownArchitectureError
+from repro.isa.registry import ISA, load_default_isa
+from repro.march.caches import CacheGeometry, MemoryLevel
+from repro.march.components import ChipGeometry, FunctionalUnit
+from repro.march.counters import CounterDef, CounterFormula
+from repro.march.properties import InstructionProperties, PropertyDatabase
+
+#: Resource names of bundled micro-architecture definitions.
+_BUNDLED = {"POWER7": "power7.march"}
+
+
+@dataclass
+class MicroArchitecture:
+    """A complete micro-architecture definition bound to an ISA.
+
+    Attributes:
+        name: Architecture name (``POWER7``).
+        isa: The instruction-set registry this implementation executes.
+        chip: Chip geometry (cores, SMT ways, widths, frequency).
+        units: Functional units by name.
+        caches: Cache levels ordered L1 -> last level.
+        memory: Main-memory level terminating the hierarchy.
+        counters: Performance-counter definitions by name.
+        formulas: Named counter formulas (always includes ``IPC``).
+        properties: Per-instruction dynamic property database.
+    """
+
+    name: str
+    isa: ISA
+    chip: ChipGeometry
+    units: dict[str, FunctionalUnit]
+    caches: tuple[CacheGeometry, ...]
+    memory: MemoryLevel
+    counters: dict[str, CounterDef]
+    formulas: dict[str, CounterFormula]
+    properties: PropertyDatabase = field(default_factory=PropertyDatabase)
+
+    # -- structural queries --------------------------------------------------
+
+    def unit(self, name: str) -> FunctionalUnit:
+        """Look up a functional unit by name."""
+        try:
+            return self.units[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no unit {name!r}; "
+                f"units: {', '.join(self.units)}"
+            ) from None
+
+    def cache(self, name: str) -> CacheGeometry:
+        """Look up a cache level by name."""
+        for cache in self.caches:
+            if cache.name == name:
+                return cache
+        raise KeyError(f"{self.name} has no cache level {name!r}")
+
+    @property
+    def comps(self) -> dict[str, FunctionalUnit]:
+        """Alias matching the paper's ``arch.comps["VSU"]`` idiom."""
+        return self.units
+
+    def memory_level_names(self) -> tuple[str, ...]:
+        """Hierarchy level names, L1 first, ``MEM`` last."""
+        return tuple(c.name for c in self.caches) + (self.memory.name,)
+
+    # -- instruction queries ---------------------------------------------------
+
+    def props(self, mnemonic: str) -> InstructionProperties:
+        """Per-instruction properties (units, latency, throughput, EPI)."""
+        return self.properties.get(mnemonic)
+
+    def stresses(self, mnemonic: str, unit: str) -> bool:
+        """Whether ``mnemonic`` can inject work into ``unit``.
+
+        This is the query behind the Figure-2 line
+        ``ins.stress(arch.comps["VSU"])``.
+        """
+        return self.props(mnemonic).stresses(unit)
+
+    def instructions_stressing(self, unit: str) -> list[str]:
+        """Mnemonics of all instructions that can stress ``unit``."""
+        return [prop.mnemonic for prop in self.properties.stressing(unit)]
+
+    # -- counter formulas ---------------------------------------------------------
+
+    def formula(self, name: str) -> CounterFormula:
+        try:
+            return self.formulas[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} defines no formula {name!r}; "
+                f"formulas: {', '.join(self.formulas)}"
+            ) from None
+
+    def ipc(self, readings: Mapping[str, float]) -> float:
+        """Evaluate the architecture's IPC formula on counter readings."""
+        return self.formula("IPC").evaluate(readings)
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroArchitecture({self.name!r}, {self.chip.max_cores} cores x "
+            f"SMT-{self.chip.max_smt}, units={list(self.units)})"
+        )
+
+
+@lru_cache(maxsize=None)
+def _bundled_source(resource: str) -> str:
+    return (resources.files("repro.march") / "data" / resource).read_text()
+
+
+def get_architecture(name: str, isa: ISA | None = None) -> MicroArchitecture:
+    """Build a fresh :class:`MicroArchitecture` by name.
+
+    Each call returns an independent instance so that user mutations
+    (ISA edits, bootstrap write-backs) never leak between scripts.
+
+    Args:
+        name: Registered architecture name; currently ``POWER7``.
+        isa: Optional ISA override; defaults to the bundled Power ISA
+            subset.
+
+    Raises:
+        UnknownArchitectureError: If ``name`` has no bundled definition.
+    """
+    from repro.march.parser import parse_march_text
+
+    try:
+        resource = _BUNDLED[name]
+    except KeyError:
+        raise UnknownArchitectureError(name, tuple(_BUNDLED)) from None
+    if isa is None:
+        isa = load_default_isa()
+    return parse_march_text(_bundled_source(resource), isa, origin=resource)

@@ -1,0 +1,358 @@
+"""Parser for the readable text-file micro-architecture definitions.
+
+Format (``*.march``)::
+
+    march <name>
+
+    [chip]
+    cores = 8
+    smt = 4
+    ...
+
+    [unit FXU]
+    pipes = 2
+    counter = PM_FXU_FIN
+    description = Fixed-point unit
+
+    [cache L1]
+    level = 1
+    size_kb = 32
+    line_bytes = 128
+    ways = 8
+    latency = 2
+
+    [memory]
+    latency = 230
+    counter = PM_DATA_FROM_LMEM
+
+    [counter PM_RUN_CYC]
+    description = Processor run cycles
+
+    [formula IPC]
+    expr = PM_RUN_INST_CMPL / PM_RUN_CYC
+
+    [iproperties]
+    default type:int | FXU | 2 | 1.0
+    ins mulldo       | FXU | 5 | 1.43
+
+``[iproperties]`` records assign unit usages, latency and inverse
+throughput.  ``default type:<t>`` records apply to every ISA instruction
+of coarse type ``<t>``; ``ins <mnemonic>`` records override or add
+specific instructions.  Every ISA instruction must end up covered.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import DefinitionError
+from repro.isa.instruction import InstructionType
+from repro.isa.registry import ISA
+from repro.march.caches import CacheGeometry, MemoryLevel
+from repro.march.components import ChipGeometry, FunctionalUnit
+from repro.march.counters import CounterDef, CounterFormula, check_counters_known
+from repro.march.definition import MicroArchitecture
+from repro.march.properties import (
+    InstructionProperties,
+    PropertyDatabase,
+    parse_unit_usages,
+)
+
+_CHIP_KEYS = {"cores", "smt", "frequency_ghz", "dispatch_width", "issue_width"}
+
+
+class _Section:
+    """One parsed ``[kind name]`` section with its key/value pairs."""
+
+    def __init__(self, kind: str, name: str, line_number: int) -> None:
+        self.kind = kind
+        self.name = name
+        self.line_number = line_number
+        self.pairs: dict[str, str] = {}
+        self.records: list[tuple[int, str]] = []
+
+
+def parse_march_text(
+    text: str, isa: ISA, origin: str = "<string>"
+) -> MicroArchitecture:
+    """Parse micro-architecture definition text against an ISA.
+
+    Raises:
+        DefinitionError: On malformed syntax, unknown references or
+            instructions left without properties.
+    """
+    name, sections = _split_sections(text, origin)
+    chip = _build_chip(_single(sections, "chip", origin), origin)
+    units = _build_units(sections)
+    caches, memory = _build_hierarchy(sections, origin)
+    counters = _build_counters(sections)
+    formulas = _build_formulas(sections, counters, origin)
+    if "IPC" not in formulas:
+        raise DefinitionError(origin, 0, "missing required formula IPC")
+    properties = _build_properties(
+        _single(sections, "iproperties", origin), isa, units, origin
+    )
+    return MicroArchitecture(
+        name=name,
+        isa=isa,
+        chip=chip,
+        units=units,
+        caches=caches,
+        memory=memory,
+        counters=counters,
+        formulas=formulas,
+        properties=properties,
+    )
+
+
+def parse_march_file(path: str | Path, isa: ISA) -> MicroArchitecture:
+    """Parse a micro-architecture definition file from disk."""
+    path = Path(path)
+    with open(path) as handle:
+        return parse_march_text(handle.read(), isa, origin=str(path))
+
+
+# -- low-level line handling ----------------------------------------------------
+
+
+def _strip_comment(line: str) -> str:
+    index = line.find("#")
+    return line if index == -1 else line[:index]
+
+
+def _split_sections(
+    text: str, origin: str
+) -> tuple[str, list[_Section]]:
+    name: str | None = None
+    sections: list[_Section] = []
+    current: _Section | None = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if name is None:
+            if not line.startswith("march "):
+                raise DefinitionError(
+                    origin, line_number, "first record must be 'march <name>'"
+                )
+            name = line[len("march "):].strip()
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            kind, _, section_name = line[1:-1].strip().partition(" ")
+            current = _Section(kind, section_name.strip(), line_number)
+            sections.append(current)
+            continue
+        if current is None:
+            raise DefinitionError(
+                origin, line_number, "content before any section header"
+            )
+        if "|" in line:
+            current.records.append((line_number, line))
+        elif "=" in line:
+            key, _, value = line.partition("=")
+            current.pairs[key.strip()] = value.strip()
+        else:
+            raise DefinitionError(
+                origin, line_number, f"cannot parse line {line!r}"
+            )
+
+    if name is None:
+        raise DefinitionError(origin, 0, "empty micro-architecture definition")
+    return name, sections
+
+
+def _single(sections: list[_Section], kind: str, origin: str) -> _Section:
+    found = [section for section in sections if section.kind == kind]
+    if len(found) != 1:
+        raise DefinitionError(
+            origin, 0, f"expected exactly one [{kind}] section, got {len(found)}"
+        )
+    return found[0]
+
+
+def _need(section: _Section, key: str, origin: str) -> str:
+    try:
+        return section.pairs[key]
+    except KeyError:
+        raise DefinitionError(
+            origin,
+            section.line_number,
+            f"[{section.kind} {section.name}] missing key {key!r}",
+        ) from None
+
+
+# -- section builders ------------------------------------------------------------
+
+
+def _build_chip(section: _Section, origin: str) -> ChipGeometry:
+    missing = _CHIP_KEYS - set(section.pairs)
+    if missing:
+        raise DefinitionError(
+            origin, section.line_number,
+            f"[chip] missing keys: {sorted(missing)}",
+        )
+    return ChipGeometry(
+        max_cores=int(section.pairs["cores"]),
+        max_smt=int(section.pairs["smt"]),
+        frequency_ghz=float(section.pairs["frequency_ghz"]),
+        dispatch_width=int(section.pairs["dispatch_width"]),
+        issue_width=int(section.pairs["issue_width"]),
+    )
+
+
+def _build_units(sections: list[_Section]) -> dict[str, FunctionalUnit]:
+    units = {}
+    for section in sections:
+        if section.kind != "unit":
+            continue
+        units[section.name] = FunctionalUnit(
+            name=section.name,
+            pipes=int(section.pairs.get("pipes", "1")),
+            counter=section.pairs.get("counter", ""),
+            description=section.pairs.get("description", ""),
+        )
+    return units
+
+
+def _build_hierarchy(
+    sections: list[_Section], origin: str
+) -> tuple[tuple[CacheGeometry, ...], MemoryLevel]:
+    caches = []
+    for section in sections:
+        if section.kind != "cache":
+            continue
+        caches.append(
+            CacheGeometry(
+                name=section.name,
+                level=int(_need(section, "level", origin)),
+                size_bytes=int(_need(section, "size_kb", origin)) * 1024,
+                line_bytes=int(_need(section, "line_bytes", origin)),
+                ways=int(_need(section, "ways", origin)),
+                latency=int(_need(section, "latency", origin)),
+                counter=section.pairs.get("counter", ""),
+            )
+        )
+    caches.sort(key=lambda cache: cache.level)
+    levels = [cache.level for cache in caches]
+    if levels != list(range(1, len(caches) + 1)):
+        raise DefinitionError(
+            origin, 0, f"cache levels must be contiguous from 1, got {levels}"
+        )
+    memory_section = _single(sections, "memory", origin)
+    memory = MemoryLevel(
+        latency=int(_need(memory_section, "latency", origin)),
+        counter=memory_section.pairs.get("counter", ""),
+    )
+    return tuple(caches), memory
+
+
+def _build_counters(sections: list[_Section]) -> dict[str, CounterDef]:
+    counters = {}
+    for section in sections:
+        if section.kind != "counter":
+            continue
+        counters[section.name] = CounterDef(
+            name=section.name,
+            description=section.pairs.get("description", ""),
+        )
+    return counters
+
+
+def _build_formulas(
+    sections: list[_Section],
+    counters: dict[str, CounterDef],
+    origin: str,
+) -> dict[str, CounterFormula]:
+    formulas = {}
+    for section in sections:
+        if section.kind != "formula":
+            continue
+        formula = CounterFormula(
+            name=section.name,
+            expression=_need(section, "expr", origin),
+        )
+        check_counters_known(formula, counters, origin)
+        formulas[section.name] = formula
+    return formulas
+
+
+def _build_properties(
+    section: _Section,
+    isa: ISA,
+    units: dict[str, FunctionalUnit],
+    origin: str,
+) -> PropertyDatabase:
+    defaults: dict[InstructionType, tuple] = {}
+    overrides: dict[str, tuple] = {}
+
+    for line_number, record in section.records:
+        fields = [field.strip() for field in record.split("|")]
+        if len(fields) != 4:
+            raise DefinitionError(
+                origin, line_number,
+                "iproperties records need 4 fields: "
+                "selector | units | latency | inv_throughput",
+            )
+        selector, units_spec, latency_spec, thr_spec = fields
+        try:
+            usages = parse_unit_usages(units_spec)
+            latency = float(latency_spec)
+            inv_throughput = float(thr_spec)
+        except ValueError as exc:
+            raise DefinitionError(origin, line_number, str(exc)) from None
+
+        for usage in usages:
+            for unit in usage.units:
+                if unit not in units:
+                    raise DefinitionError(
+                        origin, line_number, f"unknown unit {unit!r}"
+                    )
+
+        if selector.startswith("default type:"):
+            type_name = selector[len("default type:"):].strip()
+            try:
+                itype = InstructionType(type_name)
+            except ValueError:
+                raise DefinitionError(
+                    origin, line_number, f"unknown type {type_name!r}"
+                ) from None
+            defaults[itype] = (usages, latency, inv_throughput)
+        elif selector.startswith("ins "):
+            mnemonic = selector[len("ins "):].strip()
+            if mnemonic not in isa:
+                raise DefinitionError(
+                    origin, line_number,
+                    f"iproperties for unknown instruction {mnemonic!r}",
+                )
+            overrides[mnemonic] = (usages, latency, inv_throughput)
+        else:
+            raise DefinitionError(
+                origin, line_number, f"bad iproperties selector {selector!r}"
+            )
+
+    database = PropertyDatabase()
+    uncovered = []
+    for instruction in isa:
+        record = overrides.get(instruction.mnemonic)
+        if record is None:
+            record = defaults.get(instruction.itype)
+        if record is None:
+            uncovered.append(instruction.mnemonic)
+            continue
+        usages, latency, inv_throughput = record
+        database.add(
+            InstructionProperties(
+                mnemonic=instruction.mnemonic,
+                usages=usages,
+                latency=latency,
+                inv_throughput=inv_throughput,
+            )
+        )
+    if uncovered:
+        raise DefinitionError(
+            origin, 0,
+            f"instructions without properties: {uncovered[:8]}"
+            + ("..." if len(uncovered) > 8 else ""),
+        )
+    return database

@@ -1,0 +1,20 @@
+"""Experimental measurement framework (paper section 3).
+
+Mirrors the paper's platform harness: workloads are deployed as one
+copy per hardware thread, pinned to logical CPUs, run for a 10-second
+window while power sensors sample at 1 ms granularity and performance
+counters accumulate.  Traces are reduced POTRA-style into
+:class:`~repro.measure.measurement.Measurement` records consumed by the
+modeling code.
+"""
+
+from repro.measure.measurement import Measurement
+from repro.measure.runner import MeasurementRunner
+from repro.measure.traces import TraceStatistics, analyze_trace
+
+__all__ = [
+    "Measurement",
+    "MeasurementRunner",
+    "TraceStatistics",
+    "analyze_trace",
+]

@@ -1,0 +1,76 @@
+"""Measurement records: what modeling code is allowed to see.
+
+A :class:`Measurement` carries performance-counter readings per
+hardware thread plus reduced power-sensor statistics for one
+measurement window.  It is the *only* interface between the machine
+substrate and the power-modeling code, preserving the post-silicon
+blindness of the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.sim.config import MachineConfig
+
+#: Default measurement window, matching the paper's 10-second runs.
+DEFAULT_DURATION_S = 10.0
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measurement window of one workload on one configuration.
+
+    Attributes:
+        workload_name: Identifier of the workload that ran.
+        config: The CMP-SMT configuration used.
+        duration: Window length in seconds.
+        thread_counters: Per-hardware-thread counter readings
+            (counts over the window, not rates).
+        mean_power: Sensor-reported mean chip power over the window, W.
+        power_std: Per-sample sensor noise, W.
+        sample_count: Number of 1 ms sensor samples in the window.
+    """
+
+    workload_name: str
+    config: MachineConfig
+    duration: float
+    thread_counters: tuple[Mapping[str, float], ...]
+    mean_power: float
+    power_std: float
+    sample_count: int
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if len(self.thread_counters) != self.config.threads:
+            raise ValueError(
+                f"expected {self.config.threads} per-thread counter sets, "
+                f"got {len(self.thread_counters)}"
+            )
+
+    @property
+    def threads(self) -> int:
+        return self.config.threads
+
+    def total_counters(self) -> dict[str, float]:
+        """Counter readings summed over all hardware threads."""
+        totals: dict[str, float] = {}
+        for counters in self.thread_counters:
+            for name, value in counters.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def thread_rates(self, thread: int = 0) -> dict[str, float]:
+        """Per-second rates for one hardware thread."""
+        return {
+            name: value / self.duration
+            for name, value in self.thread_counters[thread].items()
+        }
+
+    def mean_rates(self) -> dict[str, float]:
+        """Per-second rates averaged across threads."""
+        totals = self.total_counters()
+        scale = self.duration * self.threads
+        return {name: value / scale for name, value in totals.items()}

@@ -1,0 +1,63 @@
+"""Measurement campaign runner (paper section 3).
+
+The runner mirrors the paper's experimental procedure: every workload
+is deployed as one copy per hardware thread of the configuration
+(pinning is implicit in the machine model -- threads never migrate),
+runs for a fixed 10-second window, and yields a
+:class:`~repro.measure.measurement.Measurement`.  Campaign helpers
+sweep workload sets across configuration lists, which is how the
+training and validation datasets of Section 4 are gathered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.measure.measurement import DEFAULT_DURATION_S, Measurement
+from repro.sim.config import MachineConfig, standard_configurations
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Machine
+
+
+class MeasurementRunner:
+    """Runs measurement campaigns on one machine."""
+
+    def __init__(
+        self, machine: "Machine", duration: float = DEFAULT_DURATION_S
+    ) -> None:
+        self.machine = machine
+        self.duration = duration
+
+    def run(self, workload, config: MachineConfig) -> Measurement:
+        """Measure one workload on one configuration."""
+        return self.machine.run(workload, config, self.duration)
+
+    def run_suite(
+        self, workloads: Iterable, config: MachineConfig
+    ) -> list[Measurement]:
+        """Measure a workload set on one configuration."""
+        return [self.run(workload, config) for workload in workloads]
+
+    def run_sweep(
+        self,
+        workloads: Sequence,
+        configs: Sequence[MachineConfig] | None = None,
+    ) -> dict[MachineConfig, list[Measurement]]:
+        """Measure a workload set across a configuration sweep.
+
+        Defaults to the paper's 24-configuration CMP-SMT sweep.
+        """
+        if configs is None:
+            configs = standard_configurations(
+                self.machine.arch.chip.max_cores,
+                self.machine.arch.chip.smt_modes(),
+            )
+        return {
+            config: self.run_suite(workloads, config) for config in configs
+        }
+
+    def baseline(self, config: MachineConfig | None = None) -> Measurement:
+        """Measure workload-independent (idle) power."""
+        return self.machine.run_idle(config, self.duration)

@@ -1,0 +1,82 @@
+"""POTRA-like sensor-trace reduction.
+
+The paper analyses power and counter traces with the POTRA framework;
+here we provide the reduction actually needed by the case studies:
+summary statistics, phase segmentation of a trace, and a stability
+check that validates the 10-second-window methodology (the window is
+long enough when the standard error of the mean is well under the
+sensor quantum scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of one power trace."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    sample_count: int
+
+    @property
+    def standard_error(self) -> float:
+        """Standard error of the mean."""
+        if self.sample_count == 0:
+            return 0.0
+        return self.std / self.sample_count ** 0.5
+
+    def is_stable(self, tolerance: float = 0.05) -> bool:
+        """Whether the window mean is trustworthy at ``tolerance`` watts."""
+        return self.standard_error <= tolerance
+
+
+def analyze_trace(trace: np.ndarray) -> TraceStatistics:
+    """Reduce a raw 1 ms sensor trace to summary statistics."""
+    if trace.size == 0:
+        raise ValueError("cannot analyze an empty trace")
+    return TraceStatistics(
+        mean=float(np.mean(trace)),
+        std=float(np.std(trace)),
+        minimum=float(np.min(trace)),
+        maximum=float(np.max(trace)),
+        sample_count=int(trace.size),
+    )
+
+
+def segment_phases(
+    trace: np.ndarray,
+    window: int = 250,
+    threshold: float = 1.5,
+) -> list[tuple[int, int, float]]:
+    """Split a trace into phases of stable mean power.
+
+    A new phase starts when the windowed mean moves more than
+    ``threshold`` watts away from the current phase mean.  Returns
+    ``(start, end, mean)`` sample spans.  Used by the phase-aware
+    projection example (the paper's query (a): phase-specific power).
+    """
+    if trace.size == 0:
+        raise ValueError("cannot segment an empty trace")
+    window = max(1, min(window, trace.size))
+    phases: list[tuple[int, int, float]] = []
+    start = 0
+    current_sum = 0.0
+    count = 0
+    for index in range(0, trace.size, window):
+        chunk = trace[index:index + window]
+        chunk_mean = float(np.mean(chunk))
+        if count and abs(chunk_mean - current_sum / count) > threshold:
+            phases.append((start, index, current_sum / count))
+            start = index
+            current_sum, count = 0.0, 0
+        current_sum += chunk_mean
+        count += 1
+    phases.append((start, trace.size, current_sum / max(count, 1)))
+    return phases

@@ -1,0 +1,328 @@
+"""SMT/CMP-aware bottom-up power model (paper section 4.1, Figure 4).
+
+The four-step methodology:
+
+1. **Single hardware context.**  On single-core SMT-1 measurements of
+   the training suite, fit per-component weights with a *sequence* of
+   grouped regressions: execution-unit weights from the compute-only
+   families, then memory-level weights from the residuals on the
+   memory families.  The intercept is calibrated on the random family
+   (avoids under-estimation when only particular units are stressed).
+2. **SMT effect.**  The intercept of the same model on single-core
+   SMT-2/SMT-4 data minus the SMT-1 intercept: a constant per core
+   with SMT enabled (the paper found the effect independent of the
+   SMT way).
+3. **CMP effect and uncore.**  Apply the dynamic+SMT model to the
+   random benchmarks on *all* configurations; regress the residuals on
+   the enabled-core count.  Slope = CMP effect, intercept = uncore.
+4. **Combine.**  ``P = WI + Uncore + CMP*cores + SMT*smt_cores +
+   sum_components W_c * rate_c`` where WI is the measured
+   workload-independent (idle) power.
+
+The model is *decomposable*: :meth:`BottomUpModel.breakdown` returns
+the per-component powers behind Figures 5a and 8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelingError
+from repro.measure.measurement import Measurement
+from repro.power_model.features import (
+    MEMORY_COMPONENTS,
+    POWER_COMPONENTS,
+    UNIT_COMPONENTS,
+    component_rates,
+    memory_rate,
+)
+from repro.power_model.linreg import nnls_ols
+
+#: Memory-traffic rate (events/s) under which a benchmark counts as
+#: compute-only for the joint unit fit.
+_COMPUTE_ONLY_THRESHOLD = 1e3
+
+#: The sequential fitting protocol for the execution units: each
+#: unit's weight comes from the training families designed to stress
+#: it, regressed against the residual left by the units fitted before
+#: it (paper section 4.1 step 1, following Bertran et al. [8]).  The
+#: families provide rate variation through their IPC sweeps, which is
+#: what makes the single-feature slopes identifiable.
+_UNIT_PROTOCOL: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("FXU", ("Complex Integer",)),
+    ("VSU", ("Float/Vector",)),
+    ("LSU", ("Simple Integer", "Integer", "Unit Mix")),
+)
+
+#: The memory-level weights are fitted jointly over every memory
+#: family: the Table 2 hit-ratio sweeps (75/25, 50/50, 25/75, pure)
+#: provide the cross-level rate variation a per-level slope would lack
+#: within any single family.
+_MEMORY_FAMILIES = (
+    "L1 ld", "L1 ld/st",
+    "L1L2a", "L1L2b", "L1L2c",
+    "L1L3a", "L1L3b", "L1L3c",
+    "L2", "L2L3a", "L2L3b", "L2L3c",
+    "L3", "Caches", "Memory",
+)
+
+
+@dataclass(frozen=True)
+class BottomUpModel:
+    """The fitted four-step model."""
+
+    weights: dict[str, float]  # joules per component event
+    smt_effect: float  # watts per core with SMT enabled
+    cmp_effect: float  # watts per enabled core
+    uncore: float  # watts
+    workload_independent: float  # watts (measured idle)
+
+    def dynamic_power(self, measurement: Measurement) -> float:
+        """Counter-driven component of the prediction."""
+        rates = component_rates(measurement)
+        return sum(
+            self.weights[name] * rates[name] for name in POWER_COMPONENTS
+        )
+
+    def predict(self, measurement: Measurement) -> float:
+        """Full chip power prediction for one measurement window."""
+        return sum(self.breakdown(measurement).values())
+
+    # Allow the model object itself to be used as a Predictor.
+    __call__ = predict
+
+    def breakdown(self, measurement: Measurement) -> dict[str, float]:
+        """Per-component powers (the paper's Figure 5a/8 stacks)."""
+        config = measurement.config
+        return {
+            "Workload_Independent": self.workload_independent,
+            "Uncore": self.uncore,
+            "CMP_effect": self.cmp_effect * config.cores,
+            "SMT_effect": (
+                self.smt_effect * config.cores if config.smt_enabled else 0.0
+            ),
+            "Dynamic": self.dynamic_power(measurement),
+        }
+
+
+class BottomUpTrainer:
+    """Fits :class:`BottomUpModel` from measurement campaigns."""
+
+    def __init__(self, sequential: bool = True) -> None:
+        #: Sequential grouped fitting (the paper's method); joint OLS
+        #: over all components is available for the ablation benchmark.
+        self.sequential = sequential
+
+    def train(
+        self,
+        suite_smt1: Sequence[tuple[str, Measurement]],
+        suite_smt2: Sequence[Measurement],
+        suite_smt4: Sequence[Measurement],
+        random_all_configs: Sequence[Measurement],
+        idle: Measurement,
+    ) -> BottomUpModel:
+        """Run the four steps.
+
+        Args:
+            suite_smt1: (family, measurement) pairs of the full training
+                suite on the 1-core SMT-1 configuration.
+            suite_smt2: Training-suite measurements on 1-core SMT-2.
+            suite_smt4: Training-suite measurements on 1-core SMT-4.
+            random_all_configs: Random-family measurements across the
+                full CMP-SMT sweep.
+            idle: Idle measurement (workload-independent power).
+        """
+        workload_independent = idle.mean_power
+
+        # Step 1: single hardware context.
+        weights, intercept_smt1 = self._fit_weights(
+            suite_smt1, workload_independent
+        )
+
+        # Step 2: SMT effect from the SMT-on intercepts.  The intercept
+        # grows by one SMT-logic constant per core running with SMT
+        # enabled, so the delta is normalized by the core count of the
+        # SMT measurements.
+        smt_measurements = list(suite_smt2) + list(suite_smt4)
+        intercept_smt24 = self._intercept(
+            smt_measurements, weights, workload_independent
+        )
+        smt_cores = smt_measurements[0].config.cores if smt_measurements else 1
+        smt_effect = max(
+            0.0, (intercept_smt24 - intercept_smt1) / smt_cores
+        )
+
+        # Step 3: CMP effect and uncore from all-config residuals.
+        cmp_effect, uncore = self._fit_cmp(
+            random_all_configs, weights, smt_effect, workload_independent
+        )
+
+        # Step 4: combine.
+        return BottomUpModel(
+            weights=weights,
+            smt_effect=smt_effect,
+            cmp_effect=cmp_effect,
+            uncore=uncore,
+            workload_independent=workload_independent,
+        )
+
+    # -- step 1 internals ---------------------------------------------------
+
+    def _fit_weights(
+        self,
+        suite: Sequence[tuple[str, Measurement]],
+        workload_independent: float,
+    ) -> tuple[dict[str, float], float]:
+        rows = [
+            (family, component_rates(m), m.mean_power - workload_independent)
+            for family, m in suite
+        ]
+        if self.sequential:
+            weights = self._fit_sequential(rows)
+        else:
+            weights = self._fit_joint(rows)
+        intercept = self._calibrate_intercept(rows, weights)
+        return weights, intercept
+
+    def _fit_sequential(
+        self, rows: list[tuple[str, dict[str, float], float]]
+    ) -> dict[str, float]:
+        """The paper's sequence of regressions.
+
+        Execution units first, one component at a time over the
+        families crafted to stress it (residualizing the components
+        already fitted); then the four memory levels jointly over the
+        hit-ratio sweep families.  Weights are energies and therefore
+        clamped at zero.
+        """
+        weights: dict[str, float] = {name: 0.0 for name in POWER_COMPONENTS}
+        for component, families in _UNIT_PROTOCOL:
+            selected = [
+                (rates, target) for family, rates, target in rows
+                if family in families and rates[component] > 0
+            ]
+            if len(selected) < 3:
+                raise ModelingError(
+                    f"component {component}: need at least 3 training rows "
+                    f"from families {families}, got {len(selected)}"
+                )
+            feature = np.array(
+                [[rates[component]] for rates, _ in selected]
+            )
+            residual = np.array(
+                [
+                    target - sum(
+                        weights[other] * rates[other]
+                        for other in POWER_COMPONENTS
+                        if other != component
+                    )
+                    for rates, target in selected
+                ]
+            )
+            slope, _ = nnls_ols(feature, residual)
+            weights[component] = float(slope[0])
+
+        memory_rows = [
+            (rates, target) for family, rates, target in rows
+            if family in _MEMORY_FAMILIES
+        ]
+        if len(memory_rows) < len(MEMORY_COMPONENTS) + 2:
+            raise ModelingError("too few memory-family training rows")
+        matrix = np.array(
+            [[rates[c] for c in MEMORY_COMPONENTS] for rates, _ in memory_rows]
+        )
+        residual = np.array(
+            [
+                target - sum(
+                    weights[unit] * rates[unit] for unit in UNIT_COMPONENTS
+                )
+                for rates, target in memory_rows
+            ]
+        )
+        memory_weights, _ = nnls_ols(matrix, residual)
+        weights.update(dict(zip(MEMORY_COMPONENTS, memory_weights)))
+        return weights
+
+    def _fit_joint(
+        self, rows: list[tuple[str, dict[str, float], float]]
+    ) -> dict[str, float]:
+        matrix = np.array(
+            [[rates[c] for c in POWER_COMPONENTS] for _, rates, _ in rows]
+        )
+        targets = np.array([target for _, _, target in rows])
+        coefficients, _ = nnls_ols(matrix, targets)
+        return dict(zip(POWER_COMPONENTS, coefficients))
+
+    def _calibrate_intercept(
+        self,
+        rows: list[tuple[str, dict[str, float], float]],
+        weights: dict[str, float],
+    ) -> float:
+        random_rows = [
+            (rates, target) for family, rates, target in rows
+            if family == "Random"
+        ]
+        if not random_rows:
+            random_rows = [(rates, target) for _, rates, target in rows]
+        residuals = [
+            target - sum(weights[c] * rates[c] for c in POWER_COMPONENTS)
+            for rates, target in random_rows
+        ]
+        return float(np.mean(residuals))
+
+    # -- steps 2 and 3 internals ------------------------------------------------
+
+    def _intercept(
+        self,
+        measurements: Iterable[Measurement],
+        weights: dict[str, float],
+        workload_independent: float,
+    ) -> float:
+        residuals = []
+        for measurement in measurements:
+            rates = component_rates(measurement)
+            dynamic = sum(
+                weights[c] * rates[c] for c in POWER_COMPONENTS
+            )
+            residuals.append(
+                measurement.mean_power - workload_independent - dynamic
+            )
+        if not residuals:
+            raise ModelingError("no measurements for intercept estimation")
+        return float(np.mean(residuals))
+
+    def _fit_cmp(
+        self,
+        measurements: Sequence[Measurement],
+        weights: dict[str, float],
+        smt_effect: float,
+        workload_independent: float,
+    ) -> tuple[float, float]:
+        if len(measurements) < 4:
+            raise ModelingError("too few all-config measurements for step 3")
+        cores = []
+        residuals = []
+        for measurement in measurements:
+            rates = component_rates(measurement)
+            dynamic = sum(weights[c] * rates[c] for c in POWER_COMPONENTS)
+            smt = (
+                smt_effect * measurement.config.cores
+                if measurement.config.smt_enabled
+                else 0.0
+            )
+            cores.append(measurement.config.cores)
+            residuals.append(
+                measurement.mean_power
+                - workload_independent
+                - dynamic
+                - smt
+            )
+        design = np.vstack([cores, np.ones(len(cores))]).T
+        solution, *_ = np.linalg.lstsq(
+            design, np.array(residuals), rcond=None
+        )
+        cmp_effect, uncore = float(solution[0]), float(solution[1])
+        return max(0.0, cmp_effect), uncore

@@ -1,0 +1,149 @@
+"""Measurement and modeling campaign orchestration (paper section 4).
+
+One object gathers everything the section-4 experiments need: the
+Table 2 training measurements in the configurations each modeling step
+requires, the SPEC proxy validation measurements across the full
+CMP-SMT sweep, and the four fitted models (BU, TD_Micro, TD_Random,
+TD_SPEC).  The benchmark harnesses and the integration tests all
+consume this single entry point so the experiments stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.measure.measurement import Measurement
+from repro.power_model.bottom_up import BottomUpModel, BottomUpTrainer
+from repro.power_model.top_down import TopDownModel, TopDownTrainer
+from repro.power_model.training import (
+    TrainingBenchmark,
+    generate_micro_suite,
+    generate_random_suite,
+)
+from repro.sim.config import MachineConfig, standard_configurations
+from repro.sim.machine import Machine
+from repro.workloads.spec import spec_cpu2006
+
+
+@dataclass
+class CampaignResult:
+    """Everything the section-4 experiments consume."""
+
+    bottom_up: BottomUpModel
+    top_down: dict[str, TopDownModel]
+    configs: tuple[MachineConfig, ...]
+    spec_by_config: dict[MachineConfig, list[Measurement]] = field(
+        default_factory=dict
+    )
+    idle: Measurement | None = None
+
+
+class ModelingCampaign:
+    """Runs the full section-4 data gathering and model fitting."""
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        scale: float = 1.0,
+        loop_size: int = 4096,
+        duration: float = 10.0,
+        seed: int = 0,
+    ) -> None:
+        self.machine = machine if machine is not None else Machine()
+        self.scale = scale
+        self.loop_size = loop_size
+        self.duration = duration
+        self.seed = seed
+        arch = self.machine.arch
+        self.configs = standard_configurations(
+            arch.chip.max_cores, arch.chip.smt_modes()
+        )
+
+    # -- data gathering -------------------------------------------------------
+
+    def _run(self, workload, config: MachineConfig) -> Measurement:
+        return self.machine.run(workload, config, self.duration)
+
+    def gather(self) -> dict:
+        """Generate the suite and run every measurement the steps need."""
+        arch = self.machine.arch
+        micro = generate_micro_suite(
+            arch, self.loop_size, self.scale, self.seed
+        )
+        randoms = generate_random_suite(
+            arch, self.loop_size, self.scale, self.seed
+        )
+        suite = micro + randoms
+
+        # Step 1/2 measurements run with one benchmark copy per thread
+        # on all cores: per-event weights are configuration-independent
+        # (threads are homogeneous) and the 8x dynamic activity lifts
+        # the unit-power signal well above sensor noise.
+        cores = arch.chip.max_cores
+        single = MachineConfig(cores, 1)
+        smt2 = MachineConfig(cores, 2)
+        smt4 = MachineConfig(cores, 4)
+
+        data = {
+            "suite": suite,
+            "suite_smt1": [
+                (bench.family, self._run(bench.kernel, single))
+                for bench in suite
+            ],
+            "suite_smt2": [self._run(b.kernel, smt2) for b in suite],
+            "suite_smt4": [self._run(b.kernel, smt4) for b in suite],
+            "random_all": [
+                self._run(bench.kernel, config)
+                for bench in randoms
+                for config in self.configs
+            ],
+            "micro_all": [
+                self._run(bench.kernel, config)
+                for bench in micro
+                for config in self.configs
+            ],
+            "idle": self.machine.run_idle(duration=self.duration),
+        }
+        return data
+
+    def gather_spec(self) -> dict[MachineConfig, list[Measurement]]:
+        """SPEC proxy measurements across the full sweep."""
+        suite = spec_cpu2006()
+        return {
+            config: [self._run(workload, config) for workload in suite]
+            for config in self.configs
+        }
+
+    # -- model fitting ------------------------------------------------------------
+
+    def run(self, sequential: bool = True) -> CampaignResult:
+        """Gather data, fit all four models, measure SPEC validation."""
+        data = self.gather()
+        spec_by_config = self.gather_spec()
+
+        bottom_up = BottomUpTrainer(sequential=sequential).train(
+            suite_smt1=data["suite_smt1"],
+            suite_smt2=data["suite_smt2"],
+            suite_smt4=data["suite_smt4"],
+            random_all_configs=data["random_all"],
+            idle=data["idle"],
+        )
+
+        td_trainer = TopDownTrainer()
+        spec_flat = [
+            measurement
+            for measurements in spec_by_config.values()
+            for measurement in measurements
+        ]
+        top_down = {
+            "TD_Micro": td_trainer.train("TD_Micro", data["micro_all"]),
+            "TD_Random": td_trainer.train("TD_Random", data["random_all"]),
+            "TD_SPEC": td_trainer.train("TD_SPEC", spec_flat),
+        }
+        return CampaignResult(
+            bottom_up=bottom_up,
+            top_down=top_down,
+            configs=self.configs,
+            spec_by_config=spec_by_config,
+            idle=data["idle"],
+        )

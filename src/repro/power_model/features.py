@@ -1,0 +1,50 @@
+"""Power-component definitions and rate extraction.
+
+The bottom-up model decomposes dynamic power into seven components
+(paper section 4.1 step 1): the three execution units and the four
+memory hierarchy levels.  Each component has a counter formula; rates
+are events per second, summed over hardware threads, so one weight
+vector serves every CMP/SMT configuration.
+"""
+
+from __future__ import annotations
+
+from repro.march.counters import CounterFormula
+from repro.measure.measurement import Measurement
+
+#: The paper's component order (FXU, VSU, LSU, L1, L2, L3, MEM).
+POWER_COMPONENTS = ("FXU", "VSU", "LSU", "L1", "L2", "L3", "MEM")
+
+#: Counter formulas per component, over *counts* for one window.
+_COMPONENT_FORMULAS = {
+    "FXU": CounterFormula("FXU", "PM_FXU_FIN"),
+    "VSU": CounterFormula("VSU", "PM_VSU_FIN"),
+    "LSU": CounterFormula("LSU", "PM_LSU_FIN"),
+    "L1": CounterFormula(
+        "L1",
+        "PM_LD_REF_L1 + PM_ST_REF_L1 - PM_DATA_FROM_L2 "
+        "- PM_DATA_FROM_L3 - PM_DATA_FROM_LMEM",
+    ),
+    "L2": CounterFormula("L2", "PM_DATA_FROM_L2"),
+    "L3": CounterFormula("L3", "PM_DATA_FROM_L3"),
+    "MEM": CounterFormula("MEM", "PM_DATA_FROM_LMEM"),
+}
+
+#: Components describing memory hierarchy traffic.
+MEMORY_COMPONENTS = ("L1", "L2", "L3", "MEM")
+#: Components describing execution-unit activity.
+UNIT_COMPONENTS = ("FXU", "VSU", "LSU")
+
+
+def component_rates(measurement: Measurement) -> dict[str, float]:
+    """Per-component event rates (events/second, all threads summed)."""
+    totals = measurement.total_counters()
+    return {
+        name: formula.evaluate(totals) / measurement.duration
+        for name, formula in _COMPONENT_FORMULAS.items()
+    }
+
+
+def memory_rate(rates: dict[str, float]) -> float:
+    """Total memory-hierarchy traffic of a rate vector."""
+    return sum(rates[name] for name in MEMORY_COMPONENTS)

@@ -1,0 +1,67 @@
+"""Small linear-regression helpers over numpy.
+
+Power weights are energies (joules per event), so negative
+coefficients are physically meaningless; the non-negative variant
+projects and refits rather than silently clamping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelingError
+
+
+def ols(
+    features: np.ndarray, targets: np.ndarray, intercept: bool = True
+) -> tuple[np.ndarray, float]:
+    """Ordinary least squares; returns (coefficients, intercept)."""
+    features = np.asarray(features, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if features.ndim != 2:
+        raise ModelingError("features must be a 2-D matrix")
+    if len(features) != len(targets):
+        raise ModelingError("features and targets must have equal rows")
+    if len(features) <= features.shape[1] + int(intercept):
+        raise ModelingError(
+            f"underdetermined fit: {len(features)} samples for "
+            f"{features.shape[1]} features"
+        )
+    if intercept:
+        design = np.hstack([features, np.ones((len(features), 1))])
+    else:
+        design = features
+    solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+    if intercept:
+        return solution[:-1], float(solution[-1])
+    return solution, 0.0
+
+
+def nnls_ols(
+    features: np.ndarray, targets: np.ndarray, intercept: bool = True
+) -> tuple[np.ndarray, float]:
+    """OLS with non-negative coefficients (active-set by elimination).
+
+    Columns whose unconstrained coefficient comes out negative are
+    removed and the fit repeated; the final coefficients for removed
+    columns are zero.  The intercept is left unconstrained.
+    """
+    features = np.asarray(features, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    active = list(range(features.shape[1]))
+    for _ in range(features.shape[1] + 1):
+        if not active:
+            intercept_value = float(np.mean(targets)) if intercept else 0.0
+            return np.zeros(features.shape[1]), intercept_value
+        coefficients, intercept_value = ols(
+            features[:, active], targets, intercept
+        )
+        negative = [i for i, c in enumerate(coefficients) if c < 0]
+        if not negative:
+            full = np.zeros(features.shape[1])
+            for position, column in enumerate(active):
+                full[column] = coefficients[position]
+            return full, intercept_value
+        worst = min(negative, key=lambda i: coefficients[i])
+        active.pop(worst)
+    raise ModelingError("non-negative fit did not converge")

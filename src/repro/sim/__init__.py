@@ -1,0 +1,35 @@
+"""POWER7-like CMP/SMT machine substrate.
+
+The paper measures a real IBM BladeCenter PS701 (POWER7, 8 cores, 4-way
+SMT) through EnergyScale/TPMD power sensors and PCL performance
+counters.  This package is the substitution: an analytic performance
+model plus a *hidden* ground-truth power model, observed only through
+noisy sensors and performance counters.
+
+Modeling code (``repro.power_model``) must never import
+:mod:`repro.sim.power`; it sees only :class:`~repro.measure.measurement.Measurement`
+objects, preserving the paper's post-silicon blindness.
+"""
+
+from repro.sim.activity import ThreadActivity
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.config import MachineConfig, parse_config, standard_configurations
+from repro.sim.hierarchy import CacheHierarchy, simulate_hit_distribution
+from repro.sim.kernel import Kernel, KernelInstruction
+from repro.sim.machine import Machine
+from repro.sim.pipeline import CorePipelineModel, PipelineBounds
+
+__all__ = [
+    "CacheHierarchy",
+    "CorePipelineModel",
+    "Kernel",
+    "KernelInstruction",
+    "Machine",
+    "MachineConfig",
+    "PipelineBounds",
+    "SetAssociativeCache",
+    "ThreadActivity",
+    "parse_config",
+    "simulate_hit_distribution",
+    "standard_configurations",
+]

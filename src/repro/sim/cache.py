@@ -1,0 +1,73 @@
+"""Functional set-associative cache with true-LRU replacement.
+
+This is the reference implementation used to *validate* the analytical
+cache model of :mod:`repro.march.cache_model`: the property tests drive
+both with the same address streams and require matching steady-state
+hit distributions, exactly the check a real machine would provide.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.march.caches import CacheGeometry
+
+
+class SetAssociativeCache:
+    """A single cache level with LRU replacement.
+
+    Lookups operate on byte addresses; internally the cache tracks line
+    addresses per set with an ordered dict as the recency stack.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(geometry.sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def reset_statistics(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Invalidate all lines and clear statistics."""
+        for line_set in self._sets:
+            line_set.clear()
+        self.reset_statistics()
+
+    def access(self, address: int) -> bool:
+        """Access ``address``; returns ``True`` on hit.
+
+        On a miss the line is installed, evicting the LRU line if the
+        set is full.
+        """
+        fields = self.geometry.fields
+        set_index = fields.set_index(address)
+        line = fields.line_address(address)
+        line_set = self._sets[set_index]
+        if line in line_set:
+            line_set.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(line_set) >= self.geometry.ways:
+            line_set.popitem(last=False)
+        line_set[line] = None
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident (no update)."""
+        fields = self.geometry.fields
+        line_set = self._sets[fields.set_index(address)]
+        return fields.line_address(address) in line_set
+
+    def occupancy(self, set_index: int) -> int:
+        """Number of resident lines in one set."""
+        return len(self._sets[set_index])
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses

@@ -1,0 +1,82 @@
+"""Machine run configurations (CMP-SMT modes).
+
+The paper sweeps 24 configurations: 1-8 enabled cores times SMT-1/2/4,
+written ``<cores>-<smt>`` (e.g. ``4-4``).  :func:`standard_configurations`
+reproduces that sweep order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.march.components import ChipGeometry
+
+
+@dataclass(frozen=True, order=True)
+class MachineConfig:
+    """One CMP-SMT run configuration.
+
+    Attributes:
+        cores: Enabled cores.
+        smt: Hardware threads per enabled core (1, 2 or 4).
+    """
+
+    cores: int
+    smt: int
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.smt not in (1, 2, 4):
+            raise ValueError("smt must be 1, 2 or 4")
+
+    @property
+    def threads(self) -> int:
+        """Total hardware thread contexts in this configuration."""
+        return self.cores * self.smt
+
+    @property
+    def smt_enabled(self) -> bool:
+        """Whether the SMT control logic is switched on."""
+        return self.smt > 1
+
+    @property
+    def label(self) -> str:
+        """Paper-style ``cores-smt`` label."""
+        return f"{self.cores}-{self.smt}"
+
+    def validate_against(self, chip: ChipGeometry) -> None:
+        """Raise ``ValueError`` if the chip cannot run this configuration."""
+        if self.cores > chip.max_cores:
+            raise ValueError(
+                f"configuration {self.label} needs {self.cores} cores, "
+                f"chip has {chip.max_cores}"
+            )
+        if self.smt > chip.max_smt:
+            raise ValueError(
+                f"configuration {self.label} needs SMT-{self.smt}, "
+                f"chip supports SMT-{chip.max_smt}"
+            )
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def standard_configurations(
+    max_cores: int = 8, smt_modes: tuple[int, ...] = (1, 2, 4)
+) -> tuple[MachineConfig, ...]:
+    """The paper's 24-configuration sweep, cores-major order."""
+    return tuple(
+        MachineConfig(cores=cores, smt=smt)
+        for cores in range(1, max_cores + 1)
+        for smt in smt_modes
+    )
+
+
+def parse_config(label: str) -> MachineConfig:
+    """Parse a paper-style ``cores-smt`` label such as ``4-4``."""
+    cores_part, _, smt_part = label.partition("-")
+    try:
+        return MachineConfig(cores=int(cores_part), smt=int(smt_part))
+    except ValueError as exc:
+        raise ValueError(f"bad configuration label {label!r}: {exc}") from None

@@ -1,0 +1,93 @@
+"""Kernel: the simulator-facing view of a generated micro-benchmark.
+
+The code-generation module (:mod:`repro.core`) produces a rich IR and
+emits C/assembly artifacts; the machine only needs the dynamic essence
+of the endless loop: the instruction sequence, each instruction's
+dependency link, the planned memory source level per slot, and the
+operand-data entropy set by the value-initialisation passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelInstruction:
+    """One slot of the loop body.
+
+    Attributes:
+        mnemonic: ISA mnemonic.
+        dep_distance: Distance (in slots) to the producer this slot's
+            inputs depend on, or ``None`` when the slot is independent.
+        source_level: For memory operations, the hierarchy level the
+            analytical cache model planned this access to hit
+            (``L1``/``L2``/``L3``/``MEM``); ``None`` otherwise.
+        address: Planned byte address for memory operations.
+    """
+
+    mnemonic: str
+    dep_distance: int | None = None
+    source_level: str | None = None
+    address: int | None = None
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """An endless-loop micro-benchmark ready to run on the machine.
+
+    Attributes:
+        name: Identifier used in measurements and seeding.
+        instructions: The loop body, in program order.
+        operand_entropy: Data-switching activity of the operand values,
+            from 0.0 (all zeros) to 1.0 (random data).
+    """
+
+    name: str
+    instructions: tuple[KernelInstruction, ...]
+    operand_entropy: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError(f"kernel {self.name!r} has an empty loop body")
+        if not 0.0 <= self.operand_entropy <= 1.0:
+            raise ValueError("operand_entropy must be within [0, 1]")
+        for index, instruction in enumerate(self.instructions):
+            distance = instruction.dep_distance
+            if distance is not None and distance < 1:
+                raise ValueError(
+                    f"kernel {self.name!r} slot {index}: dependency "
+                    f"distance must be >= 1, got {distance}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def digest(self) -> int:
+        """Deterministic content digest (stable across processes).
+
+        Used to salt sensor seeds so two kernels that share a name can
+        never produce identical noise draws.
+        """
+        import zlib
+
+        text = "|".join(
+            f"{ins.mnemonic},{ins.dep_distance},{ins.source_level},"
+            f"{ins.address}"
+            for ins in self.instructions
+        )
+        return zlib.crc32(f"{self.operand_entropy}:{text}".encode())
+
+    def mnemonic_counts(self) -> dict[str, int]:
+        """Occurrences of each mnemonic in the loop body."""
+        counts: dict[str, int] = {}
+        for instruction in self.instructions:
+            counts[instruction.mnemonic] = counts.get(instruction.mnemonic, 0) + 1
+        return counts
+
+    def memory_slots(self) -> list[int]:
+        """Indices of slots carrying a planned memory access."""
+        return [
+            index for index, instruction in enumerate(self.instructions)
+            if instruction.source_level is not None
+        ]

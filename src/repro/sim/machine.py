@@ -1,0 +1,142 @@
+"""The Machine facade: run a workload, get a Measurement back.
+
+``Machine.run`` is the substitute for "deploy one copy per hardware
+thread, pin the copies, run for 10 seconds, read TPMD power sensors
+and PCL performance counters".  Workloads are either
+:class:`~repro.sim.kernel.Kernel` objects (generated micro-benchmarks)
+or any object implementing the small workload protocol used by the
+SPEC proxies::
+
+    workload.name                              -> str
+    workload.thread_activity(machine, smt)     -> ThreadActivity
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import MeasurementError
+from repro.march.definition import MicroArchitecture, get_architecture
+from repro.measure.measurement import DEFAULT_DURATION_S, Measurement
+from repro.sim.activity import ThreadActivity
+from repro.sim.config import MachineConfig
+from repro.sim.kernel import Kernel
+from repro.sim.pipeline import CorePipelineModel
+from repro.sim.power import GroundTruthPowerModel
+from repro.sim.sensors import PowerSensor, stable_seed
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Anything the machine can deploy across its hardware threads."""
+
+    name: str
+
+    def thread_activity(
+        self, machine: "Machine", smt: int
+    ) -> ThreadActivity:  # pragma: no cover - protocol signature
+        ...
+
+
+class Machine:
+    """A POWER7-like CMP/SMT machine with sensors and counters."""
+
+    def __init__(
+        self, arch: MicroArchitecture | None = None, seed: int = 0
+    ) -> None:
+        self.arch = arch if arch is not None else get_architecture("POWER7")
+        self.pipeline = CorePipelineModel(self.arch)
+        self.seed = seed
+        self._power = GroundTruthPowerModel(self.arch)
+        self._sensor = PowerSensor()
+        # Keyed on the kernel object itself (kernels are frozen and
+        # hashable): distinct kernels that happen to share a name must
+        # never alias.
+        self._activity_cache: dict[tuple[Kernel, int], ThreadActivity] = {}
+
+    @property
+    def frequency(self) -> float:
+        """Clock frequency in cycles per second."""
+        return self.arch.chip.cycles_per_second
+
+    # -- running workloads ---------------------------------------------------
+
+    def run(
+        self,
+        workload: Kernel | Workload,
+        config: MachineConfig,
+        duration: float = DEFAULT_DURATION_S,
+    ) -> Measurement:
+        """Deploy one copy of ``workload`` per hardware thread and measure.
+
+        Raises:
+            MeasurementError: If the configuration does not fit the chip
+                or the workload does not follow the protocol.
+        """
+        try:
+            config.validate_against(self.arch.chip)
+        except ValueError as exc:
+            raise MeasurementError(str(exc)) from None
+
+        activity = self._resolve_activity(workload, config.smt)
+        counters = self.pipeline.counters_from_activity(activity, duration)
+        true_power = self._power.chip_power(
+            [activity] * config.threads, config
+        )
+        salt = workload.digest() if isinstance(workload, Kernel) else 0
+        summary = self._sensor.measure(
+            true_power,
+            duration,
+            stable_seed(workload.name, config.label, duration, self.seed, salt),
+        )
+        return Measurement(
+            workload_name=workload.name,
+            config=config,
+            duration=duration,
+            thread_counters=tuple([counters] * config.threads),
+            mean_power=summary.mean_power,
+            power_std=summary.power_std,
+            sample_count=summary.sample_count,
+        )
+
+    def run_idle(
+        self,
+        config: MachineConfig | None = None,
+        duration: float = DEFAULT_DURATION_S,
+    ) -> Measurement:
+        """Measure the machine with no workload (workload-independent power)."""
+        config = config or MachineConfig(cores=1, smt=1)
+        zero_counters = {name: 0.0 for name in self.arch.counters}
+        summary = self._sensor.measure(
+            self._power.idle_power(),
+            duration,
+            stable_seed("<idle>", config.label, duration, self.seed),
+        )
+        return Measurement(
+            workload_name="<idle>",
+            config=config,
+            duration=duration,
+            thread_counters=tuple([zero_counters] * config.threads),
+            mean_power=summary.mean_power,
+            power_std=summary.power_std,
+            sample_count=summary.sample_count,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _resolve_activity(
+        self, workload: Kernel | Workload, smt: int
+    ) -> ThreadActivity:
+        if isinstance(workload, Kernel):
+            key = (workload, smt)
+            cached = self._activity_cache.get(key)
+            if cached is None:
+                cached = self.pipeline.activity(workload, smt)
+                self._activity_cache[key] = cached
+            return cached
+        if isinstance(workload, Workload):
+            return workload.thread_activity(self, smt)
+        raise MeasurementError(
+            f"cannot deploy {type(workload).__name__}: not a Kernel and "
+            "does not implement the workload protocol"
+        )

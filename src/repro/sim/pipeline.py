@@ -1,0 +1,347 @@
+"""Analytic steady-state core performance model.
+
+The model computes, for one hardware thread executing an endless loop,
+the steady-state cycles per loop iteration as the maximum of four
+bounds -- the classic bounds-analysis treatment (Bose et al., "Bounds
+modelling and compiler optimizations for superscalar performance
+tuning"):
+
+* **dispatch bound** -- loop size over dispatch width;
+* **unit bound** -- pipe-occupancy cycles per functional unit over its
+  pipe count, with flexible operations (e.g. simple fixed-point ops
+  that run on FXU *or* LSU) water-filled across their candidate units;
+* **dependency bound** -- the maximum cycle mean of the register
+  dependence graph.  The ILP pass assigns at most one producer per
+  slot, so the graph is functional and the exact bound is computable in
+  linear time by walking producer chains;
+* **memory bound** -- total off-L1 miss latency over the per-thread
+  outstanding-miss capacity (MSHRs).
+
+SMT sharing divides dispatch, unit and MSHR capacity among the threads
+of a core (with a small arbitration overhead), while per-thread
+dependency chains are unaffected -- which is exactly why low-ILP
+workloads scale well with SMT and high-IPC workloads do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MicroProbeError
+from repro.march.definition import MicroArchitecture
+from repro.march.properties import InstructionProperties
+from repro.sim.activity import ThreadActivity
+from repro.sim.kernel import Kernel
+
+#: Outstanding-miss registers per hardware thread context.
+MSHRS_PER_THREAD = 8
+
+#: SMT arbitration overhead on shared-capacity bounds, by SMT way.
+SMT_OVERHEAD = {1: 0.0, 2: 0.04, 4: 0.09}
+
+#: Secondary unit usages occupy one pipe-cycle per injected operation.
+SECONDARY_OCCUPANCY = 1.0
+
+
+@dataclass(frozen=True)
+class PipelineBounds:
+    """The four steady-state bounds, in cycles per loop iteration."""
+
+    dispatch: float
+    unit: float
+    dependency: float
+    memory: float
+
+    @property
+    def period(self) -> float:
+        """Binding steady-state cycles per iteration."""
+        return max(self.dispatch, self.unit, self.dependency, self.memory)
+
+    @property
+    def binding(self) -> str:
+        """Name of the binding bound."""
+        bounds = {
+            "dispatch": self.dispatch,
+            "unit": self.unit,
+            "dependency": self.dependency,
+            "memory": self.memory,
+        }
+        return max(bounds, key=bounds.get)
+
+
+class CorePipelineModel:
+    """Maps kernels to per-thread steady-state activity."""
+
+    def __init__(self, arch: MicroArchitecture) -> None:
+        self.arch = arch
+        self._level_latency = {
+            cache.name: cache.latency for cache in arch.caches
+        }
+        self._level_latency[arch.memory.name] = arch.memory.latency
+        self._l1_name = arch.caches[0].name
+
+    # -- public API ---------------------------------------------------------
+
+    def bounds(self, kernel: Kernel, smt: int = 1) -> PipelineBounds:
+        """Steady-state bounds for one thread at the given SMT way."""
+        if smt not in SMT_OVERHEAD:
+            raise MicroProbeError(f"unsupported SMT way {smt}")
+        share = smt / (1.0 - SMT_OVERHEAD[smt])
+
+        dispatch = len(kernel) / self.arch.chip.dispatch_width * share
+        unit = self._unit_bound(kernel) * share
+        dependency = self._dependency_bound(kernel)
+        memory = self._memory_bound(kernel) * share
+        return PipelineBounds(
+            dispatch=dispatch, unit=unit, dependency=dependency, memory=memory
+        )
+
+    def activity(self, kernel: Kernel, smt: int = 1) -> ThreadActivity:
+        """Full steady-state activity vector for one thread."""
+        period = self.bounds(kernel, smt).period
+        frequency = self.arch.chip.cycles_per_second
+        iterations_per_second = frequency / period
+
+        insn_rates = {
+            mnemonic: count * iterations_per_second
+            for mnemonic, count in kernel.mnemonic_counts().items()
+        }
+        unit_ops = self._unit_ops(kernel)
+        unit_op_rates = {
+            unit: ops * iterations_per_second for unit, ops in unit_ops.items()
+        }
+        level_counts = self._level_counts(kernel)
+        level_rates = {
+            level: count * iterations_per_second
+            for level, count in level_counts.items()
+        }
+        return ThreadActivity(
+            ipc=len(kernel) / period,
+            insn_rates=insn_rates,
+            unit_op_rates=unit_op_rates,
+            level_rates=level_rates,
+            alternation=self.alternation(kernel),
+            entropy=kernel.operand_entropy,
+        )
+
+    def counters(
+        self, kernel: Kernel, smt: int, duration: float
+    ) -> dict[str, float]:
+        """Per-thread performance-counter readings over a window."""
+        activity = self.activity(kernel, smt)
+        return self.counters_from_activity(activity, duration)
+
+    def counters_from_activity(
+        self, activity: ThreadActivity, duration: float
+    ) -> dict[str, float]:
+        """Synthesize PMC readings from an activity vector."""
+        frequency = self.arch.chip.cycles_per_second
+        readings = {
+            "PM_RUN_CYC": frequency * duration,
+            "PM_RUN_INST_CMPL": activity.ipc * frequency * duration,
+        }
+        for unit in self.arch.units.values():
+            rate = activity.unit_op_rates.get(unit.name, 0.0)
+            readings[unit.counter] = rate * duration
+        load_rate = activity.level_rates.get("_loads", 0.0)
+        store_rate = activity.level_rates.get("_stores", 0.0)
+        readings["PM_LD_REF_L1"] = load_rate * duration
+        readings["PM_ST_REF_L1"] = store_rate * duration
+        for cache in self.arch.caches[1:]:
+            rate = activity.level_rates.get(cache.name, 0.0)
+            readings[cache.counter] = rate * duration
+        memory_rate = activity.level_rates.get(self.arch.memory.name, 0.0)
+        readings[self.arch.memory.counter] = memory_rate * duration
+        return readings
+
+    def alternation(self, kernel: Kernel) -> float:
+        """Fraction of adjacent slots executing on different units."""
+        units = [
+            self._primary_unit(self.arch.props(ins.mnemonic))
+            for ins in kernel.instructions
+        ]
+        units = [unit for unit in units if unit is not None]
+        if len(units) < 2:
+            return 0.0
+        pairs = len(units)
+        changes = sum(
+            1 for index in range(pairs)
+            if units[index] != units[(index + 1) % pairs]
+        )
+        return changes / pairs
+
+    # -- bounds -----------------------------------------------------------------
+
+    def _props(self, mnemonic: str) -> InstructionProperties:
+        return self.arch.props(mnemonic)
+
+    @staticmethod
+    def _primary_unit(props: InstructionProperties) -> str | None:
+        if not props.usages:
+            return None
+        return props.usages[0].units[0]
+
+    def _unit_occupancies(
+        self, kernel: Kernel
+    ) -> tuple[dict[str, float], dict[tuple[str, ...], float]]:
+        """Fixed per-unit occupancy plus flexible occupancy per unit set."""
+        fixed: dict[str, float] = {name: 0.0 for name in self.arch.units}
+        flexible: dict[tuple[str, ...], float] = {}
+        for instruction in kernel.instructions:
+            props = self._props(instruction.mnemonic)
+            for position, usage in enumerate(props.usages):
+                occupancy = (
+                    props.inv_throughput * usage.ops
+                    if position == 0
+                    else SECONDARY_OCCUPANCY * usage.ops
+                )
+                if usage.is_flexible:
+                    flexible[usage.units] = (
+                        flexible.get(usage.units, 0.0) + occupancy
+                    )
+                else:
+                    fixed[usage.units[0]] += occupancy
+        return fixed, flexible
+
+    def _waterfill(
+        self,
+        fixed: dict[str, float],
+        flexible: dict[tuple[str, ...], float],
+    ) -> dict[str, float]:
+        """Assign flexible occupancy to equalize per-pipe load."""
+        loads = dict(fixed)
+        for units, amount in flexible.items():
+            pipes = {name: self.arch.unit(name).pipes for name in units}
+            remaining = amount
+            # Iteratively raise the common per-pipe level across the
+            # candidate units until the flexible occupancy is consumed.
+            for _ in range(16):
+                if remaining <= 1e-12:
+                    break
+                level = max(loads[name] / pipes[name] for name in units)
+                target = level + remaining / sum(pipes.values())
+                for name in units:
+                    add = min(
+                        remaining, max(0.0, target * pipes[name] - loads[name])
+                    )
+                    loads[name] += add
+                    remaining -= add
+        return loads
+
+    def _unit_bound(self, kernel: Kernel) -> float:
+        fixed, flexible = self._unit_occupancies(kernel)
+        loads = self._waterfill(fixed, flexible)
+        return max(
+            loads[name] / self.arch.unit(name).pipes for name in loads
+        ) if loads else 0.0
+
+    def _unit_ops(self, kernel: Kernel) -> dict[str, float]:
+        """Operations per iteration per unit (flexible ops assigned).
+
+        Flexible operations are split across their candidate units in
+        proportion to the occupancy the water-filling assigned there.
+        """
+        fixed_ops: dict[str, float] = {name: 0.0 for name in self.arch.units}
+        flexible_ops: dict[tuple[str, ...], float] = {}
+        for instruction in kernel.instructions:
+            props = self._props(instruction.mnemonic)
+            for usage in props.usages:
+                if usage.is_flexible:
+                    flexible_ops[usage.units] = (
+                        flexible_ops.get(usage.units, 0.0) + usage.ops
+                    )
+                else:
+                    fixed_ops[usage.units[0]] += usage.ops
+
+        fixed_occ, flexible_occ = self._unit_occupancies(kernel)
+        filled = self._waterfill(fixed_occ, flexible_occ)
+        ops = dict(fixed_ops)
+        for units, total_ops in flexible_ops.items():
+            extra = {
+                name: max(0.0, filled[name] - fixed_occ[name])
+                for name in units
+            }
+            total_extra = sum(extra.values())
+            for name in units:
+                share = extra[name] / total_extra if total_extra else 1 / len(units)
+                ops[name] += total_ops * share
+        return {name: value for name, value in ops.items() if value > 0}
+
+    def _effective_latency(self, instruction) -> float:
+        """Producer latency including the memory-level residency."""
+        props = self._props(instruction.mnemonic)
+        latency = props.latency
+        source = instruction.source_level
+        if source is not None and source != self._l1_name:
+            latency += self._level_latency[source] - self._level_latency[self._l1_name]
+        return latency
+
+    def _dependency_bound(self, kernel: Kernel) -> float:
+        """Exact maximum cycle mean of the (functional) dependence graph.
+
+        Each slot has at most one producer edge, so every dependence
+        cycle is discovered by walking producer chains once, tracking
+        accumulated latency and iteration-boundary crossings.
+        """
+        instructions = kernel.instructions
+        size = len(instructions)
+        state = [0] * size  # 0 unvisited, 1 in current walk, 2 done
+        best = 0.0
+
+        for start in range(size):
+            if state[start] != 0:
+                continue
+            path: list[int] = []
+            position: dict[int, int] = {}
+            weights: list[float] = []
+            crossings: list[int] = []
+            node = start
+            while True:
+                if state[node] == 2:
+                    break
+                if node in position:
+                    # Found a cycle: slice the walk from its first visit.
+                    cycle_start = position[node]
+                    weight = sum(weights[cycle_start:])
+                    crossing = sum(crossings[cycle_start:])
+                    if crossing > 0:
+                        best = max(best, weight / crossing)
+                    break
+                position[node] = len(path)
+                path.append(node)
+                distance = instructions[node].dep_distance
+                if distance is None:
+                    break
+                producer_index = node - distance
+                crossings.append(-(producer_index // size) if producer_index < 0 else 0)
+                producer = producer_index % size
+                weights.append(self._effective_latency(instructions[producer]))
+                node = producer
+            for visited in path:
+                state[visited] = 2
+        return best
+
+    def _memory_bound(self, kernel: Kernel) -> float:
+        """Miss-bandwidth bound: total off-L1 latency over the MSHRs."""
+        total_latency = 0.0
+        l1_latency = self._level_latency[self._l1_name]
+        for instruction in kernel.instructions:
+            source = instruction.source_level
+            if source is None or source == self._l1_name:
+                continue
+            total_latency += self._level_latency[source] - l1_latency
+        return total_latency / MSHRS_PER_THREAD
+
+    def _level_counts(self, kernel: Kernel) -> dict[str, float]:
+        """Per-iteration access counts per hierarchy level, plus
+        ``_loads``/``_stores`` pseudo-levels for the L1 reference PMCs."""
+        counts: dict[str, float] = {}
+        for instruction in kernel.instructions:
+            source = instruction.source_level
+            if source is None:
+                continue
+            counts[source] = counts.get(source, 0.0) + 1
+            isa_def = self.arch.isa.instruction(instruction.mnemonic)
+            key = "_stores" if isa_def.is_store else "_loads"
+            counts[key] = counts.get(key, 0.0) + 1
+        return counts

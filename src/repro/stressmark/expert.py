@@ -1,0 +1,39 @@
+"""Expert stressmark sets (paper section 6 baselines).
+
+The expert picks ``mullw``, ``xvmaddadp`` and ``lxvd2x``: the widest
+data-path, highest-throughput instructions for the FXU, VSU and LSU --
+exactly what a stressmark developer with target-machine experience
+would do without a framework.  The *manual* set is a handful of
+hand-written orderings; the *DSE* set is every 6-slot sequence using
+all three instructions (540 points), which is what the expert would
+run if given unlimited measurement time.
+"""
+
+from __future__ import annotations
+
+from repro.stressmark.search import SEQUENCE_LENGTH, covering_sequences
+
+#: The expert's instruction picks (paper section 6).
+EXPERT_INSTRUCTIONS = ("mullw", "xvmaddadp", "lxvd2x")
+
+#: Hand-crafted orderings an expert would plausibly try first.  The
+#: expert reasons about unit coverage and IPC, not about inter-slot
+#: switching activity, so the hand-written patterns group work by unit
+#: (pairs and blocks) -- which is exactly why the DSE later finds
+#: same-mix orderings that run visibly hotter.
+_MANUAL_PATTERNS = (
+    ("mullw", "mullw", "xvmaddadp", "xvmaddadp", "lxvd2x", "lxvd2x"),
+    ("lxvd2x", "lxvd2x", "mullw", "mullw", "xvmaddadp", "xvmaddadp"),
+    ("xvmaddadp", "xvmaddadp", "lxvd2x", "lxvd2x", "mullw", "mullw"),
+    ("mullw", "mullw", "mullw", "xvmaddadp", "xvmaddadp", "lxvd2x"),
+)
+
+
+def expert_manual_set() -> list[tuple[str, ...]]:
+    """The hand-crafted sequences."""
+    return [tuple(pattern) for pattern in _MANUAL_PATTERNS]
+
+
+def expert_dse_set(length: int = SEQUENCE_LENGTH) -> list[tuple[str, ...]]:
+    """Every sequence over the expert picks using each at least once."""
+    return covering_sequences(EXPERT_INSTRUCTIONS, length)

@@ -1,0 +1,62 @@
+"""The IPC*EPI candidate-selection heuristic (paper section 6).
+
+Prior stressmark generators treat the machine as a black box and search
+abstract workload spaces.  MicroProbe's differentiator is using the
+bootstrapped per-instruction information to prune the space *before*
+searching: per functional unit, keep the instruction with the highest
+IPC*EPI product -- a balanced trade-off that penalizes high-IPC/low-EPI
+and low-IPC/high-EPI extremes alike.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SearchError
+from repro.march.bootstrap import BootstrapRecord
+from repro.march.definition import MicroArchitecture
+
+#: The execution units the stressmark targets (power components; the
+#: branch and CR plumbing units contribute negligibly).
+TARGET_UNITS = ("FXU", "LSU", "VSU")
+
+
+def select_candidates(
+    arch: MicroArchitecture,
+    records: dict[str, BootstrapRecord],
+    units: tuple[str, ...] = TARGET_UNITS,
+) -> dict[str, str]:
+    """Per unit, the mnemonic maximizing measured IPC * EPI.
+
+    Only *pure* single-unit instructions are considered -- exactly one
+    unit usage, no alternatives, one operation -- matching the paper's
+    Table 3 category tops (``mulldo``, ``lxvw4x``, ``xvnmsubmdp`` on
+    the POWER7): flexible simple-integer ops and cracked compound forms
+    belong to their own categories, not to the unit categories the
+    stressmark draws from.
+
+    Raises:
+        SearchError: If no candidate exists for some unit.
+    """
+    winners: dict[str, tuple[str, float]] = {}
+    for mnemonic, record in records.items():
+        props = arch.props(mnemonic)
+        if len(props.usages) != 1:
+            continue
+        usage = props.usages[0]
+        if usage.is_flexible or usage.ops != 1:
+            continue
+        unit = usage.units[0]
+        if unit not in units:
+            continue
+        if arch.isa.instruction(mnemonic).is_store:
+            continue
+        score = record.throughput_ipc * record.epi_nj
+        best = winners.get(unit)
+        if best is None or score > best[1]:
+            winners[unit] = (mnemonic, score)
+
+    missing = [unit for unit in units if unit not in winners]
+    if missing:
+        raise SearchError(
+            f"no IPC*EPI candidates found for units: {missing}"
+        )
+    return {unit: winners[unit][0] for unit in units}

@@ -1,0 +1,123 @@
+"""Stressmark construction and the sequence design space.
+
+The case study fixes everything except the 6-instruction sequence that
+is replicated to fill the 4K endless loop: maximum activity means no
+dependencies and no cache misses (L1-resident addresses), so the only
+remaining dimensions are *which* instructions fill the sequence slots
+and *in what order* -- and order alone moves power by double-digit
+percents (section 6's 17 % observation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.march.definition import MicroArchitecture
+from repro.sim.kernel import Kernel, KernelInstruction
+
+#: Paper sequence length.
+SEQUENCE_LENGTH = 6
+#: Paper loop size; evaluations may use a smaller replication since the
+#: steady-state metrics are invariant to it.
+DEFAULT_LOOP_SIZE = 4096
+
+#: L1-resident address region for the stressmark's memory slots.
+_L1_REGION_BASE = 0x1000_0000
+_L1_REGION_BYTES = 4096
+
+
+def build_stressmark(
+    arch: MicroArchitecture,
+    sequence: Sequence[str],
+    loop_size: int = DEFAULT_LOOP_SIZE,
+    name: str | None = None,
+) -> Kernel:
+    """An endless loop replicating ``sequence``, dependency-free and
+    L1-resident -- the stressmark recipe of section 6."""
+    if not sequence:
+        raise ValueError("sequence must not be empty")
+    if name is None:
+        name = "stressmark-" + "-".join(sequence)
+    line = arch.caches[0].line_bytes
+    instructions = []
+    for index in range(loop_size):
+        mnemonic = sequence[index % len(sequence)]
+        definition = arch.isa.instruction(mnemonic)
+        if definition.is_memory and not definition.is_prefetch:
+            offset = (index * line) % _L1_REGION_BYTES
+            instructions.append(
+                KernelInstruction(
+                    mnemonic=mnemonic,
+                    source_level=arch.caches[0].name,
+                    address=_L1_REGION_BASE + offset,
+                )
+            )
+        else:
+            instructions.append(KernelInstruction(mnemonic=mnemonic))
+    # Loop-closing branch, as the skeleton pass would emit.
+    instructions.append(KernelInstruction(mnemonic="b"))
+    return Kernel(
+        name=name,
+        instructions=tuple(instructions),
+        operand_entropy=1.0,
+    )
+
+
+def sequence_space(
+    candidates: Iterable[str], length: int = SEQUENCE_LENGTH
+) -> DesignSpace:
+    """The design space: one candidate mnemonic per sequence slot."""
+    return DesignSpace.from_slots(length, tuple(candidates))
+
+
+def point_to_sequence(point: DesignPoint, length: int = SEQUENCE_LENGTH) -> tuple[str, ...]:
+    """Decode a design point into the instruction sequence."""
+    return tuple(point[f"slot{index}"] for index in range(length))
+
+
+def covering_sequences(
+    candidates: Sequence[str], length: int = SEQUENCE_LENGTH
+) -> list[tuple[str, ...]]:
+    """All sequences using *every* candidate at least once.
+
+    For three candidates and six slots this is the paper's 540-point
+    space (3^6 minus the sequences that drop an instruction).
+    """
+    import itertools
+
+    required = set(candidates)
+    return [
+        sequence
+        for sequence in itertools.product(candidates, repeat=length)
+        if required <= set(sequence)
+    ]
+
+
+def stressmark_search(
+    machine,
+    sequences: Iterable[tuple[str, ...]],
+    smt_modes: tuple[int, ...] = (1, 2, 4),
+    loop_size: int = 768,
+    duration: float = 10.0,
+) -> list[tuple[tuple[str, ...], int, float, float]]:
+    """Measure every sequence in every SMT mode on all cores.
+
+    Returns ``(sequence, smt, power, core_ipc)`` tuples -- the raw
+    material for the Figure 9 summaries and the max-IPC order-spread
+    analysis.
+    """
+    from repro.sim.config import MachineConfig
+
+    arch = machine.arch
+    cores = arch.chip.max_cores
+    results = []
+    for sequence in sequences:
+        kernel = build_stressmark(arch, sequence, loop_size)
+        for smt in smt_modes:
+            measurement = machine.run(
+                kernel, MachineConfig(cores, smt), duration
+            )
+            ipc = arch.ipc(measurement.thread_counters[0]) * smt
+            results.append((sequence, smt, measurement.mean_power, ipc))
+    return results

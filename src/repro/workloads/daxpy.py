@@ -1,0 +1,60 @@
+"""DAXPY kernels (paper Figure 9 baseline).
+
+``y[i] = a * x[i] + y[i]`` -- the classic stressmark kernel the paper
+runs "with different L1 contained memory foot-prints" as the
+conventional baseline that generated stressmarks must beat.  The loop
+body interleaves the two loads, the fused multiply-add, the store and
+the index update in the proportions a compiled DAXPY exhibits, with
+moderate dependency distances reflecting the loop-carried dataflow.
+"""
+
+from __future__ import annotations
+
+from repro.core.passes.distribution import InstructionDistribution
+from repro.core.passes.ilp import DependencyDistance
+from repro.core.passes.init_values import InitImmediates, InitRegisters
+from repro.core.passes.memory import MemoryModel
+from repro.core.passes.skeleton import EndlessLoopSkeleton
+from repro.core.synthesizer import Synthesizer
+from repro.march.definition import MicroArchitecture
+from repro.sim.kernel import Kernel
+
+#: The DAXPY body mix: 2 loads + 1 fmadd + 1 store + 1 index add.
+_DAXPY_POOL = ["lfd", "lfd", "fmadd", "stfd", "add"]
+
+
+def build_daxpy(
+    arch: MicroArchitecture,
+    unroll: int = 4,
+    loop_size: int = 4096,
+    seed: int = 0,
+) -> Kernel:
+    """One DAXPY variant; higher ``unroll`` means longer dependency
+    distances (more exposed ILP), the way compiler unrolling would."""
+    if unroll < 1:
+        raise ValueError("unroll must be >= 1")
+    synth = Synthesizer(arch, seed=seed, name_prefix=f"daxpy-u{unroll}")
+    synth.add_pass(EndlessLoopSkeleton(loop_size))
+    synth.add_pass(InstructionDistribution(_DAXPY_POOL))
+    synth.add_pass(MemoryModel({arch.caches[0].name: 1.0}))
+    synth.add_pass(InitRegisters("random"))
+    synth.add_pass(InitImmediates("random"))
+    synth.add_pass(
+        DependencyDistance(
+            "random", min_distance=unroll, max_distance=4 * unroll
+        )
+    )
+    return synth.synthesize().to_kernel()
+
+
+def daxpy_kernels(
+    arch: MicroArchitecture,
+    unrolls: tuple[int, ...] = (1, 2, 4, 8),
+    loop_size: int = 4096,
+    seed: int = 0,
+) -> list[Kernel]:
+    """The DAXPY family: one kernel per unroll factor."""
+    return [
+        build_daxpy(arch, unroll=unroll, loop_size=loop_size, seed=seed)
+        for unroll in unrolls
+    ]

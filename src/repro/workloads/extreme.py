@@ -1,0 +1,69 @@
+"""Extreme-activity validation cases (paper Figure 7).
+
+Six *generated* micro-benchmarks exercising single activities at
+extreme levels: high/low fixed-point, high/low vector, L1-only loads,
+and main-memory-only traffic.  The paper notes these activities are
+common in real applications over short phases (vectorized L1-resident
+loops, memcpy from main memory), making them a fair out-of-distribution
+test for workload-trained power models.
+"""
+
+from __future__ import annotations
+
+from repro.core.passes.distribution import InstructionDistribution
+from repro.core.passes.ilp import DependencyDistance
+from repro.core.passes.init_values import InitImmediates, InitRegisters
+from repro.core.passes.memory import MemoryModel
+from repro.core.passes.skeleton import EndlessLoopSkeleton
+from repro.core.synthesizer import Synthesizer
+from repro.march.definition import MicroArchitecture
+from repro.sim.kernel import Kernel
+
+#: Case name -> (instruction pool, dependency mode, memory weights).
+_CASES: dict[str, tuple[list[str], str, dict[str, float] | None]] = {
+    "FXU High": (["subf", "addic", "mulld"], "none", None),
+    "FXU Low": (["mulldo", "divd"], "chain", None),
+    "L1 Loads": (["lbz", "lwz", "ld", "lhz"], "none", {"L1": 1.0}),
+    "Main memory": (["ld", "lwz", "std", "stw"], "none", {"MEM": 1.0}),
+    "VSU High": (["xvmaddadp", "xvnmsubmdp", "xvmuldp"], "none", None),
+    "VSU Low": (["xvsqrtdp", "xvdivdp"], "chain", None),
+}
+
+#: Paper Figure 7 case order.
+EXTREME_CASE_NAMES = tuple(_CASES)
+
+
+def build_extreme_kernel(
+    name: str,
+    arch: MicroArchitecture,
+    loop_size: int = 4096,
+    seed: int = 0,
+) -> Kernel:
+    """Build one extreme case by name (see :data:`EXTREME_CASE_NAMES`)."""
+    try:
+        pool, dep_mode, memory_weights = _CASES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown extreme case {name!r}; "
+            f"known: {', '.join(EXTREME_CASE_NAMES)}"
+        ) from None
+    slug = name.lower().replace(" ", "-")
+    synth = Synthesizer(arch, seed=seed, name_prefix=f"extreme-{slug}")
+    synth.add_pass(EndlessLoopSkeleton(loop_size))
+    synth.add_pass(InstructionDistribution(pool))
+    if memory_weights is not None:
+        synth.add_pass(MemoryModel(memory_weights))
+    synth.add_pass(InitRegisters("random"))
+    synth.add_pass(InitImmediates("random"))
+    synth.add_pass(DependencyDistance(dep_mode))
+    return synth.synthesize(name).to_kernel()
+
+
+def extreme_kernels(
+    arch: MicroArchitecture, loop_size: int = 4096, seed: int = 0
+) -> dict[str, Kernel]:
+    """All six extreme cases, in paper order."""
+    return {
+        name: build_extreme_kernel(name, arch, loop_size, seed)
+        for name in EXTREME_CASE_NAMES
+    }

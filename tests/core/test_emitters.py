@@ -1,0 +1,126 @@
+"""Tests for the C and assembly emitters."""
+
+import pytest
+
+from repro.core.passes import (
+    DependencyDistance,
+    EndlessLoopSkeleton,
+    InitImmediates,
+    InitRegisters,
+    InstructionDistribution,
+    MemoryModel,
+)
+from repro.core.synthesizer import Synthesizer
+from repro.errors import SynthesisError
+from repro.march import get_architecture
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return get_architecture("POWER7")
+
+
+@pytest.fixture(scope="module")
+def program(arch):
+    synth = Synthesizer(arch, seed=11, name_prefix="emit")
+    synth.add_pass(EndlessLoopSkeleton(64))
+    synth.add_pass(InstructionDistribution(["lwz", "add", "stfd", "xvmaddadp"]))
+    synth.add_pass(MemoryModel({"L1": 0.5, "L3": 0.5}))
+    synth.add_pass(InitRegisters("pattern", pattern=0b01010101))
+    synth.add_pass(InitImmediates("random"))
+    synth.add_pass(DependencyDistance("random"))
+    return synth.synthesize()
+
+
+class TestAssemblyEmitter:
+    def test_structure(self, program):
+        from repro.core.emit import emit_assembly
+        text = emit_assembly(program)
+        assert ".machine \"power7\"" in text
+        assert "ubench_main:" in text
+        assert f"{program.loop_label}:" in text
+        assert f"b {program.loop_label}" in text
+        assert "ubench_region" in text
+
+    def test_all_mnemonics_present(self, program):
+        from repro.core.emit import emit_assembly
+        text = emit_assembly(program)
+        for mnemonic in ("lwz", "add", "stfd", "xvmaddadp"):
+            assert mnemonic in text
+
+    def test_large_offsets_form_addresses(self, arch):
+        from repro.core.emit import emit_assembly
+        # Without dependency-carried addressing, L3-resident offsets
+        # exceed the D-form reach and the emitter must issue the
+        # addis/lis address-forming prelude.
+        synth = Synthesizer(arch, seed=4, name_prefix="bigoff")
+        synth.add_pass(EndlessLoopSkeleton(64))
+        synth.add_pass(InstructionDistribution(["lwz", "stfd"]))
+        synth.add_pass(MemoryModel({"L3": 1.0}))
+        synth.add_pass(InitRegisters("random"))
+        synth.add_pass(InitImmediates("random"))
+        synth.add_pass(DependencyDistance("none"))
+        text = emit_assembly(synth.synthesize())
+        assert "addis r27" in text or "lis r27" in text
+
+
+class TestCEmitter:
+    def test_structure(self, program):
+        from repro.core.emit import emit_c
+        text = emit_c(program)
+        assert "__asm__ volatile(" in text
+        assert "int main(void)" in text
+        assert "init_region" in text
+        assert '"r27", "memory"' in text
+
+    def test_init_mode_reflected(self, program):
+        from repro.core.emit import emit_c
+        assert "pattern" in emit_c(program)
+
+    def test_save_dispatches_on_suffix(self, program, tmp_path):
+        c_path = program.save(tmp_path / "x.c")
+        s_path = program.save(tmp_path / "x.s")
+        assert c_path.read_text().startswith("/*")
+        assert s_path.read_text().startswith("#")
+        with pytest.raises(SynthesisError):
+            program.save(tmp_path / "x.rs")
+
+
+class TestFormatting:
+    def test_dform_small_offset(self, arch):
+        from repro.core.emit.formatting import format_instruction
+        from repro.core.ir import IRInstruction, Program
+        ins = IRInstruction(
+            definition=arch.isa.instruction("lwz"),
+            registers={"RT": 5, "RA": 28},
+            immediates={"D": 256},
+            address=0x1000_0100,
+        )
+        program = Program("t", arch, memory_base=0x1000_0000)
+        lines = format_instruction(ins, program)
+        assert lines == ["lwz r5, 256(r28)"]
+
+    def test_nop_and_branch(self, arch):
+        from repro.core.emit.formatting import format_instruction
+        from repro.core.ir import IRInstruction, Program
+        program = Program("t", arch)
+        nop = IRInstruction(definition=arch.isa.instruction("nop"))
+        assert format_instruction(nop, program) == ["nop"]
+        branch = IRInstruction(
+            definition=arch.isa.instruction("b"), structural=True
+        )
+        assert format_instruction(branch, program) == ["b loop"]
+
+    def test_dependency_carried_addressing_skips_prelude(self, arch):
+        from repro.core.emit.formatting import format_instruction
+        from repro.core.ir import IRInstruction, Program
+        ins = IRInstruction(
+            definition=arch.isa.instruction("lwzx"),
+            registers={"RT": 5, "RA": 28, "RB": 9},
+            dep_distance=3,
+            dep_operand="RB",
+            address=0x2000_0000,
+        )
+        program = Program("t", arch)
+        lines = format_instruction(ins, program)
+        assert lines == ["lwzx r5, r28, r9"]

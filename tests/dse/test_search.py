@@ -1,0 +1,157 @@
+"""Tests for the design-space exploration module."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse import (
+    CachingEvaluator,
+    DesignSpace,
+    Dimension,
+    ExhaustiveSearch,
+    GeneticSearch,
+    GuidedSearch,
+    SearchResult,
+)
+from repro.dse.genetic import GAParameters
+from repro.errors import SearchError
+
+
+def small_space():
+    return DesignSpace([
+        Dimension("x", (0, 1, 2, 3)),
+        Dimension("y", (0, 1, 2, 3)),
+    ])
+
+
+def score(point):
+    # Peak at (3, 2).
+    return -((point["x"] - 3) ** 2) - (point["y"] - 2) ** 2
+
+
+class TestDesignSpace:
+    def test_size_and_enumeration(self):
+        space = small_space()
+        assert space.size == 16
+        points = list(space.points())
+        assert len(points) == 16
+        assert len({space.key(p) for p in points}) == 16
+
+    def test_from_slots(self):
+        space = DesignSpace.from_slots(6, ("a", "b", "c"))
+        assert space.size == 3 ** 6
+        assert space.dimensions[0].name == "slot0"
+
+    def test_validation(self):
+        space = small_space()
+        with pytest.raises(SearchError):
+            space.validate({"x": 0})
+        with pytest.raises(SearchError):
+            space.validate({"x": 9, "y": 0})
+        space.validate({"x": 1, "y": 2})
+
+    def test_duplicate_dimension_values_rejected(self):
+        with pytest.raises(SearchError):
+            Dimension("x", (1, 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SearchError):
+            DesignSpace([])
+
+
+class TestExhaustive:
+    def test_finds_optimum(self):
+        result = ExhaustiveSearch(small_space(), score).run()
+        assert result.count == 16
+        assert result.best.point == {"x": 3, "y": 2}
+        assert result.best.score == 0
+
+    def test_limit_guard(self):
+        space = DesignSpace.from_slots(10, tuple(range(10)))
+        with pytest.raises(SearchError, match="limit"):
+            ExhaustiveSearch(space, score, limit=1000).run()
+
+
+class TestGenetic:
+    def test_converges_near_optimum(self):
+        search = GeneticSearch(
+            small_space(), score,
+            GAParameters(population=10, generations=8), seed=3,
+        )
+        result = search.run()
+        assert result.best.score >= -2  # near the peak
+        convergence = result.convergence()
+        assert convergence == sorted(convergence)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_any_seed_yields_valid_points(self, seed):
+        space = small_space()
+        result = GeneticSearch(
+            space, score, GAParameters(population=6, generations=3),
+            seed=seed,
+        ).run()
+        for evaluation in result.evaluations:
+            space.validate(evaluation.point)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GAParameters(population=1)
+        with pytest.raises(ValueError):
+            GAParameters(mutation_rate=2.0)
+
+
+class TestGuided:
+    def test_candidate_stream(self):
+        space = small_space()
+
+        def generator(arch, space_):
+            # "Query the architecture" stand-in: only even x.
+            for x in (0, 2):
+                for y in (1, 2):
+                    yield {"x": x, "y": y}
+
+        result = GuidedSearch(space, score, arch=None, generator=generator).run()
+        assert result.count == 4
+        assert result.best.point == {"x": 2, "y": 2}
+
+    def test_empty_generator_rejected(self):
+        search = GuidedSearch(
+            small_space(), score, arch=None, generator=lambda a, s: iter(())
+        )
+        with pytest.raises(SearchError):
+            search.run()
+
+    def test_invalid_candidate_rejected(self):
+        search = GuidedSearch(
+            small_space(), score, arch=None,
+            generator=lambda a, s: iter([{"x": 99, "y": 0}]),
+        )
+        with pytest.raises(SearchError):
+            search.run()
+
+
+class TestCachingAndResults:
+    def test_cache_avoids_reevaluation(self):
+        calls = []
+
+        def expensive(point):
+            calls.append(point)
+            return score(point)
+
+        space = small_space()
+        cached = CachingEvaluator(expensive, space)
+        point = {"x": 1, "y": 1}
+        assert cached(point) == cached(point)
+        assert len(calls) == 1
+        assert cached.unique_evaluations == 1
+
+    def test_result_top_and_worst(self):
+        result = SearchResult()
+        for value in (3, 1, 2):
+            result.record({"v": value}, value)
+        assert [e.score for e in result.top(2)] == [3, 2]
+        assert result.worst.score == 1
+
+    def test_empty_result_raises(self):
+        with pytest.raises(SearchError):
+            SearchResult().best

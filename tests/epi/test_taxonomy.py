@@ -1,0 +1,113 @@
+"""Tests for categories and the taxonomy builder (no machine needed)."""
+
+import pytest
+
+from repro.epi import build_taxonomy, category_label, category_of
+from repro.epi.taxonomy import epi_spread, taxonomy_table, top_by_ipc_epi
+from repro.errors import MicroProbeError
+from repro.march import get_architecture
+from repro.march.bootstrap import BootstrapRecord
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return get_architecture("POWER7")
+
+
+def record(mnemonic, ipc, epi):
+    return BootstrapRecord(
+        mnemonic=mnemonic, latency=1.0, throughput_ipc=ipc,
+        units=("FXU",), epi_nj=epi, avg_power_w=1.0,
+    )
+
+
+class TestCategories:
+    def test_pure_unit(self, arch):
+        assert category_label(category_of(arch.props("mulldo"))) == "FXU"
+        assert category_label(category_of(arch.props("xvmaddadp"))) == "VSU"
+
+    def test_flexible(self, arch):
+        assert category_label(category_of(arch.props("add"))) == "FXU or LSU"
+
+    def test_composed(self, arch):
+        assert category_label(category_of(arch.props("lhaux"))) == "LSU and 2FXU"
+        assert (
+            category_label(category_of(arch.props("stfdux")))
+            == "LSU and VSU and FXU"
+        )
+
+    def test_nop(self, arch):
+        assert category_label(category_of(arch.props("nop"))) == "none"
+
+
+class TestTaxonomyBuilder:
+    def test_normalization(self, arch):
+        records = {
+            "addic": record("addic", 2.0, 0.4),
+            "subf": record("subf", 2.0, 0.7),
+            "mulldo": record("mulldo", 1.4, 1.1),
+        }
+        taxonomy = build_taxonomy(arch, records)
+        entries = {e.mnemonic: e for e in taxonomy["FXU"]}
+        assert entries["addic"].global_epi == pytest.approx(1.0)
+        assert entries["mulldo"].global_epi == pytest.approx(1.1 / 0.4)
+        assert entries["mulldo"].category_epi == pytest.approx(1.1 / 0.4)
+
+    def test_sorted_descending(self, arch):
+        records = {
+            "addic": record("addic", 2.0, 0.4),
+            "mulldo": record("mulldo", 1.4, 1.1),
+        }
+        taxonomy = build_taxonomy(arch, records)
+        epis = [entry.epi_nj for entry in taxonomy["FXU"]]
+        assert epis == sorted(epis, reverse=True)
+
+    def test_below_resolution_excluded(self, arch):
+        records = {
+            "addic": record("addic", 2.0, 0.4),
+            "nop": record("nop", 6.0, 0.001),
+        }
+        taxonomy = build_taxonomy(arch, records)
+        mnemonics = {
+            entry.mnemonic
+            for entries in taxonomy.values() for entry in entries
+        }
+        assert "nop" not in mnemonics
+        # Normalization base excludes the below-noise record.
+        entry = taxonomy["FXU"][0]
+        assert entry.global_epi == pytest.approx(1.0)
+
+    def test_empty_rejected(self, arch):
+        with pytest.raises(MicroProbeError):
+            build_taxonomy(arch, {})
+
+    def test_top_by_ipc_epi(self, arch):
+        records = {
+            "addic": record("addic", 2.0, 0.4),   # product 0.8
+            "mulldo": record("mulldo", 1.4, 1.1),  # product 1.54
+        }
+        tops = top_by_ipc_epi(build_taxonomy(arch, records))
+        assert tops["FXU"].mnemonic == "mulldo"
+
+    def test_table_selection_prefers_same_ipc_contrast(self, arch):
+        records = {
+            "subf": record("subf", 2.0, 0.7),
+            "addic": record("addic", 2.0, 0.4),
+            "mulldo": record("mulldo", 1.4, 1.1),
+        }
+        table = taxonomy_table(build_taxonomy(arch, records))
+        fxu_rows = [entry for entry in table if entry.category == "FXU"]
+        assert fxu_rows[0].mnemonic == "mulldo"  # top IPC*EPI
+        # Remaining rows share the same IPC (2.0) with contrasting EPI.
+        assert {entry.mnemonic for entry in fxu_rows[1:]} == {"subf", "addic"}
+
+    def test_epi_spread(self):
+        entries = [
+            record("a", 1, 1.0), record("b", 1, 1.78),
+        ]
+        from repro.epi.taxonomy import TaxonomyEntry
+        converted = [
+            TaxonomyEntry("FXU", r.mnemonic, r.throughput_ipc, r.epi_nj, 1, 1)
+            for r in entries
+        ]
+        assert epi_spread(converted) == pytest.approx(78.0)

@@ -1,0 +1,95 @@
+"""Tests for the operand model and operand-spec parsing."""
+
+import pytest
+
+from repro.isa.operand import (
+    Operand,
+    OperandDirection,
+    OperandKind,
+    parse_operand,
+)
+
+
+class TestOperandKind:
+    def test_register_kinds_are_registers(self):
+        for kind in (OperandKind.GPR, OperandKind.FPR, OperandKind.VR,
+                     OperandKind.VSR, OperandKind.CR, OperandKind.SPR):
+            assert kind.is_register
+
+    def test_immediate_kinds_are_not_registers(self):
+        for kind in (OperandKind.IMM, OperandKind.DISP, OperandKind.LABEL):
+            assert not kind.is_register
+
+    def test_register_widths(self):
+        assert OperandKind.GPR.register_width == 64
+        assert OperandKind.VSR.register_width == 128
+        assert OperandKind.CR.register_width == 4
+        assert OperandKind.IMM.register_width == 0
+
+
+class TestOperandDirection:
+    def test_read_write_is_both(self):
+        assert OperandDirection.READ_WRITE.is_read
+        assert OperandDirection.READ_WRITE.is_write
+
+    def test_read_is_not_write(self):
+        assert OperandDirection.READ.is_read
+        assert not OperandDirection.READ.is_write
+
+    def test_write_is_not_read(self):
+        assert OperandDirection.WRITE.is_write
+        assert not OperandDirection.WRITE.is_read
+
+
+class TestParseOperand:
+    def test_gpr_write(self):
+        op = parse_operand("RT:GPR:W")
+        assert op == Operand("RT", OperandKind.GPR, OperandDirection.WRITE, 64)
+
+    def test_immediate_with_width(self):
+        op = parse_operand("SI:IMM16:R")
+        assert op.kind is OperandKind.IMM
+        assert op.width == 16
+        assert op.is_immediate
+
+    def test_displacement(self):
+        op = parse_operand("D:DISP16:R")
+        assert op.kind is OperandKind.DISP
+        assert op.is_immediate
+
+    def test_read_write_register(self):
+        op = parse_operand("RA:GPR:RW")
+        assert op.direction is OperandDirection.READ_WRITE
+
+    def test_vsr_width_is_128(self):
+        assert parse_operand("XT:VSR:W").width == 128
+
+    def test_label_needs_width(self):
+        op = parse_operand("T:LABEL24:R")
+        assert op.kind is OperandKind.LABEL
+        assert op.width == 24
+
+    def test_rejects_wrong_field_count(self):
+        with pytest.raises(ValueError, match="3 fields"):
+            parse_operand("RT:GPR")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown operand kind"):
+            parse_operand("RT:XYZ:W")
+
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            parse_operand("RT:GPR:X")
+
+    def test_rejects_register_width_suffix(self):
+        with pytest.raises(ValueError, match="no width suffix"):
+            parse_operand("RT:GPR32:W")
+
+    def test_rejects_immediate_without_width(self):
+        with pytest.raises(ValueError, match="width suffix"):
+            parse_operand("SI:IMM:R")
+
+    def test_str_round_trips_through_parse(self):
+        for spec in ("RT:GPR:W", "SI:IMM16:R", "RA:GPR:RW", "XB:VSR:R"):
+            op = parse_operand(spec)
+            assert parse_operand(str(op)) == op

@@ -1,0 +1,192 @@
+"""Tests for the ISA definition-file parser and the registry."""
+
+import pytest
+
+from repro.errors import DefinitionError, UnknownInstructionError
+from repro.isa import (
+    ISA,
+    InstructionType,
+    branches,
+    by_mnemonic,
+    load_default_isa,
+    loads,
+    memory_ops,
+    non_branch_non_memory,
+    of_type,
+    parse_isa_text,
+    stores,
+    updates,
+)
+
+MINIMAL = """
+isa TEST
+add | int  | 64 | RT:GPR:W RA:GPR:R RB:GPR:R   | - | 31.266 | Add
+lwz | load | 32 | RT:GPR:W RA:GPR:R D:DISP16:R | - | 32     | Load word
+stw | store| 32 | RS:GPR:R RA:GPR:R D:DISP16:R | - | 36     | Store word
+b   | branch | 0 | T:LABEL24:R                 | - | 18     | Branch
+"""
+
+
+class TestParser:
+    def test_parses_minimal(self):
+        isa = parse_isa_text(MINIMAL)
+        assert isa.name == "TEST"
+        assert len(isa) == 4
+        assert isa.instruction("add").opcode == 31
+        assert isa.instruction("add").extended_opcode == 266
+        assert isa.instruction("lwz").extended_opcode is None
+
+    def test_comments_and_blanks_ignored(self):
+        isa = parse_isa_text("# hi\n\nisa X\n# more\nnop | nop | 0 | - | - | 24 | n\n")
+        assert len(isa) == 1
+
+    def test_inline_comment(self):
+        isa = parse_isa_text("isa X\nnop | nop | 0 | - | - | 24 | n # trailing\n")
+        assert "nop" in isa
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(DefinitionError, match="isa <name>"):
+            parse_isa_text("add | int | 64 | - | - | - | x")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(DefinitionError, match="empty"):
+            parse_isa_text("# only a comment\n")
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(DefinitionError, match="7 pipe-separated"):
+            parse_isa_text("isa X\nadd | int | 64 | - | -\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DefinitionError, match="unknown instruction type"):
+            parse_isa_text("isa X\nadd | frob | 64 | - | - | - | x\n")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(DefinitionError, match="width"):
+            parse_isa_text("isa X\nadd | int | wide | - | - | - | x\n")
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(DefinitionError, match="operand"):
+            parse_isa_text("isa X\nadd | int | 64 | RT:BAD:W | - | - | x\n")
+
+    def test_bad_encoding_rejected(self):
+        with pytest.raises(DefinitionError, match="bad encoding"):
+            parse_isa_text("isa X\nadd | int | 64 | - | - | 3a.b | x\n")
+
+    def test_duplicate_rejected(self):
+        text = "isa X\nnop | nop | 0 | - | - | 24 | n\nnop | nop | 0 | - | - | 24 | n\n"
+        with pytest.raises(DefinitionError, match="duplicate"):
+            parse_isa_text(text)
+
+    def test_error_carries_location(self):
+        try:
+            parse_isa_text("isa X\nbad line | nope\n", origin="f.isa")
+        except DefinitionError as exc:
+            assert exc.path == "f.isa"
+            assert exc.line_number == 2
+        else:
+            pytest.fail("expected DefinitionError")
+
+
+class TestRegistry:
+    def test_unknown_lookup_raises(self):
+        isa = parse_isa_text(MINIMAL)
+        with pytest.raises(UnknownInstructionError):
+            isa.instruction("frobnicate")
+
+    def test_add_and_remove(self):
+        isa = parse_isa_text(MINIMAL)
+        removed = isa.remove("add")
+        assert removed.mnemonic == "add"
+        assert "add" not in isa
+        isa.add(removed)
+        assert "add" in isa
+
+    def test_remove_unknown_raises(self):
+        isa = parse_isa_text(MINIMAL)
+        with pytest.raises(UnknownInstructionError):
+            isa.remove("nothere")
+
+    def test_copy_is_independent(self):
+        isa = parse_isa_text(MINIMAL)
+        clone = isa.copy()
+        clone.remove("add")
+        assert "add" in isa
+
+    def test_mnemonics_preserve_order(self):
+        isa = parse_isa_text(MINIMAL)
+        assert isa.mnemonics() == ("add", "lwz", "stw", "b")
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def isa(self):
+        return parse_isa_text(MINIMAL)
+
+    def test_loads(self, isa):
+        assert [i.mnemonic for i in loads(isa)] == ["lwz"]
+
+    def test_stores(self, isa):
+        assert [i.mnemonic for i in stores(isa)] == ["stw"]
+
+    def test_memory_ops(self, isa):
+        assert [i.mnemonic for i in memory_ops(isa)] == ["lwz", "stw"]
+
+    def test_branches(self, isa):
+        assert [i.mnemonic for i in branches(isa)] == ["b"]
+
+    def test_non_branch_non_memory(self, isa):
+        assert [i.mnemonic for i in non_branch_non_memory(isa)] == ["add"]
+
+    def test_of_type(self, isa):
+        assert of_type(isa, InstructionType.INTEGER)[0].mnemonic == "add"
+
+    def test_by_mnemonic_preserves_order(self, isa):
+        result = by_mnemonic(isa, ["stw", "add"])
+        assert [i.mnemonic for i in result] == ["stw", "add"]
+
+
+class TestDefaultISA:
+    @pytest.fixture(scope="class")
+    def isa(self):
+        return load_default_isa()
+
+    def test_loads_and_is_large(self, isa):
+        assert isa.name == "POWER-v2.06B"
+        assert len(isa) > 150
+
+    def test_contains_all_table3_instructions(self, isa):
+        table3 = [
+            "mulldo", "subf", "addic", "lxvw4x", "lvewx", "lbz",
+            "xvnmsubmdp", "xvmaddadp", "xstsqrtdp", "add", "nor", "and",
+            "ldux", "lwax", "lfsu", "lhaux", "lwaux", "lhau",
+            "stxvw4x", "stxsdx", "stfd", "stfsux", "stfdux", "stfdu",
+        ]
+        for mnemonic in table3:
+            assert mnemonic in isa, mnemonic
+
+    def test_contains_section6_instructions(self, isa):
+        for mnemonic in ("mullw", "xvmaddadp", "lxvd2x"):
+            assert mnemonic in isa
+
+    def test_update_forms_write_base_register(self, isa):
+        for ins in updates(isa):
+            ra = next(op for op in ins.operands if op.name == "RA")
+            assert ra.direction.is_write, ins.mnemonic
+            assert ra.direction.is_read, ins.mnemonic
+
+    def test_loads_define_a_target(self, isa):
+        for ins in loads(isa):
+            if ins.is_prefetch:
+                continue
+            assert ins.register_writes, ins.mnemonic
+
+    def test_stores_never_define_data_target(self, isa):
+        for ins in stores(isa):
+            writes = {op.name for op in ins.register_writes}
+            # Update forms write RA (address), never the data register.
+            assert writes <= {"RA"}, ins.mnemonic
+
+    def test_indexed_flag_matches_rb_presence(self, isa):
+        for ins in memory_ops(isa):
+            has_rb = any(op.name == "RB" for op in ins.operands)
+            assert has_rb == ins.is_indexed, ins.mnemonic

@@ -1,0 +1,80 @@
+"""Tests for cache geometry and address-field decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.march.caches import AddressFields, CacheGeometry, MemoryLevel
+
+
+def l1() -> CacheGeometry:
+    return CacheGeometry(
+        name="L1", level=1, size_bytes=32 * 1024, line_bytes=128,
+        ways=8, latency=2,
+    )
+
+
+class TestCacheGeometry:
+    def test_sets(self):
+        assert l1().sets == 32
+
+    def test_fields(self):
+        fields = l1().fields
+        assert fields.offset_bits == 7
+        assert fields.set_bits == 5
+        assert fields.tag_shift == 12
+
+    def test_set_of(self):
+        cache = l1()
+        assert cache.set_of(0) == 0
+        assert cache.set_of(128) == 1
+        assert cache.set_of(128 * 32) == 0  # wraps at sets
+
+    def test_rejects_nonmultiple_size(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheGeometry("X", 1, 1000, 128, 8, 2)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheGeometry("X", 1, 96 * 100, 96, 100, 2)
+
+    def test_str_mentions_geometry(self):
+        assert "32KB 8-way" in str(l1())
+
+
+class TestAddressFields:
+    def test_compose_round_trips(self):
+        fields = AddressFields(offset_bits=7, set_bits=5)
+        address = fields.compose(tag=0x1234, set_index=17, offset=42)
+        assert fields.tag(address) == 0x1234
+        assert fields.set_index(address) == 17
+        assert address % 128 == 42
+
+    def test_compose_validates_ranges(self):
+        fields = AddressFields(offset_bits=7, set_bits=5)
+        with pytest.raises(ValueError):
+            fields.compose(tag=1, set_index=32)
+        with pytest.raises(ValueError):
+            fields.compose(tag=1, set_index=0, offset=128)
+
+    @given(
+        tag=st.integers(0, 2 ** 20 - 1),
+        set_index=st.integers(0, 31),
+        offset=st.integers(0, 127),
+    )
+    def test_compose_extract_inverse(self, tag, set_index, offset):
+        fields = AddressFields(offset_bits=7, set_bits=5)
+        address = fields.compose(tag, set_index, offset)
+        assert fields.tag(address) == tag
+        assert fields.set_index(address) == set_index
+
+    def test_line_address_strips_offset(self):
+        fields = AddressFields(offset_bits=7, set_bits=5)
+        assert fields.line_address(130) == fields.line_address(129)
+        assert fields.line_address(128) != fields.line_address(127)
+
+
+class TestMemoryLevel:
+    def test_defaults(self):
+        level = MemoryLevel(latency=230, counter="PM_DATA_FROM_LMEM")
+        assert level.name == "MEM"
+        assert level.latency == 230

@@ -1,0 +1,61 @@
+"""Tests for counter definitions and the formula language."""
+
+import pytest
+
+from repro.march.counters import (
+    CounterFormula,
+    FormulaError,
+    evaluate_formula,
+)
+
+
+class TestFormulaEvaluation:
+    def test_simple_ratio(self):
+        formula = CounterFormula("IPC", "PM_RUN_INST_CMPL / PM_RUN_CYC")
+        assert formula.evaluate(
+            {"PM_RUN_INST_CMPL": 20, "PM_RUN_CYC": 10}
+        ) == 2.0
+
+    def test_arithmetic(self):
+        value = evaluate_formula("(A + B - C) * 2", {"A": 3, "B": 4, "C": 1})
+        assert value == 12.0
+
+    def test_unary_minus(self):
+        assert evaluate_formula("-A + 5", {"A": 2}) == 3.0
+
+    def test_constants(self):
+        assert evaluate_formula("A * 0.5", {"A": 8}) == 4.0
+
+    def test_zero_denominator_degrades_to_zero(self):
+        # Idle windows read zero counters; rates degrade gracefully.
+        assert evaluate_formula("A / B", {"A": 0, "B": 0}) == 0.0
+
+    def test_missing_counter_raises(self):
+        with pytest.raises(FormulaError, match="unknown counter"):
+            evaluate_formula("A + B", {"A": 1})
+
+    def test_counters_listing(self):
+        formula = CounterFormula("X", "A + B / (C - 1)")
+        assert formula.counters() == frozenset({"A", "B", "C"})
+
+
+class TestFormulaValidation:
+    def test_rejects_calls(self):
+        with pytest.raises(FormulaError):
+            CounterFormula("bad", "__import__('os')")
+
+    def test_rejects_comparisons(self):
+        with pytest.raises(FormulaError):
+            CounterFormula("bad", "A > B")
+
+    def test_rejects_power_operator(self):
+        with pytest.raises(FormulaError):
+            CounterFormula("bad", "A ** 2")
+
+    def test_rejects_strings(self):
+        with pytest.raises(FormulaError):
+            CounterFormula("bad", "'hello'")
+
+    def test_rejects_syntax_errors(self):
+        with pytest.raises(FormulaError):
+            CounterFormula("bad", "A +")

@@ -1,0 +1,190 @@
+"""Tests for instruction properties, the march parser, and queries."""
+
+import pytest
+
+from repro.errors import DefinitionError, UnknownArchitectureError
+from repro.march import get_architecture
+from repro.march.parser import parse_march_text
+from repro.march.properties import (
+    InstructionProperties,
+    PropertyDatabase,
+    UnitUsage,
+    parse_unit_usages,
+)
+from repro.isa.registry import load_default_isa
+
+
+class TestUnitUsages:
+    def test_parse_single(self):
+        usages = parse_unit_usages("FXU")
+        assert usages == (UnitUsage(units=("FXU",), ops=1.0),)
+
+    def test_parse_flexible(self):
+        usages = parse_unit_usages("FXU/LSU")
+        assert usages[0].is_flexible
+        assert usages[0].units == ("FXU", "LSU")
+
+    def test_parse_composed_with_ops(self):
+        usages = parse_unit_usages("LSU,FXU:2")
+        assert usages[0].units == ("LSU",)
+        assert usages[1].ops == 2.0
+
+    def test_parse_empty(self):
+        assert parse_unit_usages("-") == ()
+
+    def test_bad_spec(self):
+        with pytest.raises(ValueError):
+            parse_unit_usages("/LSU")
+
+    def test_str_round_trip(self):
+        for spec in ("FXU", "FXU/LSU", "LSU,FXU:2"):
+            usages = parse_unit_usages(spec)
+            rendered = ",".join(str(u) for u in usages)
+            assert parse_unit_usages(rendered) == usages
+
+
+class TestInstructionProperties:
+    def test_stresses(self):
+        props = InstructionProperties(
+            "lhaux", parse_unit_usages("LSU,FXU:2"), latency=3,
+            inv_throughput=2,
+        )
+        assert props.stresses("LSU")
+        assert props.stresses("FXU")
+        assert not props.stresses("VSU")
+        assert props.units == ("LSU", "FXU")
+        assert props.total_ops == 3.0
+
+    def test_bootstrap_write_back(self):
+        props = InstructionProperties(
+            "add", parse_unit_usages("FXU/LSU"), 2, 1.143
+        )
+        updated = props.with_bootstrap(epi=0.5, avg_power=10.0)
+        assert updated.epi == 0.5
+        assert props.epi is None  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstructionProperties("x", (), latency=0, inv_throughput=1)
+
+
+class TestPropertyDatabase:
+    def test_stressing_query(self):
+        db = PropertyDatabase([
+            InstructionProperties("a", parse_unit_usages("FXU"), 1, 1),
+            InstructionProperties("b", parse_unit_usages("VSU"), 1, 1),
+        ])
+        assert [p.mnemonic for p in db.stressing("FXU")] == ["a"]
+
+    def test_update_unknown_raises(self):
+        db = PropertyDatabase()
+        props = InstructionProperties("a", parse_unit_usages("FXU"), 1, 1)
+        with pytest.raises(Exception):
+            db.update(props)
+
+    def test_bootstrapped_flag(self):
+        props = InstructionProperties("a", parse_unit_usages("FXU"), 1, 1)
+        db = PropertyDatabase([props])
+        assert not db.bootstrapped
+        db.update(props.with_bootstrap(1.0, 1.0))
+        assert db.bootstrapped
+
+
+class TestPower7Definition:
+    @pytest.fixture(scope="class")
+    def arch(self):
+        return get_architecture("POWER7")
+
+    def test_chip_geometry(self, arch):
+        assert arch.chip.max_cores == 8
+        assert arch.chip.max_smt == 4
+        assert arch.chip.smt_modes() == (1, 2, 4)
+        assert arch.chip.max_hardware_threads == 32
+
+    def test_units(self, arch):
+        assert arch.unit("FXU").pipes == 2
+        assert arch.unit("LSU").counter == "PM_LSU_FIN"
+        with pytest.raises(KeyError):
+            arch.unit("GPU")
+
+    def test_hierarchy(self, arch):
+        assert arch.memory_level_names() == ("L1", "L2", "L3", "MEM")
+        assert arch.cache("L1").size_bytes == 32 * 1024
+        assert arch.cache("L2").size_bytes == 256 * 1024
+        assert arch.cache("L3").size_bytes == 4096 * 1024
+        assert arch.memory.latency > arch.cache("L3").latency
+
+    def test_every_instruction_has_properties(self, arch):
+        for instruction in arch.isa:
+            assert arch.props(instruction.mnemonic) is not None
+
+    def test_table3_unit_mappings(self, arch):
+        assert arch.props("lhaux").usages[1].ops == 2  # LSU and 2FXU
+        assert arch.props("stfdux").units == ("LSU", "VSU", "FXU")
+        assert arch.props("add").usages[0].is_flexible  # FXU or LSU
+        assert arch.stresses("xvmaddadp", "VSU")
+        assert not arch.stresses("xvmaddadp", "FXU")
+
+    def test_fresh_instances_are_independent(self):
+        a = get_architecture("POWER7")
+        b = get_architecture("POWER7")
+        a.isa.remove("add")
+        assert "add" in b.isa
+
+    def test_unknown_architecture(self):
+        with pytest.raises(UnknownArchitectureError):
+            get_architecture("ALPHA21264")
+
+    def test_ipc_formula(self, arch):
+        assert arch.ipc({"PM_RUN_INST_CMPL": 6, "PM_RUN_CYC": 3}) == 2.0
+
+
+class TestMarchParserErrors:
+    def _parse(self, text):
+        return parse_march_text(text, load_default_isa())
+
+    def test_missing_header(self):
+        with pytest.raises(DefinitionError, match="march <name>"):
+            self._parse("[chip]\ncores = 1\n")
+
+    def test_missing_chip_keys(self):
+        with pytest.raises(DefinitionError):
+            self._parse("march X\n[chip]\ncores = 1\n")
+
+    def test_unknown_unit_in_properties(self):
+        text = (
+            "march X\n[chip]\ncores = 1\nsmt = 1\nfrequency_ghz = 1\n"
+            "dispatch_width = 4\nissue_width = 4\n"
+            "[cache L1]\nlevel = 1\nsize_kb = 32\nline_bytes = 128\n"
+            "ways = 8\nlatency = 2\n[memory]\nlatency = 100\n"
+            "[counter PM_RUN_CYC]\n[counter PM_RUN_INST_CMPL]\n"
+            "[formula IPC]\nexpr = PM_RUN_INST_CMPL / PM_RUN_CYC\n"
+            "[iproperties]\ndefault type:int | GPU | 1 | 1\n"
+        )
+        with pytest.raises(DefinitionError, match="unknown unit"):
+            self._parse(text)
+
+    def test_uncovered_instructions_rejected(self):
+        text = (
+            "march X\n[chip]\ncores = 1\nsmt = 1\nfrequency_ghz = 1\n"
+            "dispatch_width = 4\nissue_width = 4\n"
+            "[unit FXU]\npipes = 2\ncounter = PM_FXU_FIN\n"
+            "[cache L1]\nlevel = 1\nsize_kb = 32\nline_bytes = 128\n"
+            "ways = 8\nlatency = 2\n[memory]\nlatency = 100\n"
+            "[counter PM_RUN_CYC]\n[counter PM_RUN_INST_CMPL]\n"
+            "[formula IPC]\nexpr = PM_RUN_INST_CMPL / PM_RUN_CYC\n"
+            "[iproperties]\ndefault type:int | FXU | 1 | 1\n"
+        )
+        with pytest.raises(DefinitionError, match="without properties"):
+            self._parse(text)
+
+    def test_missing_ipc_formula(self):
+        text = (
+            "march X\n[chip]\ncores = 1\nsmt = 1\nfrequency_ghz = 1\n"
+            "dispatch_width = 4\nissue_width = 4\n"
+            "[cache L1]\nlevel = 1\nsize_kb = 32\nline_bytes = 128\n"
+            "ways = 8\nlatency = 2\n[memory]\nlatency = 100\n"
+            "[iproperties]\n"
+        )
+        with pytest.raises(DefinitionError, match="IPC"):
+            self._parse(text)

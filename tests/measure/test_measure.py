@@ -1,0 +1,109 @@
+"""Tests for measurements, the runner, and trace analysis."""
+
+import numpy as np
+import pytest
+
+from repro.march import get_architecture
+from repro.measure import MeasurementRunner, analyze_trace
+from repro.measure.measurement import Measurement
+from repro.measure.traces import segment_phases
+from repro.sim import Kernel, KernelInstruction, Machine, MachineConfig
+from repro.sim.sensors import PowerSensor, stable_seed
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine(get_architecture("POWER7"))
+
+
+def kernel():
+    return Kernel("m-test", (KernelInstruction("add"),) * 64)
+
+
+class TestMeasurement:
+    def test_totals_and_rates(self, machine):
+        measurement = machine.run(kernel(), MachineConfig(2, 2), duration=5.0)
+        totals = measurement.total_counters()
+        per_thread = measurement.thread_counters[0]
+        assert totals["PM_RUN_CYC"] == pytest.approx(
+            4 * per_thread["PM_RUN_CYC"]
+        )
+        rates = measurement.thread_rates()
+        assert rates["PM_RUN_CYC"] == pytest.approx(3e9)
+
+    def test_thread_count_validation(self):
+        with pytest.raises(ValueError, match="per-thread"):
+            Measurement(
+                workload_name="x", config=MachineConfig(2, 2),
+                duration=1.0, thread_counters=({},),
+                mean_power=1.0, power_std=0.1, sample_count=10,
+            )
+
+
+class TestRunner:
+    def test_sweep_covers_configs(self, machine):
+        runner = MeasurementRunner(machine, duration=1.0)
+        sweep = runner.run_sweep([kernel()])
+        assert len(sweep) == 24
+        for config, measurements in sweep.items():
+            assert measurements[0].config == config
+
+    def test_baseline(self, machine):
+        runner = MeasurementRunner(machine, duration=1.0)
+        baseline = runner.baseline()
+        assert baseline.workload_name == "<idle>"
+        assert baseline.total_counters()["PM_RUN_CYC"] == 0
+
+
+class TestSensors:
+    def test_stable_seed_is_process_independent(self):
+        assert stable_seed("a", 1, 2.0) == stable_seed("a", 1, 2.0)
+        assert stable_seed("a") != stable_seed("b")
+
+    def test_trace_statistics_match_summary(self):
+        sensor = PowerSensor()
+        summary = sensor.measure(100.0, duration=10.0, seed=42)
+        trace = sensor.synthesize_trace(100.0, duration=10.0, seed=42)
+        assert trace.size == summary.sample_count == 10_000
+        # Same run offset applies to both paths.
+        assert float(np.mean(trace)) == pytest.approx(
+            summary.mean_power, abs=0.05
+        )
+
+    def test_quantisation(self):
+        sensor = PowerSensor()
+        trace = sensor.synthesize_trace(80.0, duration=0.1, seed=1)
+        milliwatts = trace * 1000
+        assert np.allclose(milliwatts, np.round(milliwatts))
+
+
+class TestTraces:
+    def test_analyze(self):
+        trace = np.array([10.0, 12.0, 11.0, 13.0])
+        stats = analyze_trace(trace)
+        assert stats.mean == pytest.approx(11.5)
+        assert stats.minimum == 10.0
+        assert stats.maximum == 13.0
+        assert stats.sample_count == 4
+
+    def test_stability_improves_with_samples(self):
+        rng = np.random.default_rng(3)
+        short = analyze_trace(rng.normal(100, 0.5, 10))
+        long = analyze_trace(rng.normal(100, 0.5, 10_000))
+        assert long.standard_error < short.standard_error
+        assert long.is_stable()
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_trace(np.array([]))
+
+    def test_phase_segmentation(self):
+        trace = np.concatenate([
+            np.full(1000, 100.0), np.full(1000, 120.0), np.full(1000, 95.0),
+        ])
+        phases = segment_phases(trace, window=100, threshold=1.5)
+        assert len(phases) == 3
+        means = [phase[2] for phase in phases]
+        assert means[0] == pytest.approx(100.0)
+        assert means[1] == pytest.approx(120.0)
+        assert means[2] == pytest.approx(95.0)

@@ -1,0 +1,142 @@
+"""Tests for the functional cache and hierarchy simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.march.caches import CacheGeometry, MemoryLevel
+from repro.sim.cache import SetAssociativeCache
+from repro.sim.hierarchy import CacheHierarchy
+
+
+def small_cache(ways=4, sets=4) -> SetAssociativeCache:
+    geometry = CacheGeometry(
+        name="T", level=1, size_bytes=sets * ways * 64, line_bytes=64,
+        ways=ways, latency=1,
+    )
+    return SetAssociativeCache(geometry)
+
+
+class TestSetAssociativeCache:
+    def test_first_access_misses_then_hits(self):
+        cache = small_cache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_different_offset_hits(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1000 + 63)
+
+    def test_lru_eviction(self):
+        cache = small_cache(ways=2, sets=1)
+        a, b, c = 0x0, 0x40 * 1, 0x40 * 2  # same set (1 set total)
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a (LRU)
+        assert not cache.contains(a)
+        assert cache.contains(b) and cache.contains(c)
+
+    def test_access_refreshes_recency(self):
+        cache = small_cache(ways=2, sets=1)
+        a, b, c = 0x0, 0x40, 0x80
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a; b becomes LRU
+        cache.access(c)  # evicts b
+        assert cache.contains(a)
+        assert not cache.contains(b)
+
+    def test_cyclic_overflow_always_misses(self):
+        """The LRU property the analytical model relies on."""
+        cache = small_cache(ways=4, sets=1)
+        lines = [i * 0x40 for i in range(8)]  # 2x associativity
+        for _ in range(4):
+            for address in lines:
+                cache.access(address)
+        cache.reset_statistics()
+        for address in lines:
+            assert not cache.access(address)
+
+    def test_cyclic_fit_always_hits(self):
+        cache = small_cache(ways=4, sets=1)
+        lines = [i * 0x40 for i in range(4)]  # exactly associativity
+        for address in lines:
+            cache.access(address)
+        cache.reset_statistics()
+        for _ in range(3):
+            for address in lines:
+                assert cache.access(address)
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.flush()
+        assert cache.accesses == 0
+        assert not cache.contains(0x0)
+
+    @given(st.lists(st.integers(0, 2 ** 20), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = small_cache()
+        for address in addresses:
+            cache.access(address)
+        assert cache.hits + cache.misses == len(addresses)
+
+    @given(st.lists(st.integers(0, 2 ** 16), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_never_exceeds_ways(self, addresses):
+        cache = small_cache(ways=3, sets=2)
+        for address in addresses:
+            cache.access(address)
+        for index in range(cache.geometry.sets):
+            assert cache.occupancy(index) <= 3
+
+
+class TestHierarchy:
+    def _hierarchy(self, prefetch=False):
+        caches = [
+            CacheGeometry("L1", 1, 4 * 1024, 64, 4, 2),
+            CacheGeometry("L2", 2, 16 * 1024, 64, 4, 8),
+        ]
+        return CacheHierarchy(caches, MemoryLevel(latency=100), prefetch)
+
+    def test_miss_walks_to_memory(self):
+        hierarchy = self._hierarchy()
+        assert hierarchy.access(0x1000) == "MEM"
+        # Inclusive allocation: both levels now hold the line.
+        assert hierarchy.access(0x1000) == "L1"
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = self._hierarchy()
+        # 8 lines conflicting in one L1 set (4-way) but fitting L2.
+        lines = [0x40 * 16 * i for i in range(8)]
+        for _ in range(3):
+            for address in lines:
+                hierarchy.access(address)
+        hierarchy.reset_statistics()
+        for address in lines:
+            source = hierarchy.access(address)
+            assert source in ("L2", "L1")
+        assert hierarchy.source_counts["L2"] > 0
+
+    def test_distribution_sums_to_one(self):
+        hierarchy = self._hierarchy()
+        hierarchy.run(range(0, 64 * 100, 64))
+        assert sum(hierarchy.distribution().values()) == pytest.approx(1.0)
+
+    def test_prefetcher_catches_constant_stride(self):
+        hierarchy = self._hierarchy(prefetch=True)
+        stream = [0x40 * i for i in range(200)]
+        hierarchy.run(stream)
+        assert hierarchy.prefetches_issued > 0
+        # The tail of the stream should hit L1 thanks to prefetching.
+        assert hierarchy.distribution()["L1"] > 0.5
+
+    def test_no_prefetch_on_random_stream(self):
+        import random
+        rng = random.Random(5)
+        hierarchy = self._hierarchy(prefetch=True)
+        stream = [rng.randrange(0, 1 << 24) & ~63 for _ in range(200)]
+        hierarchy.run(stream)
+        assert hierarchy.prefetches_issued < 20

@@ -1,0 +1,117 @@
+"""Tests for stressmark construction, sets, and reporting."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.march import get_architecture
+from repro.stressmark.expert import (
+    EXPERT_INSTRUCTIONS,
+    expert_dse_set,
+    expert_manual_set,
+)
+from repro.stressmark.report import (
+    OrderSpread,
+    best_sequence,
+    order_spread_analysis,
+    summarize_set,
+)
+from repro.stressmark.search import (
+    build_stressmark,
+    covering_sequences,
+    point_to_sequence,
+    sequence_space,
+)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return get_architecture("POWER7")
+
+
+class TestBuildStressmark:
+    def test_replicates_sequence(self, arch):
+        kernel = build_stressmark(
+            arch, ("mulldo", "lxvw4x", "xvnmsubmdp"), loop_size=12
+        )
+        mnemonics = [ins.mnemonic for ins in kernel.instructions[:-1]]
+        assert mnemonics == ["mulldo", "lxvw4x", "xvnmsubmdp"] * 4
+        assert kernel.instructions[-1].mnemonic == "b"
+
+    def test_memory_slots_l1_resident(self, arch):
+        kernel = build_stressmark(arch, ("lxvw4x",), loop_size=64)
+        for ins in kernel.instructions[:-1]:
+            assert ins.source_level == "L1"
+            assert ins.address is not None
+
+    def test_no_dependencies(self, arch):
+        kernel = build_stressmark(arch, ("mulldo", "mullw"), loop_size=32)
+        assert all(ins.dep_distance is None for ins in kernel.instructions)
+
+    def test_empty_sequence_rejected(self, arch):
+        with pytest.raises(ValueError):
+            build_stressmark(arch, ())
+
+
+class TestSequenceSpaces:
+    def test_space_size(self):
+        space = sequence_space(("a", "b", "c"))
+        assert space.size == 3 ** 6
+
+    def test_point_decoding(self):
+        space = sequence_space(("a", "b"))
+        point = next(space.points())
+        assert point_to_sequence(point) == ("a",) * 6
+
+    def test_covering_sequences_is_540(self):
+        # The paper's "540 possible combinations": 3^6 minus sequences
+        # that drop one of the three instructions.
+        sequences = covering_sequences(("a", "b", "c"))
+        assert len(sequences) == 540
+        for sequence in sequences:
+            assert set(sequence) == {"a", "b", "c"}
+
+    def test_expert_sets(self):
+        assert len(expert_dse_set()) == 540
+        manual = expert_manual_set()
+        assert len(manual) >= 3
+        for pattern in manual:
+            assert set(pattern) <= set(EXPERT_INSTRUCTIONS)
+
+
+class TestReporting:
+    def _rows(self):
+        return [
+            (("a",), 1, 100.0, 2.0),
+            (("b",), 1, 110.0, 2.0),
+            (("c",), 1, 90.0, 1.5),
+            (("a",), 2, 105.0, 1.8),
+        ]
+
+    def test_summary(self):
+        summary = summarize_set("X", self._rows(), baseline_power=100.0)
+        assert summary.minimum == pytest.approx(0.9)
+        assert summary.maximum == pytest.approx(1.1)
+        assert summary.count == 4
+
+    def test_best_sequence(self):
+        assert best_sequence(self._rows()) == ("b",)
+
+    def test_order_spread_at_max_ipc(self):
+        spread = order_spread_analysis(self._rows(), 100.0, smt=1)
+        # Only the two IPC-2.0 rows qualify.
+        assert spread.sequences_at_max_ipc == 2
+        assert spread.min_normalized == pytest.approx(1.0)
+        assert spread.max_normalized == pytest.approx(1.1)
+        assert spread.spread_percent == pytest.approx(10.0)
+
+    def test_order_spread_percent_guard(self):
+        spread = OrderSpread(1, 0.0, 0.0)
+        assert spread.spread_percent == 0.0
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(SearchError):
+            summarize_set("X", [], 100.0)
+        with pytest.raises(SearchError):
+            best_sequence([])
+        with pytest.raises(SearchError):
+            order_spread_analysis(self._rows(), 100.0, smt=4)
