@@ -88,7 +88,7 @@ ENERGY_MULTIPLIER = {
     # fixed-point: simple ops are cheap, multiplies/divides expensive
     "addic": 1.00, "subf": 1.69, "addc": 1.55, "subfc": 1.55,
     "adde": 1.60, "subfe": 1.60,
-    "mulldo": 2.60, "mulld": 2.25, "mullw": 2.10, "mulhd": 2.20,
+    "mulldo": 2.80, "mulld": 2.25, "mullw": 2.10, "mulhd": 2.20,
     "mulhw": 2.05, "mulli": 2.00,
     "divd": 3.50, "divw": 3.30, "divdu": 3.45,
     "sld": 1.15, "slw": 1.10, "srd": 1.15, "srw": 1.10,
@@ -105,14 +105,14 @@ ENERGY_MULTIPLIER = {
     "lbzx": 1.36, "lhzx": 1.40, "lwzx": 1.45, "ldx": 1.50,
     "lha": 1.95, "lwa": 2.00, "lhax": 1.98, "lwax": 2.05,
     "lbzu": 1.90, "lhzu": 1.95, "lwzu": 2.00, "ldu": 2.05,
-    "lbzux": 1.95, "lhzux": 2.00, "lwzux": 2.05, "ldux": 2.10,
-    "lhau": 1.32, "lhaux": 1.55, "lwaux": 1.48,
+    "lbzux": 1.95, "lhzux": 2.00, "lwzux": 2.05, "ldux": 2.20,
+    "lhau": 1.32, "lhaux": 1.62, "lwaux": 1.48,
     # float loads
     "lfs": 1.50, "lfd": 1.55, "lfsx": 1.55, "lfdx": 1.60,
     "lfsu": 1.69, "lfdu": 1.72, "lfsux": 1.75, "lfdux": 1.78,
     # vector loads
-    "lvx": 1.88, "lvebx": 1.82, "lvehx": 1.82, "lvewx": 1.92,
-    "lxvw4x": 2.05, "lxvd2x": 1.90, "lxsdx": 1.70,
+    "lvx": 1.72, "lvebx": 1.70, "lvehx": 1.70, "lvewx": 1.78,
+    "lxvw4x": 2.10, "lxvd2x": 1.82, "lxsdx": 1.70,
     # integer stores
     "stb": 1.30, "sth": 1.34, "stw": 1.38, "std": 1.44,
     "stbx": 1.35, "sthx": 1.39, "stwx": 1.43, "stdx": 1.49,
@@ -131,7 +131,7 @@ ENERGY_MULTIPLIER = {
     # vector float: the xvmaddadp / xstsqrtdp Table 3 contrast
     "xvadddp": 1.00, "xvsubdp": 1.00, "xvmuldp": 1.20,
     "xvmaddadp": 1.36, "xvmaddmdp": 1.35,
-    "xvnmsubadp": 1.25, "xvnmsubmdp": 1.48,
+    "xvnmsubadp": 1.25, "xvnmsubmdp": 1.58,
     "xvdivdp": 2.60, "xvsqrtdp": 2.80,
     "xvaddsp": 0.95, "xvmulsp": 1.10, "xvmaddasp": 1.25,
     # VMX integer
