@@ -1,2 +1,39 @@
-from setuptools import setup
-setup()
+"""Package definition for the micro-benchmark generation reproduction.
+
+``pip install -e .`` makes ``repro`` importable without PYTHONPATH
+tricks and ships the bundled ISA/micro-architecture definition files
+(``repro/isa/data/*.isa``, ``repro/march/data/*.march``) that
+``get_architecture("POWER7")`` loads through ``importlib.resources``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-microprobe",
+    version="0.2.0",
+    description=(
+        "Systematic energy characterization of CMP/SMT processors via "
+        "automated micro-benchmarks (paper reproduction)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={
+        "repro.isa": ["data/*.isa"],
+        "repro.march": ["data/*.march"],
+    },
+    include_package_data=True,
+    install_requires=[
+        "numpy",
+    ],
+    extras_require={
+        "test": [
+            "pytest",
+            "hypothesis",
+        ],
+        "bench": [
+            "pytest",
+            "pytest-benchmark",
+        ],
+    },
+)

@@ -122,7 +122,14 @@ class Program:
     # -- downstream views ------------------------------------------------------
 
     def to_kernel(self) -> Kernel:
-        """The simulator-facing view of this program."""
+        """The simulator-facing view of this program.
+
+        Bodies the pass pipeline left analytically uniform (every
+        workload slot shares mnemonic, dependency link and memory
+        level -- the bootstrap's single-instruction loops) are stamped
+        with a period fingerprint so the steady-state evaluation engine
+        summarizes them in O(period) work.
+        """
         if not self.body:
             raise SynthesisError(
                 f"program {self.name!r} has no body; run a skeleton pass"
@@ -140,7 +147,37 @@ class Program:
             name=self.name,
             instructions=instructions,
             operand_entropy=self.operand_entropy,
+            period=self._analytic_period(instructions),
         )
+
+    def _analytic_period(
+        self, instructions: tuple[KernelInstruction, ...]
+    ) -> int | None:
+        """Period fingerprint of a uniform body, or ``None``.
+
+        The fingerprint contract places the trailing structural slots
+        (the loop-closing branch) in the remainder tail, so the period
+        must divide the workload length while leaving the tail short of
+        one full period; the smallest such divisor is returned.
+        """
+        tail = 0
+        while tail < len(self.body) and self.body[-1 - tail].structural:
+            tail += 1
+        workload = len(self.body) - tail
+        if workload < 2 or any(
+            ins.structural for ins in self.body[:workload]
+        ):
+            return None
+        key = instructions[0].analytic_key()
+        if any(
+            instructions[index].analytic_key() != key
+            for index in range(1, workload)
+        ):
+            return None
+        for divisor in (2, 3, 5, 7, 11, 13):
+            if tail < divisor and workload % divisor == 0:
+                return divisor
+        return None
 
     def save(self, path: str | Path) -> Path:
         """Emit the program to ``path`` (.c or .s decides the emitter)."""

@@ -10,7 +10,7 @@ which matters for GA populations that revisit genotypes.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 from repro.dse.space import DesignPoint, DesignSpace
 from repro.measure.measurement import Measurement
@@ -61,10 +61,16 @@ class MeasurementEvaluator:
         self.measurements = 0
 
     def __call__(self, point: DesignPoint) -> float:
-        kernel = self.builder(point)
-        measurement = self.machine.run(kernel, self.config, self.duration)
-        self.measurements += 1
-        return self.objective(measurement)
+        return self.evaluate_many([point])[0]
+
+    def evaluate_many(self, points: Sequence[DesignPoint]) -> list[float]:
+        """Score a batch of points through ``Machine.run_many``."""
+        kernels = [self.builder(point) for point in points]
+        measurements = self.machine.run_many(
+            kernels, self.config, self.duration
+        )
+        self.measurements += len(points)
+        return [self.objective(measurement) for measurement in measurements]
 
 
 class CachingEvaluator:
@@ -85,6 +91,36 @@ class CachingEvaluator:
             self._cache[key] = self.evaluator(point)
         return self._cache[key]
 
+    def evaluate_many(self, points: Sequence[DesignPoint]) -> list[float]:
+        """Batch evaluation: misses go to the backend in one batch."""
+        keys = [self.space.key(point) for point in points]
+        fresh: dict[tuple, DesignPoint] = {}
+        for key, point in zip(keys, points):
+            if key not in self._cache and key not in fresh:
+                fresh[key] = point
+        if fresh:
+            scores = evaluate_batch(self.evaluator, list(fresh.values()))
+            for key, score in zip(fresh, scores):
+                self._cache[key] = score
+        return [self._cache[key] for key in keys]
+
     @property
     def unique_evaluations(self) -> int:
         return len(self._cache)
+
+
+def evaluate_batch(
+    evaluator: Callable[[DesignPoint], float],
+    points: Sequence[DesignPoint],
+) -> list[float]:
+    """Score ``points``, batching when the evaluator supports it.
+
+    Search drivers call this instead of a per-point loop, so any
+    evaluator exposing ``evaluate_many`` (the measurement evaluators
+    above, user-supplied batched objectives) gets the whole population
+    at once and can route it through :meth:`Machine.run_many`.
+    """
+    batch = getattr(evaluator, "evaluate_many", None)
+    if batch is not None:
+        return list(batch(points))
+    return [evaluator(point) for point in points]

@@ -8,11 +8,16 @@ the search space to the actual points of interest is crucial".
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Callable
 
+from repro.dse.evaluator import evaluate_batch
 from repro.dse.results import SearchResult
 from repro.dse.space import DesignPoint, DesignSpace
 from repro.errors import SearchError
+
+#: Points measured per batch; bounds the kernels materialized at once.
+BATCH_SIZE = 1024
 
 
 class ExhaustiveSearch:
@@ -29,7 +34,7 @@ class ExhaustiveSearch:
         self.limit = limit
 
     def run(self) -> SearchResult:
-        """Evaluate every point.
+        """Evaluate every point, in measurement batches.
 
         Raises:
             SearchError: If the space exceeds the configured limit
@@ -42,6 +47,13 @@ class ExhaustiveSearch:
                 f"limit of {self.limit}; prune the space or raise limit"
             )
         result = SearchResult()
-        for point in self.space.points():
-            result.record(point, self.evaluator(point))
+        points = self.space.points()
+        while True:
+            batch = list(itertools.islice(points, BATCH_SIZE))
+            if not batch:
+                break
+            for point, score in zip(
+                batch, evaluate_batch(self.evaluator, batch)
+            ):
+                result.record(point, score)
         return result

@@ -13,6 +13,7 @@ import random
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.dse.evaluator import evaluate_batch
 from repro.dse.results import SearchResult
 from repro.dse.space import DesignPoint, DesignSpace
 
@@ -64,10 +65,7 @@ class GeneticSearch:
         population = [
             self.space.random_point(rng) for _ in range(params.population)
         ]
-        scored = [
-            (point, result.record(point, self.evaluator(point)).score)
-            for point in population
-        ]
+        scored = self._evaluate_population(population, result)
 
         for _ in range(params.generations - 1):
             scored.sort(key=lambda pair: pair[1], reverse=True)
@@ -80,11 +78,18 @@ class GeneticSearch:
                 child = self._crossover(parent_a, parent_b, rng)
                 self._mutate(child, rng)
                 next_population.append(child)
-            scored = [
-                (point, result.record(point, self.evaluator(point)).score)
-                for point in next_population
-            ]
+            scored = self._evaluate_population(next_population, result)
         return result
+
+    def _evaluate_population(
+        self, population: list[DesignPoint], result: SearchResult
+    ) -> list[tuple[DesignPoint, float]]:
+        """Score one generation as a single measurement batch."""
+        scores = evaluate_batch(self.evaluator, population)
+        return [
+            (point, result.record(point, score).score)
+            for point, score in zip(population, scores)
+        ]
 
     def _tournament(
         self,

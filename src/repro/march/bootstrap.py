@@ -132,6 +132,15 @@ class Bootstrapper:
                 stressed.append(unit.name)
         return tuple(stressed)
 
+    def _require_probeable(self, mnemonic: str) -> None:
+        """Raise for instructions the bootstrap cannot probe."""
+        definition = self.arch.isa.instruction(mnemonic)
+        if definition.is_branch or definition.is_nop:
+            raise MicroProbeError(
+                f"bootstrap cannot probe {mnemonic!r} "
+                "(control-flow/reference instruction)"
+            )
+
     def bootstrap_instruction(self, mnemonic: str) -> BootstrapRecord:
         """Derive the dynamic properties of one instruction.
 
@@ -140,20 +149,19 @@ class Bootstrapper:
                 (branches would destroy the loop structure; nop is the
                 reference itself).
         """
-        definition = self.arch.isa.instruction(mnemonic)
-        if definition.is_branch or definition.is_nop:
-            raise MicroProbeError(
-                f"bootstrap cannot probe {mnemonic!r} "
-                "(control-flow/reference instruction)"
-            )
-
+        self._require_probeable(mnemonic)
         chained = self.machine.run(
             self._build(mnemonic, chained=True), self.config, self.duration
         )
         free = self.machine.run(
             self._build(mnemonic, chained=False), self.config, self.duration
         )
+        return self._derive(mnemonic, chained, free)
 
+    def _derive(
+        self, mnemonic: str, chained: Measurement, free: Measurement
+    ) -> BootstrapRecord:
+        """Reduce the two bootstrap measurements to a record."""
         chain_ipc = self._ipc(chained)
         throughput = self._ipc(free)
         latency = 1.0 / chain_ipc if chain_ipc > 0 else float("inf")
@@ -185,15 +193,37 @@ class Bootstrapper:
         With ``write_back``, measured EPI and average power are stored
         into the architecture's property database, completing the
         partial text-file definition automatically.
+
+        The two benchmarks of every instruction are generated up front
+        and measured through :meth:`Machine.run_many`, one batched
+        sweep per benchmark kind, so the whole-ISA bootstrap drives the
+        machine's evaluation engine instead of several hundred
+        independent ``run`` round-trips.
         """
         if mnemonics is None:
             mnemonics = [
                 ins.mnemonic for ins in self.arch.isa
                 if not ins.is_branch and not ins.is_nop
             ]
-        records = {}
         for mnemonic in mnemonics:
-            record = self.bootstrap_instruction(mnemonic)
+            self._require_probeable(mnemonic)
+        # Generators keep at most one kernel alive at a time; run_many
+        # drains them through the shared evaluation engine.
+        chained_batch = self.machine.run_many(
+            (self._build(m, chained=True) for m in mnemonics),
+            self.config,
+            self.duration,
+        )
+        free_batch = self.machine.run_many(
+            (self._build(m, chained=False) for m in mnemonics),
+            self.config,
+            self.duration,
+        )
+        records = {}
+        for mnemonic, chained, free in zip(
+            mnemonics, chained_batch, free_batch
+        ):
+            record = self._derive(mnemonic, chained, free)
             records[mnemonic] = record
             if write_back:
                 props = self.arch.props(mnemonic)

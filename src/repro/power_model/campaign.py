@@ -61,9 +61,6 @@ class ModelingCampaign:
 
     # -- data gathering -------------------------------------------------------
 
-    def _run(self, workload, config: MachineConfig) -> Measurement:
-        return self.machine.run(workload, config, self.duration)
-
     def gather(self) -> dict:
         """Generate the suite and run every measurement the steps need."""
         arch = self.machine.arch
@@ -84,33 +81,47 @@ class ModelingCampaign:
         smt2 = MachineConfig(cores, 2)
         smt4 = MachineConfig(cores, 4)
 
+        # Batched measurement: one run_many sweep per configuration.
+        # Every kernel's steady-state summary is computed once and
+        # shared across all 26 sweeps via the machine's digest cache.
+        suite_kernels = [bench.kernel for bench in suite]
         data = {
             "suite": suite,
-            "suite_smt1": [
-                (bench.family, self._run(bench.kernel, single))
-                for bench in suite
-            ],
-            "suite_smt2": [self._run(b.kernel, smt2) for b in suite],
-            "suite_smt4": [self._run(b.kernel, smt4) for b in suite],
-            "random_all": [
-                self._run(bench.kernel, config)
-                for bench in randoms
-                for config in self.configs
-            ],
-            "micro_all": [
-                self._run(bench.kernel, config)
-                for bench in micro
-                for config in self.configs
-            ],
+            "suite_smt1": list(
+                zip(
+                    [bench.family for bench in suite],
+                    self.machine.run_many(suite_kernels, single, self.duration),
+                )
+            ),
+            "suite_smt2": self.machine.run_many(
+                suite_kernels, smt2, self.duration
+            ),
+            "suite_smt4": self.machine.run_many(
+                suite_kernels, smt4, self.duration
+            ),
+            "random_all": self._run_sweep([b.kernel for b in randoms]),
+            "micro_all": self._run_sweep([b.kernel for b in micro]),
             "idle": self.machine.run_idle(duration=self.duration),
         }
         return data
+
+    def _run_sweep(self, kernels) -> list[Measurement]:
+        """Every kernel on every configuration, kernel-major order."""
+        by_config = [
+            self.machine.run_many(kernels, config, self.duration)
+            for config in self.configs
+        ]
+        return [
+            by_config[config_index][kernel_index]
+            for kernel_index in range(len(kernels))
+            for config_index in range(len(self.configs))
+        ]
 
     def gather_spec(self) -> dict[MachineConfig, list[Measurement]]:
         """SPEC proxy measurements across the full sweep."""
         suite = spec_cpu2006()
         return {
-            config: [self._run(workload, config) for workload in suite]
+            config: self.machine.run_many(suite, config, self.duration)
             for config in self.configs
         }
 

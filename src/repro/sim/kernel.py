@@ -5,10 +5,20 @@ emits C/assembly artifacts; the machine only needs the dynamic essence
 of the endless loop: the instruction sequence, each instruction's
 dependency link, the planned memory source level per slot, and the
 operand-data entropy set by the value-initialisation passes.
+
+Every generated kernel is a short sequence replicated to fill the loop,
+so a kernel may additionally carry a *period fingerprint*: ``period=p``
+declares that slot ``i`` is analytically equivalent to slot ``i % p``
+(same mnemonic, dependency distance and source level -- planned byte
+addresses may differ) for every slot below the last full period; any
+trailing remainder (typically the loop-closing branch) is arbitrary.
+The steady-state evaluation engine exploits the fingerprint to
+summarize a kernel in O(period) instead of O(loop size) work.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 
@@ -31,6 +41,10 @@ class KernelInstruction:
     source_level: str | None = None
     address: int | None = None
 
+    def analytic_key(self) -> tuple:
+        """The fields steady-state analytics depend on (no address)."""
+        return (self.mnemonic, self.dep_distance, self.source_level)
+
 
 @dataclass(frozen=True)
 class Kernel:
@@ -41,47 +55,120 @@ class Kernel:
         instructions: The loop body, in program order.
         operand_entropy: Data-switching activity of the operand values,
             from 0.0 (all zeros) to 1.0 (random data).
+        period: Declared analytic period of the loop body, or ``None``
+            when the body has no known periodic structure.  Producers
+            (stressmark builder, bootstrap, synthesizer) set this; the
+            engine *trusts* it -- slots covered by the replicated
+            pattern are neither validated nor re-read, so a wrong
+            declaration yields wrong steady-state results.  See
+            :meth:`validate_period` for the contract check (O(loop
+            size); the producer tests run it on every builder).
     """
 
     name: str
     instructions: tuple[KernelInstruction, ...]
     operand_entropy: float = 1.0
+    period: int | None = None
 
     def __post_init__(self) -> None:
         if not self.instructions:
             raise ValueError(f"kernel {self.name!r} has an empty loop body")
         if not 0.0 <= self.operand_entropy <= 1.0:
             raise ValueError("operand_entropy must be within [0, 1]")
-        for index, instruction in enumerate(self.instructions):
-            distance = instruction.dep_distance
-            if distance is not None and distance < 1:
-                raise ValueError(
-                    f"kernel {self.name!r} slot {index}: dependency "
-                    f"distance must be >= 1, got {distance}"
-                )
+        if self.period is not None and self.period < 1:
+            raise ValueError(f"kernel {self.name!r}: period must be >= 1")
+        # With a declared period, the fingerprint contract makes one
+        # period plus the tail representative -- validate O(period).
+        pattern, repeats, tail = self.periodic_parts()
+        for base, slots in ((0, pattern), (repeats * len(pattern), tail)):
+            for index, instruction in enumerate(slots):
+                distance = instruction.dep_distance
+                if distance is not None and distance < 1:
+                    raise ValueError(
+                        f"kernel {self.name!r} slot {base + index}: "
+                        f"dependency distance must be >= 1, got {distance}"
+                    )
 
     def __len__(self) -> int:
         return len(self.instructions)
 
-    def digest(self) -> int:
-        """Deterministic content digest (stable across processes).
+    # -- periodic structure ----------------------------------------------------
 
-        Used to salt sensor seeds so two kernels that share a name can
-        never produce identical noise draws.
+    def periodic_parts(
+        self,
+    ) -> tuple[tuple[KernelInstruction, ...], int, tuple[KernelInstruction, ...]]:
+        """``(pattern, repeats, tail)`` decomposition of the loop body.
+
+        For a kernel with a declared period ``p``, the body is
+        ``pattern * repeats + tail`` where ``pattern`` is the first
+        period and ``tail`` the trailing remainder (analytically exact
+        by the period contract).  Aperiodic kernels decompose trivially
+        as one repeat of the whole body.
         """
-        import zlib
-
-        text = "|".join(
-            f"{ins.mnemonic},{ins.dep_distance},{ins.source_level},"
-            f"{ins.address}"
-            for ins in self.instructions
+        period = self.period
+        if period is None or period >= len(self.instructions):
+            return self.instructions, 1, ()
+        repeats = len(self.instructions) // period
+        return (
+            self.instructions[:period],
+            repeats,
+            self.instructions[repeats * period:],
         )
-        return zlib.crc32(f"{self.operand_entropy}:{text}".encode())
+
+    def validate_period(self) -> None:
+        """Assert the declared period contract (O(loop size); tests only).
+
+        Raises:
+            ValueError: If some slot below the last full period is not
+                analytically equivalent to its image in the first one.
+        """
+        if self.period is None:
+            return
+        pattern, repeats, _ = self.periodic_parts()
+        period = len(pattern)
+        for index in range(period, repeats * period):
+            expected = pattern[index % period].analytic_key()
+            actual = self.instructions[index].analytic_key()
+            if actual != expected:
+                raise ValueError(
+                    f"kernel {self.name!r}: slot {index} {actual} breaks "
+                    f"the declared period {period} ({expected} expected)"
+                )
+
+    # -- content identity --------------------------------------------------------
+
+    def digest(self) -> int:
+        """Deterministic analytic-content digest (stable across processes).
+
+        Keys the evaluation engine's summary/activity memoization and
+        salts sensor seeds so two kernels that share a name can never
+        produce identical noise draws.  For kernels with a declared
+        period the digest covers one period plus the repeat count and
+        tail, making it O(period) to compute.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is not None:
+            return cached
+        pattern, repeats, tail = self.periodic_parts()
+        text = (
+            f"{self.operand_entropy}:{len(pattern)}:{repeats}:"
+            f"{_content_text(pattern)}#{_content_text(tail)}"
+        )
+        value = int.from_bytes(
+            hashlib.blake2b(text.encode(), digest_size=8).digest(), "big"
+        )
+        object.__setattr__(self, "_digest", value)
+        return value
 
     def mnemonic_counts(self) -> dict[str, int]:
         """Occurrences of each mnemonic in the loop body."""
         counts: dict[str, int] = {}
-        for instruction in self.instructions:
+        pattern, repeats, tail = self.periodic_parts()
+        for instruction in pattern:
+            counts[instruction.mnemonic] = (
+                counts.get(instruction.mnemonic, 0) + repeats
+            )
+        for instruction in tail:
             counts[instruction.mnemonic] = counts.get(instruction.mnemonic, 0) + 1
         return counts
 
@@ -91,3 +178,10 @@ class Kernel:
             index for index, instruction in enumerate(self.instructions)
             if instruction.source_level is not None
         ]
+
+
+def _content_text(instructions: tuple[KernelInstruction, ...]) -> str:
+    return "|".join(
+        f"{ins.mnemonic},{ins.dep_distance},{ins.source_level},{ins.address}"
+        for ins in instructions
+    )

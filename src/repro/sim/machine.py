@@ -9,10 +9,18 @@ SPEC proxies::
 
     workload.name                              -> str
     workload.thread_activity(machine, smt)     -> ThreadActivity
+
+``Machine.run_many`` is the batched entry point the measurement
+campaigns use: it amortizes per-kernel steady-state analysis across
+the whole batch through the evaluation engine's summary-digest
+memoization, so re-measuring one kernel across the 24-configuration
+CMP/SMT sweep (or a GA population re-visiting genotypes) never
+re-walks a loop body.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from typing import Protocol, runtime_checkable
 
 from repro.errors import MeasurementError
@@ -24,6 +32,10 @@ from repro.sim.kernel import Kernel
 from repro.sim.pipeline import CorePipelineModel
 from repro.sim.power import GroundTruthPowerModel
 from repro.sim.sensors import PowerSensor, stable_seed
+
+#: Activity vectors retained per machine (FIFO eviction past this);
+#: one-shot sweeps over huge design spaces never revisit a kernel.
+ACTIVITY_CACHE_LIMIT = 65_536
 
 
 @runtime_checkable
@@ -49,10 +61,11 @@ class Machine:
         self.seed = seed
         self._power = GroundTruthPowerModel(self.arch)
         self._sensor = PowerSensor()
-        # Keyed on the kernel object itself (kernels are frozen and
-        # hashable): distinct kernels that happen to share a name must
-        # never alias.
-        self._activity_cache: dict[tuple[Kernel, int], ThreadActivity] = {}
+        # Keyed on the kernel's analytic digest: kernels with identical
+        # loop-body content share one steady-state analysis regardless
+        # of how many Kernel objects carry it; distinct kernels that
+        # happen to share a name never alias.
+        self._activity_cache: dict[tuple[int, int], ThreadActivity] = {}
 
     @property
     def frequency(self) -> float:
@@ -73,31 +86,33 @@ class Machine:
             MeasurementError: If the configuration does not fit the chip
                 or the workload does not follow the protocol.
         """
-        try:
-            config.validate_against(self.arch.chip)
-        except ValueError as exc:
-            raise MeasurementError(str(exc)) from None
+        self._validate(config)
+        return self._measure(workload, config, duration)
 
-        activity = self._resolve_activity(workload, config.smt)
-        counters = self.pipeline.counters_from_activity(activity, duration)
-        true_power = self._power.chip_power(
-            [activity] * config.threads, config
-        )
-        salt = workload.digest() if isinstance(workload, Kernel) else 0
-        summary = self._sensor.measure(
-            true_power,
-            duration,
-            stable_seed(workload.name, config.label, duration, self.seed, salt),
-        )
-        return Measurement(
-            workload_name=workload.name,
-            config=config,
-            duration=duration,
-            thread_counters=tuple([counters] * config.threads),
-            mean_power=summary.mean_power,
-            power_std=summary.power_std,
-            sample_count=summary.sample_count,
-        )
+    def run_many(
+        self,
+        workloads: Iterable[Kernel | Workload] | Sequence[Kernel | Workload],
+        config: MachineConfig,
+        duration: float = DEFAULT_DURATION_S,
+    ) -> list[Measurement]:
+        """Measure a batch of workloads on one configuration.
+
+        Semantically identical to ``[run(w, config, duration) for w in
+        workloads]`` -- same measurements, same sensor noise draws --
+        but validates the configuration once and drives every workload
+        through the shared summary/activity memoization, which is the
+        fast path for design-space exploration and training-suite
+        campaigns.
+
+        Raises:
+            MeasurementError: If the configuration does not fit the chip
+                or some workload does not follow the protocol.
+        """
+        self._validate(config)
+        return [
+            self._measure(workload, config, duration)
+            for workload in workloads
+        ]
 
     def run_idle(
         self,
@@ -124,14 +139,49 @@ class Machine:
 
     # -- internals -------------------------------------------------------------
 
+    def _validate(self, config: MachineConfig) -> None:
+        try:
+            config.validate_against(self.arch.chip)
+        except ValueError as exc:
+            raise MeasurementError(str(exc)) from None
+
+    def _measure(
+        self,
+        workload: Kernel | Workload,
+        config: MachineConfig,
+        duration: float,
+    ) -> Measurement:
+        activity = self._resolve_activity(workload, config.smt)
+        counters = self.pipeline.counters_from_activity(activity, duration)
+        true_power = self._power.chip_power(
+            [activity] * config.threads, config
+        )
+        salt = workload.digest() if isinstance(workload, Kernel) else 0
+        summary = self._sensor.measure(
+            true_power,
+            duration,
+            stable_seed(workload.name, config.label, duration, self.seed, salt),
+        )
+        return Measurement(
+            workload_name=workload.name,
+            config=config,
+            duration=duration,
+            thread_counters=tuple([counters] * config.threads),
+            mean_power=summary.mean_power,
+            power_std=summary.power_std,
+            sample_count=summary.sample_count,
+        )
+
     def _resolve_activity(
         self, workload: Kernel | Workload, smt: int
     ) -> ThreadActivity:
         if isinstance(workload, Kernel):
-            key = (workload, smt)
+            key = (workload.digest(), smt)
             cached = self._activity_cache.get(key)
             if cached is None:
                 cached = self.pipeline.activity(workload, smt)
+                if len(self._activity_cache) >= ACTIVITY_CACHE_LIMIT:
+                    self._activity_cache.pop(next(iter(self._activity_cache)))
                 self._activity_cache[key] = cached
             return cached
         if isinstance(workload, Workload):

@@ -21,17 +21,34 @@ SMT sharing divides dispatch, unit and MSHR capacity among the threads
 of a core (with a small arbitration overhead), while per-thread
 dependency chains are unaffected -- which is exactly why low-ILP
 workloads scale well with SMT and high-IPC workloads do not.
+
+Evaluation engine
+-----------------
+
+The public entry points (:meth:`CorePipelineModel.bounds`,
+:meth:`~CorePipelineModel.activity`, :meth:`~CorePipelineModel.counters`)
+run on a :class:`~repro.sim.summary.KernelSummary` computed once per
+kernel and memoized by analytic digest: per-mnemonic
+:class:`~repro.march.properties.InstructionProperties` lookups are
+precompiled into flat occupancy rows at model construction, one
+water-fill result is shared between the unit bound and the per-unit
+operation split, and kernels declaring a periodic structure are
+summarized in O(period) work.  The pre-engine per-instruction walk is
+retained as ``reference_*`` methods; property tests assert the two
+paths agree to float precision on arbitrary kernels.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
-from repro.errors import MicroProbeError
+from repro.errors import MicroProbeError, UnknownInstructionError
 from repro.march.definition import MicroArchitecture
 from repro.march.properties import InstructionProperties
 from repro.sim.activity import ThreadActivity
-from repro.sim.kernel import Kernel
+from repro.sim.kernel import Kernel, KernelInstruction
+from repro.sim.summary import KernelSummary
 
 #: Outstanding-miss registers per hardware thread context.
 MSHRS_PER_THREAD = 8
@@ -41,6 +58,10 @@ SMT_OVERHEAD = {1: 0.0, 2: 0.04, 4: 0.09}
 
 #: Secondary unit usages occupy one pipe-cycle per injected operation.
 SECONDARY_OCCUPANCY = 1.0
+
+#: Summaries retained per model; exhaustive sweeps over huge design
+#: spaces never revisit a kernel, so the cache evicts FIFO past this.
+SUMMARY_CACHE_LIMIT = 65_536
 
 
 @dataclass(frozen=True)
@@ -69,6 +90,58 @@ class PipelineBounds:
         return max(bounds, key=bounds.get)
 
 
+class _PropertyRow:
+    """Flat, precompiled per-mnemonic occupancy/ops row.
+
+    Everything the hot loop needs from
+    :class:`~repro.march.properties.InstructionProperties` and the ISA
+    definition, with the usage-position arithmetic (primary usage costs
+    ``inv_throughput`` per op, secondaries one pipe-cycle per op)
+    already folded in.
+    """
+
+    __slots__ = (
+        "latency",
+        "fixed_occupancy",
+        "flexible_occupancy",
+        "fixed_ops",
+        "flexible_ops",
+        "primary_unit",
+        "is_store",
+    )
+
+    def __init__(
+        self,
+        props: InstructionProperties,
+        is_store: bool,
+    ) -> None:
+        self.latency = props.latency
+        self.is_store = is_store
+        fixed_occupancy: list[tuple[str, float]] = []
+        flexible_occupancy: list[tuple[tuple[str, ...], float]] = []
+        fixed_ops: list[tuple[str, float]] = []
+        flexible_ops: list[tuple[tuple[str, ...], float]] = []
+        for position, usage in enumerate(props.usages):
+            occupancy = (
+                props.inv_throughput * usage.ops
+                if position == 0
+                else SECONDARY_OCCUPANCY * usage.ops
+            )
+            if usage.is_flexible:
+                flexible_occupancy.append((usage.units, occupancy))
+                flexible_ops.append((usage.units, usage.ops))
+            else:
+                fixed_occupancy.append((usage.units[0], occupancy))
+                fixed_ops.append((usage.units[0], usage.ops))
+        self.fixed_occupancy = tuple(fixed_occupancy)
+        self.flexible_occupancy = tuple(flexible_occupancy)
+        self.fixed_ops = tuple(fixed_ops)
+        self.flexible_ops = tuple(flexible_ops)
+        self.primary_unit = (
+            props.usages[0].units[0] if props.usages else None
+        )
+
+
 class CorePipelineModel:
     """Maps kernels to per-thread steady-state activity."""
 
@@ -79,49 +152,73 @@ class CorePipelineModel:
         }
         self._level_latency[arch.memory.name] = arch.memory.latency
         self._l1_name = arch.caches[0].name
+        self._unit_pipes = {
+            name: unit.pipes for name, unit in arch.units.items()
+        }
+        # Precompiled per-mnemonic rows; instructions registered with
+        # the ISA after construction fall back to a lazy build.
+        self._rows: dict[str, _PropertyRow] = {}
+        for props in arch.properties:
+            self._rows[props.mnemonic] = self._build_row(props.mnemonic)
+        self._summaries: dict[int, KernelSummary] = {}
 
     # -- public API ---------------------------------------------------------
 
+    def summarize(self, kernel: Kernel) -> KernelSummary:
+        """The kernel's steady-state summary (memoized by digest)."""
+        digest = kernel.digest()
+        cached = self._summaries.get(digest)
+        if cached is not None and cached.size == len(kernel):
+            return cached
+        summary = self._build_summary(kernel, digest)
+        if len(self._summaries) >= SUMMARY_CACHE_LIMIT:
+            self._summaries.pop(next(iter(self._summaries)))
+        self._summaries[digest] = summary
+        return summary
+
     def bounds(self, kernel: Kernel, smt: int = 1) -> PipelineBounds:
         """Steady-state bounds for one thread at the given SMT way."""
-        if smt not in SMT_OVERHEAD:
-            raise MicroProbeError(f"unsupported SMT way {smt}")
-        share = smt / (1.0 - SMT_OVERHEAD[smt])
+        return self.bounds_from_summary(self.summarize(kernel), smt)
 
-        dispatch = len(kernel) / self.arch.chip.dispatch_width * share
-        unit = self._unit_bound(kernel) * share
-        dependency = self._dependency_bound(kernel)
-        memory = self._memory_bound(kernel) * share
+    def bounds_from_summary(
+        self, summary: KernelSummary, smt: int = 1
+    ) -> PipelineBounds:
+        """Bounds from a precomputed summary (O(1))."""
+        share = self._share(smt)
         return PipelineBounds(
-            dispatch=dispatch, unit=unit, dependency=dependency, memory=memory
+            dispatch=summary.size / self.arch.chip.dispatch_width * share,
+            unit=summary.unit_bound * share,
+            dependency=summary.dependency_bound,
+            memory=summary.miss_latency / MSHRS_PER_THREAD * share,
         )
 
     def activity(self, kernel: Kernel, smt: int = 1) -> ThreadActivity:
         """Full steady-state activity vector for one thread."""
-        period = self.bounds(kernel, smt).period
+        return self.activity_from_summary(self.summarize(kernel), smt)
+
+    def activity_from_summary(
+        self, summary: KernelSummary, smt: int = 1
+    ) -> ThreadActivity:
+        """Activity vector from a precomputed summary (O(units))."""
+        period = self.bounds_from_summary(summary, smt).period
         frequency = self.arch.chip.cycles_per_second
         iterations_per_second = frequency / period
-
-        insn_rates = {
-            mnemonic: count * iterations_per_second
-            for mnemonic, count in kernel.mnemonic_counts().items()
-        }
-        unit_ops = self._unit_ops(kernel)
-        unit_op_rates = {
-            unit: ops * iterations_per_second for unit, ops in unit_ops.items()
-        }
-        level_counts = self._level_counts(kernel)
-        level_rates = {
-            level: count * iterations_per_second
-            for level, count in level_counts.items()
-        }
         return ThreadActivity(
-            ipc=len(kernel) / period,
-            insn_rates=insn_rates,
-            unit_op_rates=unit_op_rates,
-            level_rates=level_rates,
-            alternation=self.alternation(kernel),
-            entropy=kernel.operand_entropy,
+            ipc=summary.size / period,
+            insn_rates={
+                mnemonic: count * iterations_per_second
+                for mnemonic, count in summary.mnemonic_counts.items()
+            },
+            unit_op_rates={
+                unit: ops * iterations_per_second
+                for unit, ops in summary.unit_ops.items()
+            },
+            level_rates={
+                level: count * iterations_per_second
+                for level, count in summary.level_counts.items()
+            },
+            alternation=summary.alternation,
+            entropy=summary.entropy,
         )
 
     def counters(
@@ -156,52 +253,206 @@ class CorePipelineModel:
 
     def alternation(self, kernel: Kernel) -> float:
         """Fraction of adjacent slots executing on different units."""
-        units = [
-            self._primary_unit(self.arch.props(ins.mnemonic))
-            for ins in kernel.instructions
-        ]
-        units = [unit for unit in units if unit is not None]
-        if len(units) < 2:
-            return 0.0
-        pairs = len(units)
-        changes = sum(
-            1 for index in range(pairs)
-            if units[index] != units[(index + 1) % pairs]
+        return self.summarize(kernel).alternation
+
+    # -- property rows ------------------------------------------------------------
+
+    def _row(self, mnemonic: str) -> _PropertyRow:
+        row = self._rows.get(mnemonic)
+        if row is None:
+            row = self._rows[mnemonic] = self._build_row(mnemonic)
+        return row
+
+    def _build_row(self, mnemonic: str) -> _PropertyRow:
+        props = self.arch.props(mnemonic)
+        try:
+            is_store = self.arch.isa.instruction(mnemonic).is_store
+        except UnknownInstructionError:
+            # Rows are precompiled eagerly for every property entry, so
+            # a user pruning the ISA after properties were built must
+            # not break model construction; a pruned mnemonic can only
+            # matter if a kernel still uses it as a memory op, and then
+            # it counts as a load.
+            is_store = False
+        return _PropertyRow(props, is_store)
+
+    def _share(self, smt: int) -> float:
+        if smt not in SMT_OVERHEAD:
+            raise MicroProbeError(f"unsupported SMT way {smt}")
+        return smt / (1.0 - SMT_OVERHEAD[smt])
+
+    # -- summary construction -------------------------------------------------------
+
+    def _build_summary(self, kernel: Kernel, digest: int) -> KernelSummary:
+        pattern, repeats, tail = kernel.periodic_parts()
+
+        # Per-mnemonic counts: one Counter pass over the period, scaled.
+        counts: Counter[str] = Counter()
+        for mnemonic, count in Counter(
+            ins.mnemonic for ins in pattern
+        ).items():
+            counts[mnemonic] += count * repeats
+        counts.update(ins.mnemonic for ins in tail)
+
+        # Memory accesses per (mnemonic, level); O(period) again.
+        memory_counts: Counter[tuple[str, str]] = Counter()
+        for key, count in Counter(
+            (ins.mnemonic, ins.source_level)
+            for ins in pattern
+            if ins.source_level is not None
+        ).items():
+            memory_counts[key] += count * repeats
+        memory_counts.update(
+            (ins.mnemonic, ins.source_level)
+            for ins in tail
+            if ins.source_level is not None
         )
-        return changes / pairs
 
-    # -- bounds -----------------------------------------------------------------
-
-    def _props(self, mnemonic: str) -> InstructionProperties:
-        return self.arch.props(mnemonic)
-
-    @staticmethod
-    def _primary_unit(props: InstructionProperties) -> str | None:
-        if not props.usages:
-            return None
-        return props.usages[0].units[0]
-
-    def _unit_occupancies(
-        self, kernel: Kernel
-    ) -> tuple[dict[str, float], dict[tuple[str, ...], float]]:
-        """Fixed per-unit occupancy plus flexible occupancy per unit set."""
-        fixed: dict[str, float] = {name: 0.0 for name in self.arch.units}
-        flexible: dict[tuple[str, ...], float] = {}
-        for instruction in kernel.instructions:
-            props = self._props(instruction.mnemonic)
-            for position, usage in enumerate(props.usages):
-                occupancy = (
-                    props.inv_throughput * usage.ops
-                    if position == 0
-                    else SECONDARY_OCCUPANCY * usage.ops
+        level_counts: dict[str, float] = {}
+        miss_latency = 0.0
+        l1_latency = self._level_latency[self._l1_name]
+        for (mnemonic, level), count in memory_counts.items():
+            level_counts[level] = level_counts.get(level, 0.0) + count
+            key = "_stores" if self._row(mnemonic).is_store else "_loads"
+            level_counts[key] = level_counts.get(key, 0.0) + count
+            if level != self._l1_name:
+                miss_latency += count * (
+                    self._level_latency[level] - l1_latency
                 )
-                if usage.is_flexible:
-                    flexible[usage.units] = (
-                        flexible.get(usage.units, 0.0) + occupancy
-                    )
-                else:
-                    fixed[usage.units[0]] += occupancy
-        return fixed, flexible
+
+        # Unit occupancies and operation counts from the mnemonic
+        # histogram; one shared water-fill covers bound and op split.
+        fixed_occ = {name: 0.0 for name in self.arch.units}
+        flexible_occ: dict[tuple[str, ...], float] = {}
+        fixed_ops = {name: 0.0 for name in self.arch.units}
+        flexible_ops: dict[tuple[str, ...], float] = {}
+        for mnemonic, count in counts.items():
+            row = self._row(mnemonic)
+            for unit, occupancy in row.fixed_occupancy:
+                fixed_occ[unit] += occupancy * count
+            for units, occupancy in row.flexible_occupancy:
+                flexible_occ[units] = (
+                    flexible_occ.get(units, 0.0) + occupancy * count
+                )
+            for unit, ops in row.fixed_ops:
+                fixed_ops[unit] += ops * count
+            for units, ops in row.flexible_ops:
+                flexible_ops[units] = (
+                    flexible_ops.get(units, 0.0) + ops * count
+                )
+
+        unit_loads = self._waterfill(fixed_occ, flexible_occ)
+        unit_bound = max(
+            (
+                unit_loads[name] / self._unit_pipes[name]
+                for name in unit_loads
+            ),
+            default=0.0,
+        )
+        unit_ops = self._split_flexible_ops(
+            fixed_ops, flexible_ops, fixed_occ, unit_loads
+        )
+
+        # Dependency cycles only exist when some slot carries a link;
+        # by the period contract, checking one period plus the tail
+        # decides that for the whole body.
+        has_deps = any(
+            ins.dep_distance is not None for ins in pattern
+        ) or any(ins.dep_distance is not None for ins in tail)
+        dependency = self._dependency_bound(kernel) if has_deps else 0.0
+
+        return KernelSummary(
+            digest=digest,
+            size=len(kernel),
+            mnemonic_counts=dict(counts),
+            level_counts=level_counts,
+            miss_latency=miss_latency,
+            dependency_bound=dependency,
+            unit_loads=unit_loads,
+            unit_bound=unit_bound,
+            unit_ops=unit_ops,
+            alternation=self._periodic_alternation(pattern, repeats, tail),
+            entropy=kernel.operand_entropy,
+        )
+
+    def _split_flexible_ops(
+        self,
+        fixed_ops: dict[str, float],
+        flexible_ops: dict[tuple[str, ...], float],
+        fixed_occ: dict[str, float],
+        unit_loads: dict[str, float],
+    ) -> dict[str, float]:
+        """Assign flexible ops in proportion to water-filled occupancy."""
+        ops = dict(fixed_ops)
+        for units, total_ops in flexible_ops.items():
+            extra = {
+                name: max(0.0, unit_loads[name] - fixed_occ[name])
+                for name in units
+            }
+            total_extra = sum(extra.values())
+            for name in units:
+                share = (
+                    extra[name] / total_extra
+                    if total_extra
+                    else 1 / len(units)
+                )
+                ops[name] += total_ops * share
+        return {name: value for name, value in ops.items() if value > 0}
+
+    def _periodic_alternation(
+        self,
+        pattern: tuple[KernelInstruction, ...],
+        repeats: int,
+        tail: tuple[KernelInstruction, ...],
+    ) -> float:
+        """Unit-alternation of ``pattern * repeats + tail``, O(period).
+
+        Matches the reference definition exactly: primary units of all
+        slots (slots with no unit usage excluded), circular adjacent
+        pairs, fraction that differ.
+        """
+        pattern_units = [
+            unit
+            for unit in (
+                self._row(ins.mnemonic).primary_unit for ins in pattern
+            )
+            if unit is not None
+        ]
+        tail_units = [
+            unit
+            for unit in (
+                self._row(ins.mnemonic).primary_unit for ins in tail
+            )
+            if unit is not None
+        ]
+        total = len(pattern_units) * repeats + len(tail_units)
+        if total < 2:
+            return 0.0
+
+        changes = 0
+        if pattern_units:
+            internal = sum(
+                1
+                for index in range(len(pattern_units) - 1)
+                if pattern_units[index] != pattern_units[index + 1]
+            )
+            junction = int(pattern_units[-1] != pattern_units[0])
+            changes += internal * repeats
+            if tail_units:
+                changes += junction * (repeats - 1)
+                changes += int(pattern_units[-1] != tail_units[0])
+                changes += int(tail_units[-1] != pattern_units[0])
+            else:
+                changes += junction * repeats
+        if tail_units:
+            changes += sum(
+                1
+                for index in range(len(tail_units) - 1)
+                if tail_units[index] != tail_units[index + 1]
+            )
+            if not pattern_units:
+                changes += int(tail_units[-1] != tail_units[0])
+        return changes / total
 
     def _waterfill(
         self,
@@ -211,7 +462,7 @@ class CorePipelineModel:
         """Assign flexible occupancy to equalize per-pipe load."""
         loads = dict(fixed)
         for units, amount in flexible.items():
-            pipes = {name: self.arch.unit(name).pipes for name in units}
+            pipes = {name: self._unit_pipes[name] for name in units}
             remaining = amount
             # Iteratively raise the common per-pipe level across the
             # candidate units until the flexible occupancy is consumed.
@@ -227,54 +478,6 @@ class CorePipelineModel:
                     loads[name] += add
                     remaining -= add
         return loads
-
-    def _unit_bound(self, kernel: Kernel) -> float:
-        fixed, flexible = self._unit_occupancies(kernel)
-        loads = self._waterfill(fixed, flexible)
-        return max(
-            loads[name] / self.arch.unit(name).pipes for name in loads
-        ) if loads else 0.0
-
-    def _unit_ops(self, kernel: Kernel) -> dict[str, float]:
-        """Operations per iteration per unit (flexible ops assigned).
-
-        Flexible operations are split across their candidate units in
-        proportion to the occupancy the water-filling assigned there.
-        """
-        fixed_ops: dict[str, float] = {name: 0.0 for name in self.arch.units}
-        flexible_ops: dict[tuple[str, ...], float] = {}
-        for instruction in kernel.instructions:
-            props = self._props(instruction.mnemonic)
-            for usage in props.usages:
-                if usage.is_flexible:
-                    flexible_ops[usage.units] = (
-                        flexible_ops.get(usage.units, 0.0) + usage.ops
-                    )
-                else:
-                    fixed_ops[usage.units[0]] += usage.ops
-
-        fixed_occ, flexible_occ = self._unit_occupancies(kernel)
-        filled = self._waterfill(fixed_occ, flexible_occ)
-        ops = dict(fixed_ops)
-        for units, total_ops in flexible_ops.items():
-            extra = {
-                name: max(0.0, filled[name] - fixed_occ[name])
-                for name in units
-            }
-            total_extra = sum(extra.values())
-            for name in units:
-                share = extra[name] / total_extra if total_extra else 1 / len(units)
-                ops[name] += total_ops * share
-        return {name: value for name, value in ops.items() if value > 0}
-
-    def _effective_latency(self, instruction) -> float:
-        """Producer latency including the memory-level residency."""
-        props = self._props(instruction.mnemonic)
-        latency = props.latency
-        source = instruction.source_level
-        if source is not None and source != self._l1_name:
-            latency += self._level_latency[source] - self._level_latency[self._l1_name]
-        return latency
 
     def _dependency_bound(self, kernel: Kernel) -> float:
         """Exact maximum cycle mean of the (functional) dependence graph.
@@ -320,6 +523,142 @@ class CorePipelineModel:
             for visited in path:
                 state[visited] = 2
         return best
+
+    def _effective_latency(self, instruction: KernelInstruction) -> float:
+        """Producer latency including the memory-level residency."""
+        latency = self._row(instruction.mnemonic).latency
+        source = instruction.source_level
+        if source is not None and source != self._l1_name:
+            latency += (
+                self._level_latency[source] - self._level_latency[self._l1_name]
+            )
+        return latency
+
+    # -- reference path (pre-engine, per-instruction) ----------------------------
+    #
+    # The naive O(loop size) implementation the summary path replaced.
+    # Kept as the executable specification: the invariance tests assert
+    # the fast path reproduces it to float precision on arbitrary
+    # kernels, periodic or not.
+
+    def reference_bounds(self, kernel: Kernel, smt: int = 1) -> PipelineBounds:
+        """Per-instruction-walk bounds (executable specification)."""
+        share = self._share(smt)
+        dispatch = len(kernel) / self.arch.chip.dispatch_width * share
+        unit = self._unit_bound(kernel) * share
+        dependency = self._dependency_bound(kernel)
+        memory = self._memory_bound(kernel) * share
+        return PipelineBounds(
+            dispatch=dispatch, unit=unit, dependency=dependency, memory=memory
+        )
+
+    def reference_activity(self, kernel: Kernel, smt: int = 1) -> ThreadActivity:
+        """Per-instruction-walk activity (executable specification)."""
+        period = self.reference_bounds(kernel, smt).period
+        frequency = self.arch.chip.cycles_per_second
+        iterations_per_second = frequency / period
+
+        insn_rates: dict[str, float] = {}
+        for instruction in kernel.instructions:
+            insn_rates[instruction.mnemonic] = (
+                insn_rates.get(instruction.mnemonic, 0.0)
+                + iterations_per_second
+            )
+        unit_ops = self._unit_ops(kernel)
+        unit_op_rates = {
+            unit: ops * iterations_per_second for unit, ops in unit_ops.items()
+        }
+        level_counts = self._level_counts(kernel)
+        level_rates = {
+            level: count * iterations_per_second
+            for level, count in level_counts.items()
+        }
+        return ThreadActivity(
+            ipc=len(kernel) / period,
+            insn_rates=insn_rates,
+            unit_op_rates=unit_op_rates,
+            level_rates=level_rates,
+            alternation=self.reference_alternation(kernel),
+            entropy=kernel.operand_entropy,
+        )
+
+    def reference_alternation(self, kernel: Kernel) -> float:
+        """Per-instruction-walk alternation (executable specification)."""
+        units = [
+            self._primary_unit(self.arch.props(ins.mnemonic))
+            for ins in kernel.instructions
+        ]
+        units = [unit for unit in units if unit is not None]
+        if len(units) < 2:
+            return 0.0
+        pairs = len(units)
+        changes = sum(
+            1 for index in range(pairs)
+            if units[index] != units[(index + 1) % pairs]
+        )
+        return changes / pairs
+
+    def _props(self, mnemonic: str) -> InstructionProperties:
+        return self.arch.props(mnemonic)
+
+    @staticmethod
+    def _primary_unit(props: InstructionProperties) -> str | None:
+        if not props.usages:
+            return None
+        return props.usages[0].units[0]
+
+    def _unit_occupancies(
+        self, kernel: Kernel
+    ) -> tuple[dict[str, float], dict[tuple[str, ...], float]]:
+        """Fixed per-unit occupancy plus flexible occupancy per unit set."""
+        fixed: dict[str, float] = {name: 0.0 for name in self.arch.units}
+        flexible: dict[tuple[str, ...], float] = {}
+        for instruction in kernel.instructions:
+            props = self._props(instruction.mnemonic)
+            for position, usage in enumerate(props.usages):
+                occupancy = (
+                    props.inv_throughput * usage.ops
+                    if position == 0
+                    else SECONDARY_OCCUPANCY * usage.ops
+                )
+                if usage.is_flexible:
+                    flexible[usage.units] = (
+                        flexible.get(usage.units, 0.0) + occupancy
+                    )
+                else:
+                    fixed[usage.units[0]] += occupancy
+        return fixed, flexible
+
+    def _unit_bound(self, kernel: Kernel) -> float:
+        fixed, flexible = self._unit_occupancies(kernel)
+        loads = self._waterfill(fixed, flexible)
+        return max(
+            loads[name] / self.arch.unit(name).pipes for name in loads
+        ) if loads else 0.0
+
+    def _unit_ops(self, kernel: Kernel) -> dict[str, float]:
+        """Operations per iteration per unit (flexible ops assigned).
+
+        Flexible operations are split across their candidate units in
+        proportion to the occupancy the water-filling assigned there.
+        """
+        fixed_ops: dict[str, float] = {name: 0.0 for name in self.arch.units}
+        flexible_ops: dict[tuple[str, ...], float] = {}
+        for instruction in kernel.instructions:
+            props = self._props(instruction.mnemonic)
+            for usage in props.usages:
+                if usage.is_flexible:
+                    flexible_ops[usage.units] = (
+                        flexible_ops.get(usage.units, 0.0) + usage.ops
+                    )
+                else:
+                    fixed_ops[usage.units[0]] += usage.ops
+
+        fixed_occ, flexible_occ = self._unit_occupancies(kernel)
+        filled = self._waterfill(fixed_occ, flexible_occ)
+        return self._split_flexible_ops(
+            fixed_ops, flexible_ops, fixed_occ, filled
+        )
 
     def _memory_bound(self, kernel: Kernel) -> float:
         """Miss-bandwidth bound: total off-L1 latency over the MSHRs."""

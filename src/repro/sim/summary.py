@@ -1,0 +1,62 @@
+"""Kernel summaries: the per-kernel product of the evaluation engine.
+
+A :class:`KernelSummary` condenses everything the steady-state pipeline
+model needs to know about a kernel -- per-mnemonic counts, water-filled
+functional-unit occupancies, hierarchy-level access counts, the
+dependency-cycle bound and the unit-alternation fraction -- into a
+small record computed once per kernel (and in O(period) work when the
+kernel declares a periodic structure).  Bounds and activity vectors for
+any SMT way then derive from the summary with O(units) arithmetic,
+so evaluating one kernel across the full CMP/SMT configuration sweep
+never re-walks the loop body.
+
+Summaries are produced by
+:meth:`repro.sim.pipeline.CorePipelineModel.summarize` and memoized by
+the kernel's analytic digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KernelSummary:
+    """Steady-state summary of one kernel on one micro-architecture.
+
+    All per-iteration quantities are per full trip through the loop
+    body (``size`` instructions).
+
+    Attributes:
+        digest: Analytic digest of the summarized kernel.
+        size: Loop-body length in instructions.
+        mnemonic_counts: Instructions per iteration, by mnemonic.
+        level_counts: Memory accesses per iteration sourced by each
+            hierarchy level, plus ``_loads``/``_stores`` pseudo-levels
+            backing the L1 reference counters.
+        miss_latency: Total off-L1 miss latency per iteration, cycles.
+        dependency_bound: Maximum cycle mean of the register dependence
+            graph, cycles per iteration.
+        unit_loads: Water-filled pipe-occupancy cycles per functional
+            unit per iteration (flexible operations assigned).
+        unit_bound: Binding per-unit occupancy over pipe count, cycles
+            per iteration, before SMT capacity sharing.
+        unit_ops: Operations per iteration injected into each unit,
+            with flexible operations split in proportion to the
+            water-filled occupancy.
+        alternation: Fraction of adjacent slots executing on different
+            units.
+        entropy: Operand-data entropy of the kernel.
+    """
+
+    digest: int
+    size: int
+    mnemonic_counts: dict[str, int]
+    level_counts: dict[str, float]
+    miss_latency: float
+    dependency_bound: float
+    unit_loads: dict[str, float]
+    unit_bound: float
+    unit_ops: dict[str, float]
+    alternation: float
+    entropy: float = field(default=1.0)

@@ -10,6 +10,7 @@ percents (section 6's 17 % observation).
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Sequence
 
 from repro.dse.space import DesignPoint, DesignSpace
@@ -34,33 +35,67 @@ def build_stressmark(
     name: str | None = None,
 ) -> Kernel:
     """An endless loop replicating ``sequence``, dependency-free and
-    L1-resident -- the stressmark recipe of section 6."""
+    L1-resident -- the stressmark recipe of section 6.
+
+    The per-slot content (mnemonic, planned L1 address) is periodic:
+    mnemonics repeat every ``len(sequence)`` slots and the round-robin
+    L1 addresses every ``region / line`` slots, so the body is one
+    pattern of ``lcm`` of the two lengths replicated to fill the loop.
+    The builder materializes that pattern once, fills the loop by tuple
+    replication, and stamps the kernel with the period fingerprint the
+    evaluation engine consumes -- construction plus steady-state
+    analysis cost O(period), not O(loop size).
+    """
     if not sequence:
         raise ValueError("sequence must not be empty")
     if name is None:
         name = "stressmark-" + "-".join(sequence)
     line = arch.caches[0].line_bytes
-    instructions = []
-    for index in range(loop_size):
+    l1_name = arch.caches[0].name
+    region_lines = max(1, _L1_REGION_BYTES // line)
+
+    definitions = {
+        mnemonic: arch.isa.instruction(mnemonic) for mnemonic in set(sequence)
+    }
+    has_memory = any(
+        d.is_memory and not d.is_prefetch for d in definitions.values()
+    )
+    pattern_length = (
+        math.lcm(len(sequence), region_lines) if has_memory else len(sequence)
+    )
+    pattern_length = min(pattern_length, loop_size)
+
+    pattern = []
+    for index in range(pattern_length):
         mnemonic = sequence[index % len(sequence)]
-        definition = arch.isa.instruction(mnemonic)
+        definition = definitions[mnemonic]
         if definition.is_memory and not definition.is_prefetch:
             offset = (index * line) % _L1_REGION_BYTES
-            instructions.append(
+            pattern.append(
                 KernelInstruction(
                     mnemonic=mnemonic,
-                    source_level=arch.caches[0].name,
+                    source_level=l1_name,
                     address=_L1_REGION_BASE + offset,
                 )
             )
         else:
-            instructions.append(KernelInstruction(mnemonic=mnemonic))
+            pattern.append(KernelInstruction(mnemonic=mnemonic))
+
+    pattern = tuple(pattern)
+    repeats, remainder = divmod(loop_size, pattern_length)
+    instructions = pattern * repeats + pattern[:remainder]
     # Loop-closing branch, as the skeleton pass would emit.
-    instructions.append(KernelInstruction(mnemonic="b"))
+    instructions += (KernelInstruction(mnemonic="b"),)
+    # The fingerprint contract places everything outside the replicated
+    # pattern in the remainder tail; when the branch would land exactly
+    # on a period boundary ((loop_size + 1) % pattern_length == 0) the
+    # body has no remainder to hold it, so no period is declared.
+    period = pattern_length if (loop_size + 1) % pattern_length else None
     return Kernel(
         name=name,
-        instructions=tuple(instructions),
+        instructions=instructions,
         operand_entropy=1.0,
+        period=period,
     )
 
 
@@ -111,13 +146,20 @@ def stressmark_search(
 
     arch = machine.arch
     cores = arch.chip.max_cores
+    sequences = list(sequences)
+    kernels = [
+        build_stressmark(arch, sequence, loop_size) for sequence in sequences
+    ]
+    # One batched pass per SMT mode; every kernel's steady-state summary
+    # is computed exactly once and shared across the modes.
+    by_smt = {
+        smt: machine.run_many(kernels, MachineConfig(cores, smt), duration)
+        for smt in smt_modes
+    }
     results = []
-    for sequence in sequences:
-        kernel = build_stressmark(arch, sequence, loop_size)
+    for index, sequence in enumerate(sequences):
         for smt in smt_modes:
-            measurement = machine.run(
-                kernel, MachineConfig(cores, smt), duration
-            )
+            measurement = by_smt[smt][index]
             ipc = arch.ipc(measurement.thread_counters[0]) * smt
             results.append((sequence, smt, measurement.mean_power, ipc))
     return results
