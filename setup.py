@@ -31,6 +31,9 @@ setup(
             "pytest",
             "hypothesis",
         ],
+        "cov": [
+            "pytest-cov",
+        ],
         "bench": [
             "pytest",
             "pytest-benchmark",

@@ -8,7 +8,15 @@ machine substrate, and *guided* drivers prune the space by querying the
 micro-architecture property database (the Section 6 use case).
 """
 
-from repro.dse.evaluator import CachingEvaluator, MeasurementEvaluator
+from repro.dse.evaluator import (
+    CachingEvaluator,
+    MeasurementEvaluator,
+    epi_spread_objective,
+    ipc_spread_objective,
+    ipc_target_objective,
+    mean_power_objective,
+    thread_epi_estimates,
+)
 from repro.dse.exhaustive import ExhaustiveSearch
 from repro.dse.genetic import GeneticSearch
 from repro.dse.guided import GuidedSearch
@@ -26,4 +34,9 @@ __all__ = [
     "GuidedSearch",
     "MeasurementEvaluator",
     "SearchResult",
+    "epi_spread_objective",
+    "ipc_spread_objective",
+    "ipc_target_objective",
+    "mean_power_objective",
+    "thread_epi_estimates",
 ]

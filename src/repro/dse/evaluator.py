@@ -4,8 +4,14 @@ The standard evaluator builds a micro-benchmark from the point with a
 user-supplied builder (a pass-pipeline closure), runs it on the machine
 substrate, and reduces the measurement to a score -- mean power for
 max-power searches, negated |IPC - target| for IPC-targeting searches,
-and so on.  A caching wrapper avoids re-measuring identical points,
-which matters for GA populations that revisit genotypes.
+and so on.  Builders may return a single kernel (deployed one copy per
+hardware thread) or a :class:`~repro.sim.placement.Placement`
+co-scheduling dissimilar kernels, and the mix objectives below score
+the per-thread contrasts such placements produce.  A caching wrapper
+avoids re-measuring identical points, which matters for GA populations
+that revisit genotypes; its keys carry the evaluator's measurement
+context (configuration, p-state, window), so one wrapper reused across
+sweep configurations never serves stale scores.
 """
 
 from __future__ import annotations
@@ -17,9 +23,11 @@ from repro.measure.measurement import Measurement
 from repro.sim.config import MachineConfig
 from repro.sim.kernel import Kernel
 from repro.sim.machine import Machine
+from repro.sim.placement import Placement
 
-#: Builds a runnable kernel from a design point.
-KernelBuilder = Callable[[DesignPoint], Kernel]
+#: Builds a runnable workload from a design point: one kernel deployed
+#: everywhere, or an explicit per-thread placement.
+KernelBuilder = Callable[[DesignPoint], "Kernel | Placement"]
 #: Reduces a measurement to the score being maximized.
 Objective = Callable[[Measurement], float]
 
@@ -33,13 +41,59 @@ def ipc_target_objective(target: float) -> Objective:
     """Score = -|IPC - target| (IPC-tracking searches, Table 2)."""
 
     def objective(measurement: Measurement) -> float:
-        counters = measurement.thread_counters[0]
-        cycles = counters.get("PM_RUN_CYC", 0.0)
-        instructions = counters.get("PM_RUN_INST_CMPL", 0.0)
-        ipc = instructions / cycles if cycles else 0.0
-        return -abs(ipc - target)
+        return -abs(measurement.thread_ipc(0) - target)
 
     return objective
+
+
+def ipc_spread_objective(measurement: Measurement) -> float:
+    """Score = max - min per-thread IPC (co-runner imbalance searches).
+
+    Homogeneous deployments score ~0 (all threads behave alike); mixed
+    placements score the throughput asymmetry their SMT contention
+    produces -- e.g. a hi-ILP kernel racing past the memory-bound
+    co-runner it shares a core with.
+    """
+    ipcs = measurement.thread_ipcs()
+    return max(ipcs) - min(ipcs)
+
+
+def thread_epi_estimates(measurement: Measurement) -> tuple[float, ...]:
+    """Per-thread energy-per-instruction estimates, nanojoules.
+
+    Chip power cannot be attributed per thread from sensors alone, so
+    the estimate splits the window's energy equally across hardware
+    threads and divides by each thread's committed instructions -- a
+    deliberately counter-only heuristic (modeling code never sees the
+    hidden power model).  Threads committing nothing report 0.
+    """
+    energy_share = (
+        measurement.mean_power * measurement.duration / measurement.threads
+    )
+    estimates = []
+    for thread in range(measurement.threads):
+        instructions = measurement.thread_counters[thread].get(
+            "PM_RUN_INST_CMPL", 0.0
+        )
+        estimates.append(
+            energy_share / instructions * 1e9 if instructions else 0.0
+        )
+    return tuple(estimates)
+
+
+def epi_spread_objective(measurement: Measurement) -> float:
+    """Score = max - min estimated per-thread EPI (nJ).
+
+    The mix-search analogue of the taxonomy's EPI contrasts: maximized
+    by placements whose co-runners convert the same energy share into
+    very different instruction counts (e.g. antagonist pairs).
+    """
+    estimates = [
+        value for value in thread_epi_estimates(measurement) if value > 0.0
+    ]
+    if not estimates:
+        return 0.0
+    return max(estimates) - min(estimates)
 
 
 class MeasurementEvaluator:
@@ -60,6 +114,18 @@ class MeasurementEvaluator:
         self.duration = duration
         self.measurements = 0
 
+    @property
+    def cache_context(self) -> tuple:
+        """Measurement identity a score depends on besides the point.
+
+        The configuration (which carries the p-state) and the window
+        length: :class:`CachingEvaluator` folds this into its keys so
+        reusing one evaluator across a sweep -- reassigning ``config``
+        between configurations -- invalidates naturally instead of
+        serving another configuration's scores.
+        """
+        return (self.config, self.duration)
+
     def __call__(self, point: DesignPoint) -> float:
         return self.evaluate_many([point])[0]
 
@@ -74,7 +140,14 @@ class MeasurementEvaluator:
 
 
 class CachingEvaluator:
-    """Memoizing wrapper keyed on the canonical point form."""
+    """Memoizing wrapper keyed on the canonical point form.
+
+    Keys additionally carry the wrapped evaluator's ``cache_context``
+    (falling back to its ``config`` attribute, if any): a measurement
+    evaluator reused across sweep configurations or p-states re-scores
+    each point per context instead of serving the first context's
+    stale score.
+    """
 
     def __init__(
         self,
@@ -85,15 +158,25 @@ class CachingEvaluator:
         self.space = space
         self._cache: dict[tuple, float] = {}
 
+    def _context(self) -> object:
+        context = getattr(self.evaluator, "cache_context", None)
+        if context is None:
+            context = getattr(self.evaluator, "config", None)
+        return context
+
+    def _key(self, point: DesignPoint, context: object) -> tuple:
+        return (context, self.space.key(point))
+
     def __call__(self, point: DesignPoint) -> float:
-        key = self.space.key(point)
+        key = self._key(point, self._context())
         if key not in self._cache:
             self._cache[key] = self.evaluator(point)
         return self._cache[key]
 
     def evaluate_many(self, points: Sequence[DesignPoint]) -> list[float]:
         """Batch evaluation: misses go to the backend in one batch."""
-        keys = [self.space.key(point) for point in points]
+        context = self._context()
+        keys = [self._key(point, context) for point in points]
         fresh: dict[tuple, DesignPoint] = {}
         for key, point in zip(keys, points):
             if key not in self._cache and key not in fresh:

@@ -40,6 +40,7 @@ class Measurement:
     mean_power: float
     power_std: float
     sample_count: int
+    thread_workloads: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -49,10 +50,26 @@ class Measurement:
                 f"expected {self.config.threads} per-thread counter sets, "
                 f"got {len(self.thread_counters)}"
             )
+        if (
+            self.thread_workloads is not None
+            and len(self.thread_workloads) != self.config.threads
+        ):
+            raise ValueError(
+                f"expected {self.config.threads} per-thread workload "
+                f"names, got {len(self.thread_workloads)}"
+            )
 
     @property
     def threads(self) -> int:
         return self.config.threads
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether different hardware threads ran different workloads."""
+        return (
+            self.thread_workloads is not None
+            and len(set(self.thread_workloads)) > 1
+        )
 
     def total_counters(self) -> dict[str, float]:
         """Counter readings summed over all hardware threads."""
@@ -68,6 +85,25 @@ class Measurement:
             name: value / self.duration
             for name, value in self.thread_counters[thread].items()
         }
+
+    def thread_ipc(self, thread: int = 0) -> float:
+        """Committed IPC of one hardware thread, from its counters.
+
+        This is the per-thread view co-scheduling analyses need: with a
+        heterogeneous placement each thread's counters describe *its*
+        workload, not a chip average.
+        """
+        counters = self.thread_counters[thread]
+        cycles = counters.get("PM_RUN_CYC", 0.0)
+        if not cycles:
+            return 0.0
+        return counters.get("PM_RUN_INST_CMPL", 0.0) / cycles
+
+    def thread_ipcs(self) -> tuple[float, ...]:
+        """Per-thread committed IPCs, placement declaration order."""
+        return tuple(
+            self.thread_ipc(thread) for thread in range(self.threads)
+        )
 
     def mean_rates(self) -> dict[str, float]:
         """Per-second rates averaged across threads."""

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 
 from repro.measure.measurement import DEFAULT_DURATION_S, Measurement
 from repro.sim.config import MachineConfig, standard_configurations
+from repro.sim.pstate import PState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.machine import Machine
@@ -44,19 +45,36 @@ class MeasurementRunner:
         self,
         workloads: Sequence,
         configs: Sequence[MachineConfig] | None = None,
+        p_states: Sequence[PState] | None = None,
     ) -> dict[MachineConfig, list[Measurement]]:
         """Measure a workload set across a configuration sweep.
 
         Defaults to the paper's 24-configuration CMP-SMT sweep.
+        Explicit ``configs`` are measured exactly as given -- including
+        any operating points they carry.  Passing ``p_states`` crosses
+        the configuration list's CMP-SMT modes with that DVFS ladder
+        instead, p-state-major: the scenario space grows to ``configs x
+        p_states`` (and workloads may be placements, so mixes sweep the
+        same way).  Duplicate swept configurations are measured once.
         """
         if configs is None:
             configs = standard_configurations(
                 self.machine.arch.chip.max_cores,
                 self.machine.arch.chip.smt_modes(),
             )
-        return {
-            config: self.run_suite(workloads, config) for config in configs
-        }
+        if p_states is None:
+            swept = list(configs)
+        else:
+            swept = [
+                config.with_p_state(p_state)
+                for p_state in p_states
+                for config in configs
+            ]
+        results: dict[MachineConfig, list[Measurement]] = {}
+        for config in swept:
+            if config not in results:
+                results[config] = self.run_suite(workloads, config)
+        return results
 
     def baseline(self, config: MachineConfig | None = None) -> Measurement:
         """Measure workload-independent (idle) power."""

@@ -22,6 +22,7 @@ from repro.power_model.training import (
 )
 from repro.sim.config import MachineConfig, standard_configurations
 from repro.sim.machine import Machine
+from repro.sim.pstate import NOMINAL, PState
 from repro.workloads.spec import spec_cpu2006
 
 
@@ -48,15 +49,20 @@ class ModelingCampaign:
         loop_size: int = 4096,
         duration: float = 10.0,
         seed: int = 0,
+        p_states: tuple[PState, ...] = (NOMINAL,),
     ) -> None:
         self.machine = machine if machine is not None else Machine()
         self.scale = scale
         self.loop_size = loop_size
         self.duration = duration
         self.seed = seed
+        self.p_states = p_states
         arch = self.machine.arch
+        # The validation sweep crosses the paper's CMP-SMT grid with the
+        # requested operating points (24 -> 24 x |p_states| scenarios);
+        # the nominal-only default reproduces the paper's sweep exactly.
         self.configs = standard_configurations(
-            arch.chip.max_cores, arch.chip.smt_modes()
+            arch.chip.max_cores, arch.chip.smt_modes(), p_states
         )
 
     # -- data gathering -------------------------------------------------------

@@ -18,6 +18,8 @@ from repro.sim.hierarchy import CacheHierarchy, simulate_hit_distribution
 from repro.sim.kernel import Kernel, KernelInstruction
 from repro.sim.machine import Machine
 from repro.sim.pipeline import CorePipelineModel, PipelineBounds
+from repro.sim.placement import Placement
+from repro.sim.pstate import NOMINAL, PState, get_pstate, standard_pstates
 
 __all__ = [
     "CacheHierarchy",
@@ -26,10 +28,15 @@ __all__ = [
     "KernelInstruction",
     "Machine",
     "MachineConfig",
+    "NOMINAL",
+    "PState",
     "PipelineBounds",
+    "Placement",
     "SetAssociativeCache",
     "ThreadActivity",
+    "get_pstate",
     "parse_config",
     "simulate_hit_distribution",
     "standard_configurations",
+    "standard_pstates",
 ]

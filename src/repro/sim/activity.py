@@ -56,6 +56,34 @@ class ThreadActivity:
             return sum(self.insn_rates.values())
         return sum(self.unit_op_rates.values())
 
+    def at_frequency_scale(self, freq_scale: float) -> "ThreadActivity":
+        """Activity re-clocked to a scaled frequency.
+
+        Per-second rates scale with the clock while per-cycle
+        quantities (IPC) and stream shape (alternation, entropy, bias)
+        do not -- this is the performance half of a DVFS p-state; the
+        ``V^2`` power half lives in the hidden power model.  The
+        nominal scale returns ``self`` unchanged so pre-DVFS paths
+        stay bit-identical.
+        """
+        if freq_scale == 1.0:
+            return self
+        return ThreadActivity(
+            ipc=self.ipc,
+            insn_rates={
+                k: v * freq_scale for k, v in self.insn_rates.items()
+            },
+            unit_op_rates={
+                k: v * freq_scale for k, v in self.unit_op_rates.items()
+            },
+            level_rates={
+                k: v * freq_scale for k, v in self.level_rates.items()
+            },
+            alternation=self.alternation,
+            entropy=self.entropy,
+            unit_energy_bias=dict(self.unit_energy_bias),
+        )
+
     def scaled(self, factor: float) -> "ThreadActivity":
         """Activity with every rate multiplied by ``factor``."""
         return ThreadActivity(

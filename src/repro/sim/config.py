@@ -1,28 +1,35 @@
-"""Machine run configurations (CMP-SMT modes).
+"""Machine run configurations (CMP-SMT modes times operating point).
 
 The paper sweeps 24 configurations: 1-8 enabled cores times SMT-1/2/4,
 written ``<cores>-<smt>`` (e.g. ``4-4``).  :func:`standard_configurations`
-reproduces that sweep order.
+reproduces that sweep order.  A configuration additionally carries the
+DVFS operating point it runs at; the default is the nominal
+:class:`~repro.sim.pstate.PState`, which keeps every pre-DVFS label,
+seed and measurement bit-for-bit unchanged.  Non-nominal points are
+labelled ``<cores>-<smt>@<p-state>`` (e.g. ``4-4@p2``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.march.components import ChipGeometry
+from repro.sim.pstate import NOMINAL, PState, get_pstate
 
 
 @dataclass(frozen=True, order=True)
 class MachineConfig:
-    """One CMP-SMT run configuration.
+    """One CMP-SMT run configuration at one operating point.
 
     Attributes:
         cores: Enabled cores.
         smt: Hardware threads per enabled core (1, 2 or 4).
+        p_state: DVFS operating point (defaults to nominal).
     """
 
     cores: int
     smt: int
+    p_state: PState = NOMINAL
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -42,8 +49,20 @@ class MachineConfig:
 
     @property
     def label(self) -> str:
-        """Paper-style ``cores-smt`` label."""
-        return f"{self.cores}-{self.smt}"
+        """Paper-style ``cores-smt`` label, ``@p-state`` when non-nominal.
+
+        The nominal label intentionally omits the operating point: the
+        label seeds sensor noise, so keeping it unchanged preserves
+        pre-DVFS noise draws bit for bit.
+        """
+        base = f"{self.cores}-{self.smt}"
+        if self.p_state.is_nominal:
+            return base
+        return f"{base}@{self.p_state.name}"
+
+    def with_p_state(self, p_state: PState) -> "MachineConfig":
+        """The same CMP-SMT mode at a different operating point."""
+        return replace(self, p_state=p_state)
 
     def validate_against(self, chip: ChipGeometry) -> None:
         """Raise ``ValueError`` if the chip cannot run this configuration."""
@@ -63,20 +82,35 @@ class MachineConfig:
 
 
 def standard_configurations(
-    max_cores: int = 8, smt_modes: tuple[int, ...] = (1, 2, 4)
+    max_cores: int = 8,
+    smt_modes: tuple[int, ...] = (1, 2, 4),
+    p_states: tuple[PState, ...] = (NOMINAL,),
 ) -> tuple[MachineConfig, ...]:
-    """The paper's 24-configuration sweep, cores-major order."""
+    """The paper's 24-configuration sweep, cores-major order.
+
+    With more than one ``p_states`` entry the sweep becomes the full
+    operating-point product, p-state-major (the whole CMP-SMT sweep is
+    repeated per operating point, as a DVFS campaign would run it).
+    """
     return tuple(
-        MachineConfig(cores=cores, smt=smt)
+        MachineConfig(cores=cores, smt=smt, p_state=p_state)
+        for p_state in p_states
         for cores in range(1, max_cores + 1)
         for smt in smt_modes
     )
 
 
 def parse_config(label: str) -> MachineConfig:
-    """Parse a paper-style ``cores-smt`` label such as ``4-4``."""
-    cores_part, _, smt_part = label.partition("-")
+    """Parse a ``cores-smt`` label such as ``4-4`` or ``4-4@p2``.
+
+    Non-nominal suffixes resolve against the standard p-state ladder.
+    """
+    base, _, pstate_part = label.partition("@")
+    cores_part, _, smt_part = base.partition("-")
     try:
-        return MachineConfig(cores=int(cores_part), smt=int(smt_part))
-    except ValueError as exc:
+        p_state = get_pstate(pstate_part) if pstate_part else NOMINAL
+        return MachineConfig(
+            cores=int(cores_part), smt=int(smt_part), p_state=p_state
+        )
+    except (ValueError, KeyError) as exc:
         raise ValueError(f"bad configuration label {label!r}: {exc}") from None

@@ -29,6 +29,7 @@ from repro.measure.measurement import DEFAULT_DURATION_S, Measurement
 from repro.sim.activity import ThreadActivity
 from repro.sim.config import MachineConfig
 from repro.sim.kernel import Kernel
+from repro.sim.placement import Placement, strict_workload_key, workload_key
 from repro.sim.pipeline import CorePipelineModel
 from repro.sim.power import GroundTruthPowerModel
 from repro.sim.sensors import PowerSensor, stable_seed
@@ -66,6 +67,12 @@ class Machine:
         # of how many Kernel objects carry it; distinct kernels that
         # happen to share a name never alias.
         self._activity_cache: dict[tuple[int, int], ThreadActivity] = {}
+        # Mixed-core contention solves, keyed on the canonical workload
+        # keys of the co-runners plus the SMT way: a placement sweep
+        # re-deploying the same mix across cores, configurations and
+        # p-states runs the bisection once (solutions are stored at
+        # nominal frequency; the p-state re-clock applies on top).
+        self._mixed_cache: dict[tuple, list[ThreadActivity]] = {}
 
     @property
     def frequency(self) -> float:
@@ -76,33 +83,42 @@ class Machine:
 
     def run(
         self,
-        workload: Kernel | Workload,
+        workload: Kernel | Workload | Placement,
         config: MachineConfig,
         duration: float = DEFAULT_DURATION_S,
     ) -> Measurement:
-        """Deploy one copy of ``workload`` per hardware thread and measure.
+        """Deploy ``workload`` and measure one window.
+
+        A plain workload is replicated once per hardware thread (the
+        paper's deployment); a :class:`~repro.sim.placement.Placement`
+        assigns its explicit per-thread workloads instead.  The
+        configuration's p-state re-clocks the run and scales dynamic
+        power by ``V^2 f``.
 
         Raises:
-            MeasurementError: If the configuration does not fit the chip
-                or the workload does not follow the protocol.
+            MeasurementError: If the configuration does not fit the
+                chip, the placement does not fit the configuration, or
+                the workload does not follow the protocol.
         """
         self._validate(config)
         return self._measure(workload, config, duration)
 
     def run_many(
         self,
-        workloads: Iterable[Kernel | Workload] | Sequence[Kernel | Workload],
+        workloads: Iterable[Kernel | Workload | Placement],
         config: MachineConfig,
         duration: float = DEFAULT_DURATION_S,
     ) -> list[Measurement]:
-        """Measure a batch of workloads on one configuration.
+        """Measure a batch of workloads or placements on one configuration.
 
         Semantically identical to ``[run(w, config, duration) for w in
         workloads]`` -- same measurements, same sensor noise draws --
         but validates the configuration once and drives every workload
         through the shared summary/activity memoization, which is the
         fast path for design-space exploration and training-suite
-        campaigns.
+        campaigns.  Placements batch the same way: every distinct
+        kernel appearing in the batch is summarized once regardless of
+        how many placements (or threads) carry it.
 
         Raises:
             MeasurementError: If the configuration does not fit the chip
@@ -147,12 +163,16 @@ class Machine:
 
     def _measure(
         self,
-        workload: Kernel | Workload,
+        workload: Kernel | Workload | Placement,
         config: MachineConfig,
         duration: float,
     ) -> Measurement:
-        activity = self._resolve_activity(workload, config.smt)
-        counters = self.pipeline.counters_from_activity(activity, duration)
+        if isinstance(workload, Placement):
+            return self._measure_placement(workload, config, duration)
+        activity = self._run_activity(workload, config)
+        counters = self.pipeline.counters_from_activity(
+            activity, duration, frequency=self._run_frequency(config)
+        )
         true_power = self._power.chip_power(
             [activity] * config.threads, config
         )
@@ -171,6 +191,152 @@ class Machine:
             power_std=summary.power_std,
             sample_count=summary.sample_count,
         )
+
+    def _measure_placement(
+        self,
+        placement: Placement,
+        config: MachineConfig,
+        duration: float,
+    ) -> Measurement:
+        """Measure an explicit per-thread workload assignment.
+
+        Per-thread counters keep the placement's declaration order;
+        chip power and the sensor noise salt are evaluated over the
+        placement's canonical ordering, so permuting co-runners within
+        a core (or whole cores) reproduces the measurement exactly.
+        The homogeneous placement takes the same arithmetic path as
+        ``run`` -- same activity objects, same power sum, same noise
+        seed -- and is therefore bit-identical to it.
+        """
+        try:
+            placement.validate_against(config)
+        except ValueError as exc:
+            raise MeasurementError(str(exc)) from None
+        # Cores carrying the same group (every round-robin mix) share
+        # one activity resolution, so their counter dicts alias too.
+        group_memo: dict[tuple, list[ThreadActivity]] = {}
+        core_activities = []
+        for group in placement.core_groups:
+            group_key = tuple(
+                strict_workload_key(workload) for workload in group
+            )
+            activities = group_memo.get(group_key)
+            if activities is None:
+                activities = self._core_activities(group, config)
+                group_memo[group_key] = activities
+            core_activities.append(activities)
+        frequency = self._run_frequency(config)
+        # One counter synthesis per distinct activity object: threads
+        # sharing an activity (homogeneous cores, repeated mixes) share
+        # the counter dict, exactly as the plain path replicates one.
+        counter_memo: dict[int, dict[str, float]] = {}
+
+        def counters_for(activity: ThreadActivity) -> dict[str, float]:
+            found = counter_memo.get(id(activity))
+            if found is None:
+                found = self.pipeline.counters_from_activity(
+                    activity, duration, frequency=frequency
+                )
+                counter_memo[id(activity)] = found
+            return found
+
+        counters = tuple(
+            counters_for(activity)
+            for activities in core_activities
+            for activity in activities
+        )
+        true_power = self._power.chip_power(
+            [
+                core_activities[core][slot]
+                for core, slot in placement.canonical_order()
+            ],
+            config,
+        )
+        summary = self._sensor.measure(
+            true_power,
+            duration,
+            stable_seed(
+                placement.name,
+                config.label,
+                duration,
+                self.seed,
+                placement.canonical_salt(),
+            ),
+        )
+        return Measurement(
+            workload_name=placement.name,
+            config=config,
+            duration=duration,
+            thread_counters=counters,
+            mean_power=summary.mean_power,
+            power_std=summary.power_std,
+            sample_count=summary.sample_count,
+            thread_workloads=placement.thread_names,
+        )
+
+    def _run_frequency(self, config: MachineConfig) -> float:
+        """Effective clock under the configuration's p-state."""
+        return self.frequency * config.p_state.freq_scale
+
+    def _run_activity(
+        self, workload: Kernel | Workload, config: MachineConfig
+    ) -> ThreadActivity:
+        """Steady-state activity re-clocked to the config's p-state."""
+        activity = self._resolve_activity(workload, config.smt)
+        return activity.at_frequency_scale(config.p_state.freq_scale)
+
+    def _core_activities(
+        self, group: Sequence[Kernel | Workload], config: MachineConfig
+    ) -> list[ThreadActivity]:
+        """Per-slot activities of one core of a placement.
+
+        A homogeneous core degenerates to the cached single-workload
+        path; a core mixing distinct kernels goes through the
+        pipeline's mixed-core contention solver.  Cores mixing
+        profiled workloads (whose SMT behaviour is a published scaling
+        curve, not an occupancy model) fall back to each workload's
+        own SMT-way activity.
+        """
+        strict_keys = {
+            strict_workload_key(workload) for workload in group
+        }
+        freq_scale = config.p_state.freq_scale
+        if len(strict_keys) == 1:
+            activity = self._run_activity(group[0], config)
+            return [activity] * config.smt
+        if all(isinstance(workload, Kernel) for workload in group):
+            # Solve in canonical (workload-identity) order: the
+            # solver's accumulation order then never depends on which
+            # SMT slot a co-runner was declared in, so permuting
+            # co-runners permutes the resulting activities *exactly*
+            # (same floats), keeping chip power and noise draws
+            # permutation-invariant to the last bit.
+            order = sorted(
+                range(len(group)),
+                key=lambda slot: workload_key(group[slot]),
+            )
+            cache_key = (
+                tuple(workload_key(group[slot]) for slot in order),
+                config.smt,
+            )
+            solved = self._mixed_cache.get(cache_key)
+            if solved is None:
+                summaries = [
+                    self.pipeline.summarize(group[slot]) for slot in order
+                ]
+                solved = self.pipeline.mixed_core_activities(
+                    summaries, config.smt
+                )
+                if len(self._mixed_cache) >= ACTIVITY_CACHE_LIMIT:
+                    self._mixed_cache.pop(next(iter(self._mixed_cache)))
+                self._mixed_cache[cache_key] = solved
+            activities: list[ThreadActivity | None] = [None] * len(group)
+            for slot, activity in zip(order, solved):
+                activities[slot] = activity.at_frequency_scale(freq_scale)
+            return activities
+        return [
+            self._run_activity(workload, config) for workload in group
+        ]
 
     def _resolve_activity(
         self, workload: Kernel | Workload, smt: int

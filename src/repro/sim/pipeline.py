@@ -41,6 +41,7 @@ paths agree to float precision on arbitrary kernels.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.errors import MicroProbeError, UnknownInstructionError
@@ -201,6 +202,12 @@ class CorePipelineModel:
     ) -> ThreadActivity:
         """Activity vector from a precomputed summary (O(units))."""
         period = self.bounds_from_summary(summary, smt).period
+        return self._summary_activity(summary, period)
+
+    def _summary_activity(
+        self, summary: KernelSummary, period: float
+    ) -> ThreadActivity:
+        """Activity of one thread committing an iteration per ``period``."""
         frequency = self.arch.chip.cycles_per_second
         iterations_per_second = frequency / period
         return ThreadActivity(
@@ -221,6 +228,107 @@ class CorePipelineModel:
             entropy=summary.entropy,
         )
 
+    def mixed_core_activities(
+        self, summaries: Sequence[KernelSummary], smt: int
+    ) -> list[ThreadActivity]:
+        """Per-thread activities for dissimilar kernels sharing a core.
+
+        Generalizes the homogeneous SMT capacity split: each thread's
+        steady-state period is ``max(dependency_bound, beta *
+        solo_shared_bound)`` for a common contention multiplier
+        ``beta`` -- dependency chains stay private while a single
+        arbitration slowdown throttles every co-runner's use of the
+        shared resources.  The smallest feasible ``beta`` is found by
+        bisection against three monotone capacity constraints, with
+        the per-unit constraint *water-filling the mixed occupancies*
+        of all co-runners jointly (flexible operations spill to
+        whichever pipes the co-runner mix leaves idle):
+
+        * dispatch: combined dispatch-cycles per cycle within the
+          arbitration-degraded width;
+        * units: the joint water-filled per-pipe load within capacity;
+        * memory: combined outstanding-miss latency within the MSHR
+          pool.
+
+        For identical co-runners the solution coincides with the
+        homogeneous path (``beta = smt / (1 - overhead)`` or the
+        dependency bound); the machine still routes homogeneous cores
+        through :meth:`activity_from_summary` so those stay
+        bit-identical.
+        """
+        if smt not in SMT_OVERHEAD:
+            raise MicroProbeError(f"unsupported SMT way {smt}")
+        if len(summaries) != smt:
+            raise MicroProbeError(
+                f"mixed core needs exactly {smt} co-runners at SMT-{smt}, "
+                f"got {len(summaries)}"
+            )
+        available = 1.0 - SMT_OVERHEAD[smt]
+        width = self.arch.chip.dispatch_width
+        dispatch = [summary.size / width for summary in summaries]
+        memory = [
+            summary.miss_latency / MSHRS_PER_THREAD for summary in summaries
+        ]
+        dependency = [summary.dependency_bound for summary in summaries]
+        shared_max = [
+            max(d, summary.unit_bound, m)
+            for d, summary, m in zip(dispatch, summaries, memory)
+        ]
+
+        def periods(beta: float) -> list[float]:
+            return [
+                max(dep, beta * shared)
+                for dep, shared in zip(dependency, shared_max)
+            ]
+
+        def feasible(beta: float) -> bool:
+            slack = available * (1.0 + 1e-12)
+            spans = periods(beta)
+            if any(span <= 0.0 for span in spans):
+                return False
+            rates = [1.0 / span for span in spans]
+            if sum(r * d for r, d in zip(rates, dispatch)) > slack:
+                return False
+            if sum(r * m for r, m in zip(rates, memory)) > slack:
+                return False
+            fixed = {name: 0.0 for name in self.arch.units}
+            flexible: dict[tuple[str, ...], float] = {}
+            for rate, summary in zip(rates, summaries):
+                for unit, occupancy in summary.fixed_occupancy.items():
+                    fixed[unit] += occupancy * rate
+                for units, occupancy in summary.flexible_occupancy.items():
+                    flexible[units] = (
+                        flexible.get(units, 0.0) + occupancy * rate
+                    )
+            loads = self._waterfill(fixed, flexible)
+            bound = max(
+                (
+                    loads[name] / self._unit_pipes[name]
+                    for name in loads
+                ),
+                default=0.0,
+            )
+            return bound <= slack
+
+        hi = 1.0
+        for _ in range(64):
+            if feasible(hi):
+                break
+            hi *= 2.0
+        else:  # pragma: no cover - demands are finite by construction
+            raise MicroProbeError("mixed-core contention did not converge")
+        lo = 0.0
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            if feasible(mid):
+                hi = mid
+            else:
+                lo = mid
+        return [
+            self._summary_activity(summary, span)
+            for summary, span in zip(summaries, periods(hi))
+        ]
+
     def counters(
         self, kernel: Kernel, smt: int, duration: float
     ) -> dict[str, float]:
@@ -229,10 +337,20 @@ class CorePipelineModel:
         return self.counters_from_activity(activity, duration)
 
     def counters_from_activity(
-        self, activity: ThreadActivity, duration: float
+        self,
+        activity: ThreadActivity,
+        duration: float,
+        frequency: float | None = None,
     ) -> dict[str, float]:
-        """Synthesize PMC readings from an activity vector."""
-        frequency = self.arch.chip.cycles_per_second
+        """Synthesize PMC readings from an activity vector.
+
+        ``frequency`` overrides the nominal clock for DVFS operating
+        points: cycle counts accrue at the scaled clock (the activity's
+        rates must already be re-clocked to match, see
+        :meth:`ThreadActivity.at_frequency_scale`).
+        """
+        if frequency is None:
+            frequency = self.arch.chip.cycles_per_second
         readings = {
             "PM_RUN_CYC": frequency * duration,
             "PM_RUN_INST_CMPL": activity.ipc * frequency * duration,
@@ -373,6 +491,8 @@ class CorePipelineModel:
             unit_ops=unit_ops,
             alternation=self._periodic_alternation(pattern, repeats, tail),
             entropy=kernel.operand_entropy,
+            fixed_occupancy=fixed_occ,
+            flexible_occupancy=flexible_occ,
         )
 
     def _split_flexible_ops(

@@ -1,0 +1,236 @@
+"""Placements: per-hardware-thread workload assignment.
+
+The paper's methodology deploys *one* workload replicated across every
+hardware thread of a configuration.  A :class:`Placement` generalizes
+that to heterogeneous co-scheduling: each enabled core carries an
+explicit tuple of workloads, one per SMT slot, so dissimilar kernels
+can share a core's SMT resources (hi-ILP next to memory-bound, vector
+next to scalar, antagonist pairs -- see :mod:`repro.workloads.mixes`).
+
+The homogeneous placement is the exact degenerate case: deploying one
+workload everywhere reproduces ``Machine.run(workload, config)`` bit
+for bit -- same counters, same noise draws -- so existing callers and
+cached digests are unchanged.
+
+Within a core, SMT contention among dissimilar kernels is resolved by
+the pipeline model's mixed-core solver
+(:meth:`~repro.sim.pipeline.CorePipelineModel.mixed_core_activities`).
+Physically, which SMT slot of a core a thread occupies is irrelevant --
+chip power and aggregate behaviour are invariant under permuting
+co-runners within a core (and under permuting whole cores).  The
+machine guarantees this *exactly* by evaluating power and noise seeds
+over the :meth:`canonical ordering <Placement.canonical_order>` of the
+placement rather than its declaration order, while per-thread counter
+readings keep the declaration order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.kernel import Kernel
+from repro.sim.sensors import stable_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.config import MachineConfig
+
+
+def workload_key(workload: object) -> tuple:
+    """Deterministic, sortable identity of one placed workload.
+
+    Kernels are identified by name plus analytic digest (two kernels
+    sharing a name never alias); protocol workloads by kind and name.
+    The key is stable across processes, so canonical orderings and the
+    noise salts derived from them reproduce bit-for-bit.
+    """
+    if isinstance(workload, Kernel):
+        return ("kernel", workload.name, workload.digest())
+    return ("workload", getattr(workload, "name", type(workload).__name__), 0)
+
+
+def strict_workload_key(workload: object) -> tuple:
+    """Aliasing-proof identity, for homogeneity decisions.
+
+    :func:`workload_key` identifies protocol workloads by name because
+    noise salts must be process-stable; but two *distinct* workload
+    objects sharing a name must never be treated as one copy of the
+    same work.  Homogeneity checks therefore use kernel content
+    digests (value identity -- equal-content kernels genuinely are the
+    same work) and plain object identity for everything else.
+    """
+    if isinstance(workload, Kernel):
+        return ("kernel", workload.digest())
+    return ("object", id(workload))
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One workload per hardware thread, grouped by core.
+
+    Attributes:
+        name: Identifier used in measurements and noise seeding.
+        core_groups: Per enabled core, the workloads occupying its SMT
+            slots (every core must carry the same slot count -- the SMT
+            mode is a chip-wide switch).
+    """
+
+    name: str
+    core_groups: tuple[tuple[object, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("placement needs a name")
+        if not self.core_groups:
+            raise ValueError(f"placement {self.name!r} has no cores")
+        width = len(self.core_groups[0])
+        if width < 1:
+            raise ValueError(f"placement {self.name!r} has an empty core")
+        for index, group in enumerate(self.core_groups):
+            if len(group) != width:
+                raise ValueError(
+                    f"placement {self.name!r}: core {index} carries "
+                    f"{len(group)} workloads, core 0 carries {width}; "
+                    "the SMT mode is chip-wide"
+                )
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def cores(self) -> int:
+        """Enabled cores."""
+        return len(self.core_groups)
+
+    @property
+    def smt(self) -> int:
+        """SMT slots per core."""
+        return len(self.core_groups[0])
+
+    @property
+    def threads(self) -> int:
+        """Total hardware threads occupied."""
+        return self.cores * self.smt
+
+    @property
+    def thread_workloads(self) -> tuple[object, ...]:
+        """All placed workloads, core-major declaration order."""
+        return tuple(
+            workload for group in self.core_groups for workload in group
+        )
+
+    @property
+    def thread_names(self) -> tuple[str, ...]:
+        """Per-thread workload names, core-major declaration order."""
+        return tuple(
+            getattr(workload, "name", type(workload).__name__)
+            for workload in self.thread_workloads
+        )
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every thread runs the same workload."""
+        keys = {
+            strict_workload_key(workload)
+            for workload in self.thread_workloads
+        }
+        return len(keys) == 1
+
+    def validate_against(self, config: "MachineConfig") -> None:
+        """Raise ``ValueError`` if the placement does not fit ``config``."""
+        if self.cores != config.cores or self.smt != config.smt:
+            raise ValueError(
+                f"placement {self.name!r} is {self.cores} cores x "
+                f"SMT-{self.smt}, configuration {config.label} needs "
+                f"{config.cores} x SMT-{config.smt}"
+            )
+
+    # -- canonical identity -------------------------------------------------------
+
+    def canonical_order(self) -> list[tuple[int, int]]:
+        """``(core, slot)`` pairs in the placement's canonical order.
+
+        Slots sort by workload identity within each core, and cores
+        sort by their sorted identity tuples.  Any two placements that
+        are within-core (or whole-core) permutations of each other
+        share one canonical order, which is what makes chip power and
+        noise draws exactly permutation-invariant.
+        """
+        per_core = [
+            sorted(
+                range(len(group)),
+                key=lambda slot: workload_key(group[slot]),
+            )
+            for group in self.core_groups
+        ]
+        core_order = sorted(
+            range(self.cores),
+            key=lambda core: tuple(
+                workload_key(self.core_groups[core][slot])
+                for slot in per_core[core]
+            ),
+        )
+        return [
+            (core, slot) for core in core_order for slot in per_core[core]
+        ]
+
+    def canonical_salt(self) -> int:
+        """Noise-seed salt, invariant under co-runner permutation.
+
+        The homogeneous case returns the single kernel's digest (zero
+        for protocol workloads), matching the salt ``Machine.run``
+        uses -- a homogeneous placement therefore draws the exact same
+        sensor noise as the plain run it degenerates to.
+        """
+        workloads = self.thread_workloads
+        if self.is_homogeneous:
+            first = workloads[0]
+            return first.digest() if isinstance(first, Kernel) else 0
+        parts = [
+            workload_key(self.core_groups[core][slot])
+            for core, slot in self.canonical_order()
+        ]
+        return stable_seed(*parts)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def homogeneous(
+        cls,
+        workload: object,
+        config: "MachineConfig",
+        name: str | None = None,
+    ) -> "Placement":
+        """One copy of ``workload`` per hardware thread (the paper's
+        deployment), named after the workload so measurements and noise
+        draws match ``Machine.run`` exactly."""
+        if name is None:
+            name = getattr(workload, "name", type(workload).__name__)
+        return cls(
+            name=name,
+            core_groups=tuple(
+                (workload,) * config.smt for _ in range(config.cores)
+            ),
+        )
+
+    @classmethod
+    def round_robin(
+        cls,
+        workloads: Sequence[object],
+        config: "MachineConfig",
+        name: str,
+    ) -> "Placement":
+        """Cycle ``workloads`` across the configuration's threads,
+        core-major -- every SMT-``n`` core co-schedules ``n``
+        consecutive entries of the cycle."""
+        if not workloads:
+            raise ValueError("round_robin needs at least one workload")
+        groups = []
+        for core in range(config.cores):
+            groups.append(
+                tuple(
+                    workloads[(core * config.smt + slot) % len(workloads)]
+                    for slot in range(config.smt)
+                )
+            )
+        return cls(name=name, core_groups=tuple(groups))

@@ -218,7 +218,16 @@ class GroundTruthPowerModel:
         thread_activities: Sequence[ThreadActivity],
         config: MachineConfig,
     ) -> float:
-        """True chip power (watts) for a running configuration."""
+        """True chip power (watts) for a running configuration.
+
+        DVFS scaling follows ``P = C * V^2 * f`` for the dynamic part:
+        the ``f`` term is already inside the per-second activity rates
+        (the machine re-clocks activities before measuring), so only
+        the ``V^2`` multiplier applies here.  The static components
+        (idle, uncore, CMP effect, SMT control logic) are modeled as
+        frequency-independent and are never scaled; the nominal
+        p-state therefore reproduces pre-DVFS power exactly.
+        """
         active = any(
             activity.instruction_rate > 0 for activity in thread_activities
         )
@@ -228,10 +237,14 @@ class GroundTruthPowerModel:
             power += cmp_effect(config.cores)
             if config.smt_enabled:
                 power += SMT_LOGIC * config.cores
-            power += sum(
+            dynamic = sum(
                 self.thread_dynamic_power(activity)
                 for activity in thread_activities
             )
+            p_state = config.p_state
+            if not p_state.is_nominal:
+                dynamic *= p_state.dynamic_scale
+            power += dynamic
         return power
 
     def idle_power(self) -> float:

@@ -34,6 +34,13 @@ def stable_seed(*parts: object) -> int:
 
     Uses CRC32 rather than ``hash()`` so results do not depend on
     Python's per-process hash randomization.
+
+    Measurement identity flows in through the parts: the workload (or
+    placement) name, the configuration label -- which embeds the DVFS
+    p-state when non-nominal, so every operating point draws fresh
+    noise -- the window length, the machine seed, and a content salt
+    (kernel digest, or the placement's canonical per-thread digest
+    combination, which is invariant under co-runner permutation).
     """
     text = "|".join(str(part) for part in parts)
     return zlib.crc32(text.encode())

@@ -47,6 +47,12 @@ class KernelSummary:
         alternation: Fraction of adjacent slots executing on different
             units.
         entropy: Operand-data entropy of the kernel.
+        fixed_occupancy: Pre-water-fill pipe-occupancy cycles per
+            iteration per unit from fixed usages.  The mixed-core SMT
+            solver re-water-fills these jointly across dissimilar
+            co-runners sharing a core.
+        flexible_occupancy: Pre-water-fill occupancy per candidate
+            unit set from flexible usages.
     """
 
     digest: int
@@ -60,3 +66,7 @@ class KernelSummary:
     unit_ops: dict[str, float]
     alternation: float
     entropy: float = field(default=1.0)
+    fixed_occupancy: dict[str, float] = field(default_factory=dict)
+    flexible_occupancy: dict[tuple[str, ...], float] = field(
+        default_factory=dict
+    )

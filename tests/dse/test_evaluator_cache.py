@@ -1,0 +1,121 @@
+"""Regression tests for evaluator caching across measurement contexts.
+
+One ``CachingEvaluator`` instance is routinely reused across the sweep
+(`for config in configs: evaluator.config = config; search.run()`);
+its keys must therefore carry the measurement context -- configuration
+*and* p-state -- or the second configuration is served the first one's
+scores.  These tests pin that contract, plus the mix objectives the
+placement searches use.
+"""
+
+import pytest
+
+from repro.dse import (
+    CachingEvaluator,
+    DesignSpace,
+    Dimension,
+    MeasurementEvaluator,
+    epi_spread_objective,
+    ipc_spread_objective,
+)
+from repro.sim import MachineConfig, Placement, get_pstate
+
+
+@pytest.fixture
+def space():
+    return DesignSpace([Dimension("mnemonic", ("add", "xvmaddadp"))])
+
+
+@pytest.fixture
+def evaluator(machine, space, small_kernel_factory):
+    return MeasurementEvaluator(
+        builder=lambda point: small_kernel_factory(point["mnemonic"]),
+        machine=machine,
+        config=MachineConfig(1, 1),
+        duration=1.0,
+    )
+
+
+class TestCacheContext:
+    def test_config_change_invalidates(self, evaluator, space):
+        caching = CachingEvaluator(evaluator, space)
+        point = {"mnemonic": "add"}
+        small = caching(point)
+        assert caching(point) == small
+        assert evaluator.measurements == 1
+
+        evaluator.config = MachineConfig(8, 4)
+        big = caching(point)
+        # A fresh measurement ran, and an 8-core SMT-4 deployment draws
+        # far more power than the single-thread one.
+        assert evaluator.measurements == 2
+        assert big > small + 50.0
+        assert caching.unique_evaluations == 2
+
+    def test_p_state_change_invalidates(self, evaluator, space):
+        caching = CachingEvaluator(evaluator, space)
+        evaluator.config = MachineConfig(8, 2)
+        point = {"mnemonic": "xvmaddadp"}
+        nominal = caching(point)
+        evaluator.config = evaluator.config.with_p_state(get_pstate("p3"))
+        throttled = caching(point)
+        assert evaluator.measurements == 2
+        assert throttled < nominal
+
+    def test_batch_path_respects_context(self, evaluator, space):
+        caching = CachingEvaluator(evaluator, space)
+        points = list(space.points())
+        first = caching.evaluate_many(points)
+        assert caching.evaluate_many(points) == first
+        assert evaluator.measurements == len(points)
+        evaluator.config = MachineConfig(4, 2)
+        second = caching.evaluate_many(points)
+        assert evaluator.measurements == 2 * len(points)
+        assert all(b > a for a, b in zip(first, second))
+
+    def test_context_free_evaluator_still_caches(self, space):
+        calls = []
+
+        def score(point):
+            calls.append(point)
+            return float(len(point["mnemonic"]))
+
+        caching = CachingEvaluator(score, space)
+        point = {"mnemonic": "add"}
+        assert caching(point) == caching(point)
+        assert len(calls) == 1
+
+
+class TestMixObjectives:
+    def test_ipc_spread_separates_mixes_from_homogeneous(
+        self, machine, small_kernel_factory
+    ):
+        config = MachineConfig(1, 2)
+        compute = small_kernel_factory("addic", count=64)
+        stalled = small_kernel_factory("ld", count=64, level="MEM")
+        homogeneous = machine.run(
+            Placement.homogeneous(compute, config), config
+        )
+        mixed = machine.run(
+            Placement("spread-mix", ((compute, stalled),)), config
+        )
+        assert ipc_spread_objective(homogeneous) == pytest.approx(0.0)
+        assert ipc_spread_objective(mixed) > 0.5
+
+    def test_epi_spread_positive_for_asymmetric_mix(
+        self, machine, small_kernel_factory
+    ):
+        config = MachineConfig(1, 2)
+        mixed = machine.run(
+            Placement(
+                "epi-mix",
+                (
+                    (
+                        small_kernel_factory("addic", count=64),
+                        small_kernel_factory("ld", count=64, level="MEM"),
+                    ),
+                ),
+            ),
+            config,
+        )
+        assert epi_spread_objective(mixed) > 0.0

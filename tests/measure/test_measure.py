@@ -1,27 +1,26 @@
-"""Tests for measurements, the runner, and trace analysis."""
+"""Tests for measurements, the runner, and trace analysis.
+
+Machine and kernel construction come from the shared fixtures in
+``tests/conftest.py``.
+"""
 
 import numpy as np
 import pytest
 
-from repro.march import get_architecture
 from repro.measure import MeasurementRunner, analyze_trace
 from repro.measure.measurement import Measurement
 from repro.measure.traces import segment_phases
-from repro.sim import Kernel, KernelInstruction, Machine, MachineConfig
+from repro.sim import MachineConfig, get_pstate
 from repro.sim.sensors import PowerSensor, stable_seed
 
 
 @pytest.fixture(scope="module")
-def machine():
-    return Machine(get_architecture("POWER7"))
-
-
-def kernel():
-    return Kernel("m-test", (KernelInstruction("add"),) * 64)
+def kernel(small_kernel_factory):
+    return lambda: small_kernel_factory("add", count=64)
 
 
 class TestMeasurement:
-    def test_totals_and_rates(self, machine):
+    def test_totals_and_rates(self, machine, kernel):
         measurement = machine.run(kernel(), MachineConfig(2, 2), duration=5.0)
         totals = measurement.total_counters()
         per_thread = measurement.thread_counters[0]
@@ -41,12 +40,42 @@ class TestMeasurement:
 
 
 class TestRunner:
-    def test_sweep_covers_configs(self, machine):
+    def test_sweep_covers_configs(self, machine, kernel):
         runner = MeasurementRunner(machine, duration=1.0)
         sweep = runner.run_sweep([kernel()])
         assert len(sweep) == 24
         for config, measurements in sweep.items():
             assert measurements[0].config == config
+
+    def test_sweep_crosses_p_states(self, machine, kernel):
+        runner = MeasurementRunner(machine, duration=1.0)
+        p_states = (get_pstate("nominal"), get_pstate("p2"))
+        sweep = runner.run_sweep([kernel()], p_states=p_states)
+        assert len(sweep) == 48
+        labels = [config.label for config in sweep]
+        assert "1-1" in labels and "1-1@p2" in labels
+        nominal = sweep[MachineConfig(8, 1)][0]
+        scaled = sweep[MachineConfig(8, 1).with_p_state(p_states[1])][0]
+        assert scaled.mean_power < nominal.mean_power
+
+    def test_sweep_preserves_explicit_p_states(self, machine, kernel):
+        """Caller-provided operating points must be measured as given,
+        not silently reset to nominal."""
+        runner = MeasurementRunner(machine, duration=1.0)
+        throttled = MachineConfig(2, 2).with_p_state(get_pstate("p2"))
+        sweep = runner.run_sweep([kernel()], configs=[throttled])
+        assert list(sweep) == [throttled]
+        assert sweep[throttled][0].config.label == "2-2@p2"
+
+    def test_sweep_deduplicates_collapsing_configs(self, machine, kernel):
+        runner = MeasurementRunner(machine, duration=1.0)
+        config = MachineConfig(1, 1)
+        sweep = runner.run_sweep(
+            [kernel()],
+            configs=[config, config.with_p_state(get_pstate("nominal"))],
+            p_states=(get_pstate("nominal"),),
+        )
+        assert len(sweep) == 1
 
     def test_baseline(self, machine):
         runner = MeasurementRunner(machine, duration=1.0)

@@ -14,7 +14,6 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.march import get_architecture
 from repro.sim import Kernel, KernelInstruction, Machine, MachineConfig
 from repro.sim.pipeline import CorePipelineModel
 
@@ -29,13 +28,8 @@ LEVELS = (None, "L1", "L1", "L2", "L3", "MEM")
 
 
 @pytest.fixture(scope="module")
-def arch():
-    return get_architecture("POWER7")
-
-
-@pytest.fixture(scope="module")
-def pipeline(arch):
-    return CorePipelineModel(arch)
+def pipeline(power7_arch):
+    return CorePipelineModel(power7_arch)
 
 
 def random_instruction(rng, size):
@@ -205,8 +199,8 @@ class TestReplicationInvariance:
 
 
 class TestEngineBookkeeping:
-    def test_summary_memoized_by_digest(self, arch):
-        pipeline = CorePipelineModel(arch)
+    def test_summary_memoized_by_digest(self, power7_arch):
+        pipeline = CorePipelineModel(power7_arch)
         kernel = random_kernel(7)
         clone = Kernel(
             name="different-name",
@@ -233,9 +227,9 @@ class TestEngineBookkeeping:
         with pytest.raises(ValueError, match="breaks the declared period"):
             kernel.validate_period()
 
-    def test_run_many_equals_run(self, arch):
-        machine_a = Machine(arch)
-        machine_b = Machine(arch)
+    def test_run_many_equals_run(self, power7_arch):
+        machine_a = Machine(power7_arch)
+        machine_b = Machine(power7_arch)
         kernels = [random_kernel(seed, size=48) for seed in range(6)]
         config = MachineConfig(4, 2)
         batched = machine_a.run_many(kernels, config)
@@ -245,31 +239,31 @@ class TestEngineBookkeeping:
             assert one.thread_counters == many.thread_counters
             assert one.workload_name == many.workload_name
 
-    def test_generated_fingerprints_honour_contract(self, arch):
+    def test_generated_fingerprints_honour_contract(self, power7_arch):
         from repro.march.bootstrap import Bootstrapper
         from repro.sim import Machine
         from repro.stressmark.search import build_stressmark
 
-        machine = Machine(arch)
-        bootstrapper = Bootstrapper(arch, machine, loop_size=96)
+        machine = Machine(power7_arch)
+        bootstrapper = Bootstrapper(power7_arch, machine, loop_size=96)
         for mnemonic in ("addic", "lwz", "stfd", "xvmaddadp"):
             for chained in (False, True):
                 kernel = bootstrapper._build(mnemonic, chained=chained)
                 kernel.validate_period()
         for loop_size in (12, 64, 500, 4096):
             kernel = build_stressmark(
-                arch, ("mulldo", "lxvw4x", "xvnmsubmdp"), loop_size
+                power7_arch, ("mulldo", "lxvw4x", "xvnmsubmdp"), loop_size
             )
             kernel.validate_period()
 
-    def test_stressmark_period_boundary_branch(self, arch):
+    def test_stressmark_period_boundary_branch(self, power7_arch):
         """(loop_size + 1) multiple of the pattern: the closing branch
         would land inside the last full period, so no fingerprint may
         be declared and the counts must stay exact."""
         from repro.stressmark.search import build_stressmark
 
         sequence = ("mulldo", "subf", "addic")  # no memory -> pattern 3
-        kernel = build_stressmark(arch, sequence, loop_size=8)  # 9 % 3 == 0
+        kernel = build_stressmark(power7_arch, sequence, loop_size=8)  # 9 % 3 == 0
         assert kernel.period is None
         counts = kernel.mnemonic_counts()
         assert counts["b"] == 1

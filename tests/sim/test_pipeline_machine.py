@@ -1,14 +1,16 @@
-"""Tests for the analytic pipeline model, machine facade, and sensors."""
+"""Tests for the analytic pipeline model, machine facade, and sensors.
+
+Architecture, machine and the uniform-kernel builder come from the
+shared fixtures in ``tests/conftest.py``.
+"""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import MeasurementError
-from repro.march import get_architecture
 from repro.sim import (
     Kernel,
     KernelInstruction,
-    Machine,
     MachineConfig,
     parse_config,
     standard_configurations,
@@ -17,31 +19,8 @@ from repro.sim.pipeline import CorePipelineModel
 
 
 @pytest.fixture(scope="module")
-def arch():
-    return get_architecture("POWER7")
-
-
-@pytest.fixture(scope="module")
-def machine(arch):
-    return Machine(arch)
-
-
-@pytest.fixture(scope="module")
-def pipeline(arch):
-    return CorePipelineModel(arch)
-
-
-def uniform_kernel(mnemonic, count=512, dep=None, level=None):
-    return Kernel(
-        name=f"test-{mnemonic}-{dep}-{level}-{count}",
-        instructions=tuple(
-            KernelInstruction(
-                mnemonic, dep_distance=dep, source_level=level,
-                address=0x1000 + 128 * i if level else None,
-            )
-            for i in range(count)
-        ),
-    )
+def pipeline(power7_arch):
+    return CorePipelineModel(power7_arch)
 
 
 class TestMachineConfig:
@@ -67,45 +46,61 @@ class TestMachineConfig:
 
 
 class TestPipelineBounds:
-    def test_table3_sustained_ipcs(self, pipeline):
+    def test_table3_sustained_ipcs(self, pipeline, small_kernel_factory):
         expectations = {
             "addic": 2.0, "add": 3.5, "mulldo": 1.4, "xvmaddadp": 2.0,
             "stfd": 0.48, "lhaux": 1.0,
         }
         for mnemonic, expected in expectations.items():
             level = "L1" if mnemonic in ("stfd", "lhaux") else None
-            activity = pipeline.activity(uniform_kernel(mnemonic, level=level))
+            activity = pipeline.activity(
+                small_kernel_factory(mnemonic, count=512, level=level)
+            )
             assert activity.ipc == pytest.approx(expected, rel=0.02), mnemonic
 
-    def test_chain_ipc_is_inverse_latency(self, pipeline, arch):
+    def test_chain_ipc_is_inverse_latency(
+        self, pipeline, power7_arch, small_kernel_factory
+    ):
         for mnemonic in ("fadd", "mulld", "subf"):
-            activity = pipeline.activity(uniform_kernel(mnemonic, dep=1))
-            expected = 1.0 / arch.props(mnemonic).latency
+            activity = pipeline.activity(
+                small_kernel_factory(mnemonic, count=512, dep=1)
+            )
+            expected = 1.0 / power7_arch.props(mnemonic).latency
             assert activity.ipc == pytest.approx(expected, rel=0.02)
 
-    def test_longer_distance_raises_ipc(self, pipeline):
-        slow = pipeline.activity(uniform_kernel("fadd", dep=1)).ipc
-        fast = pipeline.activity(uniform_kernel("fadd", dep=4)).ipc
+    def test_longer_distance_raises_ipc(self, pipeline, small_kernel_factory):
+        slow = pipeline.activity(
+            small_kernel_factory("fadd", count=512, dep=1)
+        ).ipc
+        fast = pipeline.activity(
+            small_kernel_factory("fadd", count=512, dep=4)
+        ).ipc
         assert fast == pytest.approx(4 * slow, rel=0.05)
 
-    def test_memory_bound_dominates_for_mem_streams(self, pipeline):
-        bounds = pipeline.bounds(uniform_kernel("ld", level="MEM"))
+    def test_memory_bound_dominates_for_mem_streams(
+        self, pipeline, small_kernel_factory
+    ):
+        stream = small_kernel_factory("ld", count=512, level="MEM")
+        bounds = pipeline.bounds(stream)
         assert bounds.binding == "memory"
-        assert pipeline.activity(uniform_kernel("ld", level="MEM")).ipc < 0.1
+        assert pipeline.activity(stream).ipc < 0.1
 
-    def test_smt_shares_unit_capacity(self, pipeline):
-        single = pipeline.activity(uniform_kernel("addic"), smt=1).ipc
-        doubled = pipeline.activity(uniform_kernel("addic"), smt=2).ipc
+    def test_smt_shares_unit_capacity(self, pipeline, small_kernel_factory):
+        kernel = small_kernel_factory("addic", count=512)
+        single = pipeline.activity(kernel, smt=1).ipc
+        doubled = pipeline.activity(kernel, smt=2).ipc
         assert doubled < single
         assert doubled == pytest.approx(single / 2, rel=0.1)
 
-    def test_smt_does_not_hurt_latency_bound_threads(self, pipeline):
-        chain = uniform_kernel("fadd", dep=1)
+    def test_smt_does_not_hurt_latency_bound_threads(
+        self, pipeline, small_kernel_factory
+    ):
+        chain = small_kernel_factory("fadd", count=512, dep=1)
         assert pipeline.activity(chain, smt=4).ipc == pytest.approx(
             pipeline.activity(chain, smt=1).ipc
         )
 
-    def test_alternation(self, pipeline, arch):
+    def test_alternation(self, pipeline):
         blocked = Kernel("blocked", tuple(
             [KernelInstruction("subf")] * 8 + [KernelInstruction("fadd")] * 8
         ))
@@ -117,44 +112,54 @@ class TestPipelineBounds:
 
     @given(st.integers(1, 31))
     @settings(max_examples=10, deadline=None)
-    def test_dependency_bound_monotone_in_distance(self, pipeline, distance):
-        near = pipeline.bounds(uniform_kernel("fadd", count=64, dep=distance))
+    def test_dependency_bound_monotone_in_distance(
+        self, pipeline, small_kernel_factory, distance
+    ):
+        near = pipeline.bounds(
+            small_kernel_factory("fadd", count=64, dep=distance)
+        )
         far = pipeline.bounds(
-            uniform_kernel("fadd", count=64, dep=distance + 1)
+            small_kernel_factory("fadd", count=64, dep=distance + 1)
         )
         assert far.dependency <= near.dependency + 1e-9
 
 
 class TestMachine:
-    def test_run_produces_measurement(self, machine):
-        kernel = uniform_kernel("add")
+    def test_run_produces_measurement(self, machine, small_kernel_factory):
+        kernel = small_kernel_factory("add", count=512)
         measurement = machine.run(kernel, MachineConfig(2, 2))
         assert measurement.threads == 4
         assert measurement.mean_power > 0
         assert measurement.sample_count == 10_000
 
-    def test_counters_consistent_with_ipc(self, machine, arch):
-        kernel = uniform_kernel("addic")
+    def test_counters_consistent_with_ipc(
+        self, machine, power7_arch, small_kernel_factory
+    ):
+        kernel = small_kernel_factory("addic", count=512)
         measurement = machine.run(kernel, MachineConfig(1, 1))
-        assert arch.ipc(measurement.thread_counters[0]) == pytest.approx(
-            2.0, rel=0.05
-        )
+        assert power7_arch.ipc(
+            measurement.thread_counters[0]
+        ) == pytest.approx(2.0, rel=0.05)
 
-    def test_power_grows_with_cores(self, machine):
-        kernel = uniform_kernel("xvmaddadp")
+    def test_power_grows_with_cores(self, machine, small_kernel_factory):
+        kernel = small_kernel_factory("xvmaddadp", count=512)
         powers = [
             machine.run(kernel, MachineConfig(cores, 1)).mean_power
             for cores in (1, 2, 4, 8)
         ]
         assert powers == sorted(powers)
 
-    def test_idle_below_any_workload(self, machine):
+    def test_idle_below_any_workload(self, machine, small_kernel_factory):
         idle = machine.run_idle().mean_power
-        busy = machine.run(uniform_kernel("add"), MachineConfig(1, 1))
+        busy = machine.run(
+            small_kernel_factory("add", count=512), MachineConfig(1, 1)
+        )
         assert idle < busy.mean_power
 
-    def test_measurements_are_reproducible(self, machine):
-        kernel = uniform_kernel("subf")
+    def test_measurements_are_reproducible(
+        self, machine, small_kernel_factory
+    ):
+        kernel = small_kernel_factory("subf", count=512)
         a = machine.run(kernel, MachineConfig(3, 2))
         b = machine.run(kernel, MachineConfig(3, 2))
         assert a.mean_power == b.mean_power
@@ -168,15 +173,15 @@ class TestMachine:
             != machine.run(b, config).mean_power
         )
 
-    def test_invalid_config_rejected(self, machine):
+    def test_invalid_config_rejected(self, machine, small_kernel_factory):
         with pytest.raises(MeasurementError):
-            machine.run(uniform_kernel("add"), MachineConfig(16, 1))
+            machine.run(small_kernel_factory("add"), MachineConfig(16, 1))
 
     def test_non_workload_rejected(self, machine):
         with pytest.raises(MeasurementError):
             machine.run(object(), MachineConfig(1, 1))
 
-    def test_order_changes_power_not_counters(self, machine, arch):
+    def test_order_changes_power_not_counters(self, machine, power7_arch):
         """Same mix, different order: power moves, activity does not --
         the substrate mechanism behind the paper's 17% observation."""
         blocked = Kernel("ord-blocked", tuple(
@@ -190,6 +195,8 @@ class TestMachine:
         power_blocked = machine.run(blocked, config)
         power_inter = machine.run(interleaved, config)
         assert power_inter.mean_power > power_blocked.mean_power
-        assert arch.ipc(power_inter.thread_counters[0]) == pytest.approx(
-            arch.ipc(power_blocked.thread_counters[0]), rel=0.01
+        assert power7_arch.ipc(
+            power_inter.thread_counters[0]
+        ) == pytest.approx(
+            power7_arch.ipc(power_blocked.thread_counters[0]), rel=0.01
         )

@@ -9,31 +9,19 @@ import statistics
 
 import pytest
 
-from repro.march import get_architecture
-from repro.march.bootstrap import Bootstrapper
 from repro.power_model.campaign import ModelingCampaign
 from repro.power_model.metrics import paae
-from repro.sim import Machine, MachineConfig
+from repro.sim import MachineConfig
 
 
 @pytest.fixture(scope="module")
-def machine():
-    return Machine(get_architecture("POWER7"))
-
-
-@pytest.fixture(scope="module")
-def arch(machine):
-    return machine.arch
+def arch(power7_arch):
+    return power7_arch
 
 
 @pytest.fixture(scope="module")
 def campaign_result(machine):
     return ModelingCampaign(machine, scale=0.15, loop_size=512).run()
-
-
-@pytest.fixture(scope="module")
-def bootstrap_records(machine, arch):
-    return Bootstrapper(arch, machine, loop_size=256).run()
 
 
 class TestCaseStudyA:

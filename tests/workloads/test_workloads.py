@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.march import get_architecture
-from repro.sim import Machine, MachineConfig
+from repro.sim import MachineConfig, get_pstate
 from repro.workloads import (
     RandomBenchmarkPolicy,
     daxpy_kernels,
     extreme_kernels,
+    get_mix,
+    mix_scenarios,
     spec_cpu2006,
 )
 from repro.workloads.profiles import ActivityProfile, ProfiledWorkload
@@ -15,13 +16,43 @@ from repro.workloads.spec import SPEC_NAMES, spec_profile
 
 
 @pytest.fixture(scope="module")
-def arch():
-    return get_architecture("POWER7")
+def arch(power7_arch):
+    return power7_arch
 
 
-@pytest.fixture(scope="module")
-def machine(arch):
-    return Machine(arch)
+class TestMixScenarios:
+    def test_named_scenarios_stable(self):
+        names = [scenario.name for scenario in mix_scenarios(64)]
+        assert names == [
+            "ilp-vs-memory", "vector-vs-scalar", "antagonist-lsu",
+            "chain-vs-throughput",
+        ]
+        with pytest.raises(KeyError, match="unknown mix"):
+            get_mix("no-such-mix")
+
+    def test_mix_kernels_honour_period_contract(self):
+        for scenario in mix_scenarios(48):
+            for kernel in scenario.workloads:
+                kernel.validate_period()
+
+    def test_scenarios_measure_through_run_many(self, machine):
+        config = MachineConfig(2, 2)
+        placements = [
+            scenario.placement(config) for scenario in mix_scenarios(64)
+        ]
+        measurements = machine.run_many(placements, config, duration=1.0)
+        for scenario, measurement in zip(mix_scenarios(64), measurements):
+            assert measurement.workload_name == scenario.name
+            assert measurement.is_heterogeneous
+            assert measurement.mean_power > 0
+
+    def test_scenarios_measure_at_non_nominal_p_state(self, machine):
+        config = MachineConfig(2, 2)
+        throttled = config.with_p_state(get_pstate("p3"))
+        scenario = get_mix("ilp-vs-memory", 64)
+        nominal = machine.run(scenario.placement(config), config)
+        slow = machine.run(scenario.placement(throttled), throttled)
+        assert slow.mean_power < nominal.mean_power
 
 
 class TestSpecSuite:
