@@ -1,0 +1,118 @@
+"""Execution-engine throughput: cells/second and warm-store speedup.
+
+Pins the scaling axis the engine adds on top of the evaluation engine:
+how many *measurement cells* (workload x configuration x window) the
+plan/executor/store pipeline completes per second, and how much a warm
+result store accelerates a re-run of the same campaign.
+
+Three numbers are reported:
+
+* serial cells/sec over a Figure-9-shaped plan (stressmark kernels
+  across the full 24-configuration sweep), asserted above a floor;
+* cold-vs-warm store speedup on the identical plan (the warm pass
+  performs zero machine invocations), asserted >= 2x -- modest only
+  because the evaluation engine under the cold path is itself fast at
+  smoke scale; the warm floor is pure JSON parsing;
+* parallel-executor wall time on the same plan, reported for context
+  (worker machines start with cold caches, so small plans understate
+  the parallel win).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import LOOP_SIZE
+from repro.exec import (
+    ExperimentPlan,
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+)
+from repro.sim import Machine
+from repro.sim.config import standard_configurations
+from repro.stressmark.search import build_stressmark, covering_sequences
+
+_CANDIDATES = ("mulldo", "lxvw4x", "xvnmsubmdp")
+_KERNELS = 40
+_DURATION = 1.0
+
+
+def _plan(arch) -> ExperimentPlan:
+    sequences = covering_sequences(_CANDIDATES)[:_KERNELS]
+    kernels = [
+        build_stressmark(arch, sequence, LOOP_SIZE) for sequence in sequences
+    ]
+    configs = standard_configurations(
+        arch.chip.max_cores, arch.chip.smt_modes()
+    )
+    return ExperimentPlan.cross(kernels, configs, duration=_DURATION)
+
+
+def test_engine_cells_per_second(benchmark, arch):
+    plan = _plan(arch)
+
+    def run_cold() -> int:
+        executor = SerialExecutor(Machine(arch))
+        executor.run(plan)
+        return plan.size
+
+    start = time.perf_counter()
+    cells = benchmark.pedantic(run_cold, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    rate = cells / elapsed
+    print(
+        f"\n=== Execution engine: {cells} cells "
+        f"({_KERNELS} kernels x 24 configurations, loop {LOOP_SIZE}) ===\n"
+        f"serial throughput: {rate:,.0f} cells/sec"
+    )
+    # The engine veneer must stay thin: the evaluation engine under it
+    # manages hundreds of cells/sec, and plan/expansion bookkeeping
+    # must not eat that.
+    assert rate > 100
+
+
+def test_warm_store_speedup(arch, tmp_path):
+    plan = _plan(arch)
+    store = ResultStore(tmp_path / "store")
+
+    start = time.perf_counter()
+    cold = SerialExecutor(Machine(arch), store=store).run(plan)
+    cold_elapsed = time.perf_counter() - start
+
+    warm_machine = Machine(arch)
+
+    def forbid(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("machine invoked on warm run")
+
+    warm_machine.run = warm_machine.run_many = forbid
+    start = time.perf_counter()
+    warm = SerialExecutor(warm_machine, store=store).run(plan)
+    warm_elapsed = time.perf_counter() - start
+
+    assert warm == cold
+    speedup = cold_elapsed / warm_elapsed
+    print(
+        f"\ncold (measure + persist): {cold_elapsed * 1e3:.0f} ms, "
+        f"warm (store only): {warm_elapsed * 1e3:.0f} ms -> "
+        f"{speedup:.1f}x speedup, {len(store)} stored cells"
+    )
+    assert speedup >= 2.0
+
+
+def test_parallel_executor_wall_time(arch):
+    plan = _plan(arch)
+    start = time.perf_counter()
+    serial = SerialExecutor(Machine(arch)).run(plan)
+    serial_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = ParallelExecutor(Machine(arch), workers=4).run(plan)
+    parallel_elapsed = time.perf_counter() - start
+
+    assert parallel == serial  # bit-identity at benchmark scale too
+    print(
+        f"\nserial: {serial_elapsed * 1e3:.0f} ms, "
+        f"parallel (4 workers, cold caches): {parallel_elapsed * 1e3:.0f} ms "
+        f"({plan.size} cells)"
+    )

@@ -13,11 +13,13 @@ maximum SPEC CPU2006 power by 10.7% and edges out the expert's DSE.
 
 from __future__ import annotations
 
+from repro.exec import ExperimentPlan, default_executor
 from repro.sim import MachineConfig
 from repro.stressmark import (
     expert_dse_set,
     expert_manual_set,
     select_candidates,
+    spec_power_baseline,
     stressmark_search,
 )
 from repro.stressmark.report import (
@@ -26,19 +28,9 @@ from repro.stressmark.report import (
     summarize_set,
 )
 from repro.stressmark.search import covering_sequences
-from repro.workloads import daxpy_kernels, spec_cpu2006
+from repro.workloads import daxpy_kernels
 
 _EVAL_LOOP = 384
-
-
-def _spec_baseline(machine) -> float:
-    smt_modes = machine.arch.chip.smt_modes()
-    cores = machine.arch.chip.max_cores
-    return max(
-        machine.run(workload, MachineConfig(cores, smt)).mean_power
-        for workload in spec_cpu2006()
-        for smt in smt_modes
-    )
 
 
 def test_fig9_stressmarks(benchmark, machine, arch, bootstrap_records):
@@ -49,14 +41,20 @@ def test_fig9_stressmarks(benchmark, machine, arch, bootstrap_records):
         "FXU": "mulldo", "LSU": "lxvw4x", "VSU": "xvnmsubmdp",
     }
 
-    baseline = _spec_baseline(machine)
+    # One engine executor for the whole figure (a warm REPRO_STORE
+    # serves everything without touching the machine; REPRO_PARALLEL
+    # reuses one worker pool across all five searches).
+    executor = default_executor(machine)
+    baseline = spec_power_baseline(machine, executor=executor)
 
     results = {
         "Expert manual": stressmark_search(
-            machine, expert_manual_set(), loop_size=_EVAL_LOOP
+            machine, expert_manual_set(), loop_size=_EVAL_LOOP,
+            executor=executor,
         ),
         "Expert DSE": stressmark_search(
-            machine, expert_dse_set(), loop_size=_EVAL_LOOP
+            machine, expert_dse_set(), loop_size=_EVAL_LOOP,
+            executor=executor,
         ),
     }
     results["MicroProbe"] = benchmark.pedantic(
@@ -64,17 +62,25 @@ def test_fig9_stressmarks(benchmark, machine, arch, bootstrap_records):
             machine,
             covering_sequences(tuple(candidates.values())),
             loop_size=_EVAL_LOOP,
+            executor=executor,
         ),
         rounds=1,
         iterations=1,
     )
 
     daxpy_rows = []
-    for kernel in daxpy_kernels(arch, loop_size=_EVAL_LOOP):
-        for smt in arch.chip.smt_modes():
-            measurement = machine.run(
-                kernel, MachineConfig(arch.chip.max_cores, smt)
-            )
+    kernels = daxpy_kernels(arch, loop_size=_EVAL_LOOP)
+    smt_modes = arch.chip.smt_modes()
+    daxpy_plan = ExperimentPlan.cross(
+        kernels,
+        [MachineConfig(arch.chip.max_cores, smt) for smt in smt_modes],
+    )
+    daxpy_measurements = executor.run(daxpy_plan)
+    for mode_index, smt in enumerate(smt_modes):
+        for kernel_index, kernel in enumerate(kernels):
+            measurement = daxpy_measurements[
+                mode_index * len(kernels) + kernel_index
+            ]
             ipc = arch.ipc(measurement.thread_counters[0]) * smt
             daxpy_rows.append(
                 ((kernel.name,), smt, measurement.mean_power, ipc)

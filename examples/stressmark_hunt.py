@@ -11,15 +11,18 @@ Run:  python examples/stressmark_hunt.py   (takes ~1 minute)
 
 from repro.march import get_architecture
 from repro.march.bootstrap import Bootstrapper
-from repro.sim import Machine, MachineConfig
-from repro.stressmark import select_candidates, stressmark_search
+from repro.sim import Machine
+from repro.stressmark import (
+    select_candidates,
+    spec_power_baseline,
+    stressmark_search,
+)
 from repro.stressmark.report import (
     best_sequence,
     order_spread_analysis,
     summarize_set,
 )
 from repro.stressmark.search import covering_sequences
-from repro.workloads import spec_cpu2006
 
 arch = get_architecture("POWER7")
 machine = Machine(arch)
@@ -32,11 +35,7 @@ candidates = select_candidates(arch, records)
 print(f"IPC*EPI candidates per unit: {candidates}")
 
 print("Measuring the SPEC CPU2006 maximum power (the Figure 9 baseline)...")
-baseline = max(
-    machine.run(workload, MachineConfig(8, smt)).mean_power
-    for workload in spec_cpu2006()
-    for smt in (1, 2, 4)
-)
+baseline = spec_power_baseline(machine)
 print(f"SPEC maximum: {baseline:.1f} W")
 
 sequences = covering_sequences(tuple(candidates.values()))

@@ -1,0 +1,330 @@
+"""``python -m repro`` -- headless measurement campaigns.
+
+Every subcommand drives the experiment execution engine
+(:mod:`repro.exec`): it builds an experiment plan, executes it serially
+or sharded across worker processes (``--parallel N``), and optionally
+persists every measurement in an on-disk result store (``--store
+DIR``) so re-runs are served from disk without touching the machine
+substrate.
+
+Subcommands::
+
+    sweep       a workload set across a CMP-SMT (x DVFS) sweep
+    campaign    the full section-4 modeling campaign + PAAE report
+    stressmark  the section-6 max-power stressmark hunt
+
+Examples::
+
+    python -m repro sweep --workloads spec --parallel 4 --store .store
+    python -m repro campaign --scale 0.05 --loop-size 256 --store .store
+    python -m repro -v stressmark --loop-size 384 --parallel 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from collections.abc import Sequence
+
+from repro.exec.executors import default_executor
+from repro.march import get_architecture
+from repro.sim import Machine, parse_config, standard_configurations
+from repro.sim.pstate import get_pstate
+
+logger = logging.getLogger("repro.cli")
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard plan cells across N worker processes (default: the "
+        "REPRO_PARALLEL environment variable, else serial)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persist measurements in an on-disk result store; warm "
+        "cells are served from disk (default: the REPRO_STORE "
+        "environment variable, else no store)",
+    )
+    parser.add_argument(
+        "--arch", default="POWER7", help="architecture name (default POWER7)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="machine seed (default 0)"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="measurement window in seconds (default 10)",
+    )
+
+
+def _build_executor(machine: Machine, args: argparse.Namespace):
+    # Explicit flags win; unset flags fall back to the documented
+    # REPRO_PARALLEL / REPRO_STORE environment knobs.
+    return default_executor(machine, parallel=args.parallel, store=args.store)
+
+
+def _report_store(executor) -> None:
+    store = executor.store
+    if store is not None:
+        print(
+            f"store {store.root}: {store.hits} cells warm, "
+            f"{store.misses} measured this run, {len(store)} total"
+        )
+
+
+# -- sweep ---------------------------------------------------------------------
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.measure.runner import MeasurementRunner
+    from repro.workloads import daxpy_kernels, extreme_kernels, spec_cpu2006
+
+    arch = get_architecture(args.arch)
+    machine = Machine(arch, seed=args.seed)
+    if args.workloads == "spec":
+        workloads = spec_cpu2006()
+    elif args.workloads == "daxpy":
+        workloads = daxpy_kernels(arch, loop_size=args.loop_size)
+    else:
+        workloads = list(extreme_kernels(arch, loop_size=args.loop_size).values())
+
+    if args.configs:
+        configs = [parse_config(label) for label in args.configs.split(",")]
+    else:
+        configs = list(
+            standard_configurations(arch.chip.max_cores, arch.chip.smt_modes())
+        )
+    p_states = (
+        [get_pstate(name) for name in args.p_states.split(",")]
+        if args.p_states
+        else None
+    )
+
+    executor = _build_executor(machine, args)
+    runner = MeasurementRunner(machine, args.duration, executor=executor)
+    logger.info(
+        "sweep: %d workloads x %d configurations%s",
+        len(workloads),
+        len(configs),
+        f" x {len(p_states)} p-states" if p_states else "",
+    )
+    sweep = runner.run_sweep(workloads, configs=configs, p_states=p_states)
+
+    print(f"=== {args.workloads} sweep: {len(sweep)} configurations ===")
+    for config, measurements in sweep.items():
+        powers = [measurement.mean_power for measurement in measurements]
+        hottest = max(measurements, key=lambda m: m.mean_power)
+        print(
+            f"{config.label:>8s}  mean {sum(powers) / len(powers):7.1f} W  "
+            f"max {hottest.mean_power:7.1f} W ({hottest.workload_name})"
+        )
+    _report_store(executor)
+    return 0
+
+
+# -- campaign ------------------------------------------------------------------
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.power_model.campaign import ModelingCampaign
+    from repro.power_model.metrics import max_error, paae
+
+    arch = get_architecture(args.arch)
+    machine = Machine(arch, seed=args.seed)
+    executor = _build_executor(machine, args)
+    campaign = ModelingCampaign(
+        machine,
+        scale=args.scale,
+        loop_size=args.loop_size,
+        duration=args.duration,
+        seed=args.seed,
+        executor=executor,
+    )
+    result = campaign.run()
+
+    validation = [
+        measurement
+        for measurements in result.spec_by_config.values()
+        for measurement in measurements
+    ]
+    models = {"BU": result.bottom_up, **result.top_down}
+    print(
+        f"=== modeling campaign: scale {args.scale}, "
+        f"{len(result.configs)} configurations, "
+        f"{len(validation)} SPEC validation measurements ==="
+    )
+    for name, model in models.items():
+        print(
+            f"{name:>10s}  PAAE {paae(model.predict, validation):5.2f} %  "
+            f"max error {max_error(model.predict, validation):5.2f} %"
+        )
+    _report_store(executor)
+    return 0
+
+
+# -- stressmark ----------------------------------------------------------------
+
+
+def _cmd_stressmark(args: argparse.Namespace) -> int:
+    from repro.march.bootstrap import Bootstrapper
+    from repro.stressmark import (
+        select_candidates,
+        spec_power_baseline,
+        stressmark_search,
+    )
+    from repro.stressmark.report import (
+        best_sequence,
+        order_spread_analysis,
+        summarize_set,
+    )
+    from repro.stressmark.search import covering_sequences
+
+    arch = get_architecture(args.arch)
+    machine = Machine(arch, seed=args.seed)
+    executor = _build_executor(machine, args)
+
+    logger.info("bootstrapping per-instruction EPI/IPC records")
+    # The bootstrap routes through the same executor, so a warm store
+    # serves the whole-ISA probe -- the command's dominant cost -- too.
+    # Paper-standard 10 s windows for the bootstrap regardless of
+    # --duration: the EPI/latency records are reference data.
+    records = Bootstrapper(
+        arch,
+        machine,
+        loop_size=args.bootstrap_loop,
+        executor=executor,
+    ).run()
+    candidates = select_candidates(arch, records)
+    print(f"IPC*EPI candidates per unit: {candidates}")
+
+    logger.info("measuring the SPEC maximum-power baseline")
+    baseline = spec_power_baseline(
+        machine, duration=args.duration, executor=executor
+    )
+    print(f"SPEC CPU2006 maximum: {baseline:.1f} W")
+
+    sequences = covering_sequences(tuple(candidates.values()))
+    results = stressmark_search(
+        machine,
+        sequences,
+        loop_size=args.loop_size,
+        duration=args.duration,
+        executor=executor,
+    )
+    summary = summarize_set("MicroProbe", results, baseline)
+    spread = order_spread_analysis(results, baseline)
+    print(f"best stressmark: {' '.join(best_sequence(results))}")
+    print(
+        f"max power: {summary.maximum:.3f}x the SPEC maximum "
+        f"(+{(summary.maximum - 1) * 100:.1f}%; paper: +10.7%)"
+    )
+    print(
+        f"order-only spread at max IPC: {spread.spread_percent:.1f}% over "
+        f"{spread.sequences_at_max_ipc} orderings (paper: ~17%)"
+    )
+    _report_store(executor)
+    return 0
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Headless measurement campaigns over the execution engine.",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="log engine/campaign progress to stderr",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="measure a workload set across a configuration sweep"
+    )
+    sweep.add_argument(
+        "--workloads",
+        choices=("spec", "daxpy", "extreme"),
+        default="spec",
+        help="workload set (default spec)",
+    )
+    sweep.add_argument(
+        "--configs",
+        metavar="LIST",
+        help="comma-separated configuration labels (e.g. 8-1,8-4@p2); "
+        "default: the full 24-configuration sweep",
+    )
+    sweep.add_argument(
+        "--p-states",
+        metavar="LIST",
+        help="comma-separated p-state names to cross with the sweep",
+    )
+    sweep.add_argument(
+        "--loop-size",
+        type=int,
+        default=1024,
+        help="generated-kernel loop size (daxpy/extreme sets)",
+    )
+    _add_engine_options(sweep)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run the section-4 modeling campaign"
+    )
+    campaign.add_argument(
+        "--scale",
+        type=float,
+        default=0.3,
+        help="training-suite scale factor (1.0 = paper scale)",
+    )
+    campaign.add_argument(
+        "--loop-size", type=int, default=1024, help="generated loop size"
+    )
+    _add_engine_options(campaign)
+    campaign.set_defaults(handler=_cmd_campaign)
+
+    stressmark = subparsers.add_parser(
+        "stressmark", help="run the section-6 max-power stressmark hunt"
+    )
+    stressmark.add_argument(
+        "--loop-size",
+        type=int,
+        default=384,
+        help="stressmark loop size (steady-state metrics are "
+        "size-invariant)",
+    )
+    stressmark.add_argument(
+        "--bootstrap-loop",
+        type=int,
+        default=256,
+        help="bootstrap micro-benchmark loop size",
+    )
+    _add_engine_options(stressmark)
+    stressmark.set_defaults(handler=_cmd_stressmark)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.INFO if args.verbose else logging.WARNING,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -16,14 +16,23 @@ sweep configurations never serves stale scores.
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.dse.space import DesignPoint, DesignSpace
+from repro.exec.executors import default_executor
+from repro.exec.plan import ExperimentPlan
 from repro.measure.measurement import Measurement
 from repro.sim.config import MachineConfig
 from repro.sim.kernel import Kernel
 from repro.sim.machine import Machine
 from repro.sim.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.executors import _ExecutorBase
+
+logger = logging.getLogger("repro.dse")
 
 #: Builds a runnable workload from a design point: one kernel deployed
 #: everywhere, or an explicit per-thread placement.
@@ -106,12 +115,18 @@ class MeasurementEvaluator:
         config: MachineConfig,
         objective: Objective = mean_power_objective,
         duration: float = 10.0,
+        executor: "_ExecutorBase | None" = None,
     ) -> None:
         self.builder = builder
         self.machine = machine
         self.config = config
         self.objective = objective
         self.duration = duration
+        # Environment-resolved default: REPRO_PARALLEL/REPRO_STORE
+        # shard or persist every search this evaluator drives.
+        self.executor = (
+            executor if executor is not None else default_executor(machine)
+        )
         self.measurements = 0
 
     @property
@@ -130,11 +145,25 @@ class MeasurementEvaluator:
         return self.evaluate_many([point])[0]
 
     def evaluate_many(self, points: Sequence[DesignPoint]) -> list[float]:
-        """Score a batch of points through ``Machine.run_many``."""
-        kernels = [self.builder(point) for point in points]
-        measurements = self.machine.run_many(
-            kernels, self.config, self.duration
+        """Score a batch of points through the execution engine.
+
+        The batch becomes one single-configuration experiment plan:
+        duplicate genotypes deduplicate into one cell, the executor
+        batches the misses through ``Machine.run_many`` (or shards them
+        across workers), and a store-backed executor serves revisited
+        points from disk across processes.
+        """
+        workloads = [self.builder(point) for point in points]
+        plan = ExperimentPlan.cross(
+            workloads, [self.config], duration=self.duration
         )
+        logger.debug(
+            "evaluating %d points on %s (%d unique cells)",
+            len(points),
+            self.config.label,
+            plan.size,
+        )
+        measurements = self.executor.run(plan)
         self.measurements += len(points)
         return [self.objective(measurement) for measurement in measurements]
 

@@ -9,12 +9,15 @@ the search space to the actual points of interest is crucial".
 from __future__ import annotations
 
 import itertools
+import logging
 from collections.abc import Callable
 
 from repro.dse.evaluator import evaluate_batch
 from repro.dse.results import SearchResult
 from repro.dse.space import DesignPoint, DesignSpace
 from repro.errors import SearchError
+
+logger = logging.getLogger("repro.dse")
 
 #: Points measured per batch; bounds the kernels materialized at once.
 BATCH_SIZE = 1024
@@ -48,6 +51,11 @@ class ExhaustiveSearch:
             )
         result = SearchResult()
         points = self.space.points()
+        logger.info(
+            "exhaustive search: %d points in batches of %d",
+            self.space.size,
+            BATCH_SIZE,
+        )
         while True:
             batch = list(itertools.islice(points, BATCH_SIZE))
             if not batch:
@@ -56,4 +64,10 @@ class ExhaustiveSearch:
                 batch, evaluate_batch(self.evaluator, batch)
             ):
                 result.record(point, score)
+            logger.info(
+                "exhaustive search: %d/%d points evaluated (best %.3f)",
+                result.count,
+                self.space.size,
+                result.best.score,
+            )
         return result

@@ -9,6 +9,7 @@ across generations.
 
 from __future__ import annotations
 
+import logging
 import random
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -16,6 +17,8 @@ from dataclasses import dataclass
 from repro.dse.evaluator import evaluate_batch
 from repro.dse.results import SearchResult
 from repro.dse.space import DesignPoint, DesignSpace
+
+logger = logging.getLogger("repro.dse")
 
 
 @dataclass(frozen=True)
@@ -62,12 +65,23 @@ class GeneticSearch:
         rng = random.Random(self.seed)
         result = SearchResult()
 
+        logger.info(
+            "genetic search: population %d over %d generations",
+            params.population,
+            params.generations,
+        )
         population = [
             self.space.random_point(rng) for _ in range(params.population)
         ]
         scored = self._evaluate_population(population, result)
 
-        for _ in range(params.generations - 1):
+        for generation in range(params.generations - 1):
+            logger.info(
+                "generation %d/%d: best %.3f",
+                generation + 1,
+                params.generations,
+                result.best.score,
+            )
             scored.sort(key=lambda pair: pair[1], reverse=True)
             next_population = [
                 dict(point) for point, _ in scored[: params.elite]

@@ -10,12 +10,15 @@ unit before an exhaustive pass over their orderings.
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Callable, Iterable
 
 from repro.dse.results import SearchResult
 from repro.dse.space import DesignPoint, DesignSpace
 from repro.errors import SearchError
 from repro.march.definition import MicroArchitecture
+
+logger = logging.getLogger("repro.dse")
 
 #: Produces candidate points by querying the architecture.
 CandidateGenerator = Callable[[MicroArchitecture, DesignSpace], Iterable[DesignPoint]]
@@ -49,4 +52,9 @@ class GuidedSearch:
             result.record(point, self.evaluator(point))
         if result.count == 0:
             raise SearchError("candidate generator produced no points")
+        logger.info(
+            "guided search: %d generated candidates evaluated (best %.3f)",
+            result.count,
+            result.best.score,
+        )
         return result

@@ -1,0 +1,40 @@
+"""Experiment execution engine: plans, executors, persistent results.
+
+The automation layer behind every measurement campaign::
+
+    plan      what to measure  -- a deduplicated cross product of
+              workloads/placements x configurations x p-states x window
+    executor  how to measure   -- serially, or sharded across worker
+              processes (bit-identical to serial)
+    store     where results go -- an on-disk JSON store keyed by
+              content-addressed cell keys, so warm re-runs never touch
+              ``Machine.run``
+
+All measurement consumers (the runner, the section-4 modeling
+campaign, the DSE evaluators, the stressmark search, the figure
+benchmarks and the ``python -m repro`` CLI) route through this engine.
+"""
+
+from repro.exec.executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    default_executor,
+)
+from repro.exec.plan import (
+    ExperimentPlan,
+    PlanCell,
+    sweep_configs,
+    workload_fingerprint,
+)
+from repro.exec.store import ResultStore
+
+__all__ = [
+    "ExperimentPlan",
+    "ParallelExecutor",
+    "PlanCell",
+    "ResultStore",
+    "SerialExecutor",
+    "default_executor",
+    "sweep_configs",
+    "workload_fingerprint",
+]

@@ -1,0 +1,390 @@
+"""Plan executors: serial, and sharded across worker processes.
+
+Both executors take an :class:`~repro.exec.plan.ExperimentPlan` and
+return measurements in the plan's requested order.  The contract that
+makes them interchangeable is *bit-identity*: every measurement is a
+deterministic pure function of the architecture definition, the
+machine seed and the cell content (sensor noise is seeded from stable
+content digests, never from run order or wall clock), so sharding
+cells across processes and reassembling in plan order reproduces the
+serial byte stream exactly.
+
+Batching: within a shard, cells are grouped by (configuration, window)
+and driven through :meth:`Machine.run_many`, so every distinct kernel
+is summarized once per worker regardless of how many cells carry it.
+
+With a :class:`~repro.exec.store.ResultStore` attached, warm cells are
+served from disk and only the misses are measured; a fully warm plan
+never touches ``Machine.run`` at all.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import multiprocessing
+import os
+import weakref
+from collections.abc import Sequence
+
+from repro.errors import UnknownArchitectureError
+from repro.exec.plan import ExperimentPlan, PlanCell
+from repro.exec.store import ResultStore
+from repro.measure.measurement import Measurement
+from repro.sim.machine import Machine
+
+logger = logging.getLogger("repro.exec")
+
+#: Shards per worker: small enough to amortize per-chunk dispatch,
+#: large enough that an uneven chunk doesn't idle the pool tail.
+_CHUNKS_PER_WORKER = 4
+
+
+def _group_cells(cells: Sequence[PlanCell]) -> dict[tuple, list[int]]:
+    """Indices of ``cells`` grouped per measurement batch, first-seen order.
+
+    Keyed by label as well as configuration: configuration equality
+    ignores the p-state *name*, but the label seeds sensor noise, so
+    same-scale differently-named operating points must run as separate
+    batches.  One definition shared by the serial path and the parallel
+    shard ordering, so the two executors can never batch differently.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for index, cell in enumerate(cells):
+        groups.setdefault(
+            (cell.config, cell.config.label, cell.duration), []
+        ).append(index)
+    return groups
+
+
+def _measure_on(
+    machine: Machine,
+    cells: Sequence[PlanCell],
+    persist=None,
+) -> list[Measurement]:
+    """Measure ``cells`` on ``machine``, grouped by configuration.
+
+    Grouping preserves first-seen configuration order and feeds each
+    group through ``run_many``; the output list is in ``cells`` order.
+    ``persist(cell, measurement)``, when given, is called after each
+    configuration group so progress is durable mid-campaign.
+    """
+    out: list[Measurement | None] = [None] * len(cells)
+    for (config, _label, duration), indices in _group_cells(cells).items():
+        measurements = machine.run_many(
+            [cells[index].workload for index in indices], config, duration
+        )
+        for index, measurement in zip(indices, measurements):
+            out[index] = measurement
+            if persist is not None:
+                persist(cells[index], measurement)
+    return out  # type: ignore[return-value]
+
+
+class _ExecutorBase:
+    """Shared store/plan plumbing of the executors."""
+
+    def __init__(self, machine: Machine, store: ResultStore | None = None) -> None:
+        self.machine = machine
+        self.store = store
+        # (arch object, digest) memo: rendering the digest costs
+        # ~1.5 ms, which would dominate warm single-cell plans
+        # (per-point DSE loops) if recomputed per run.  The memo holds
+        # the architecture object itself (identity via ``is``, never a
+        # bare ``id()`` that a recycled allocation could collide with).
+        # Swapping in a different architecture object re-digests;
+        # mutating one *in place* while reusing an executor does not --
+        # build a fresh architecture (``get_architecture`` always
+        # returns one) for definition edits, as the bootstrap's epi
+        # write-backs (excluded from the digest by design) are the only
+        # sanctioned in-place mutation.
+        self._arch_digest_memo = None
+        self._arch_digest = 0
+
+    def _refresh_arch_digest(self) -> None:
+        arch = self.machine.arch
+        memo = self._arch_digest_memo
+        if memo is None or memo[0] is not arch:
+            self._arch_digest_memo = (arch, arch.content_digest())
+        self._arch_digest = self._arch_digest_memo[1]
+
+    def _key(self, cell: PlanCell) -> str:
+        return cell.key(
+            self.machine.arch.name, self.machine.seed, self._arch_digest
+        )
+
+    def run(self, plan: ExperimentPlan) -> list[Measurement]:
+        """Execute the plan; measurements in requested order."""
+        cells = plan.cells
+        results: list[Measurement | None] = [None] * len(cells)
+        if self.store is None:
+            misses = list(range(len(cells)))
+        else:
+            # Cell keys must reflect the architecture definition *as
+            # measured*; the digest is memoized per architecture object
+            # (see __init__) so warm single-cell runs stay cheap.
+            self._refresh_arch_digest()
+            misses = []
+            for index, cell in enumerate(cells):
+                found = self.store.get(self._key(cell))
+                if found is None:
+                    misses.append(index)
+                else:
+                    results[index] = found
+            logger.info(
+                "plan %s: %d warm from %s, %d to measure",
+                plan.describe(),
+                len(cells) - len(misses),
+                self.store,
+                len(misses),
+            )
+        if misses:
+            # Persistence happens inside _measure_cells (per batch /
+            # per chunk), so an interrupted campaign keeps everything
+            # measured so far; re-runs resume from the store.
+            measured = self._measure_cells(
+                [cells[index] for index in misses], self._persist
+            )
+            for index, measurement in zip(misses, measured):
+                results[index] = measurement
+        return plan.expand(results)
+
+    def _persist(self, cell: PlanCell, measurement: Measurement) -> None:
+        if self.store is not None:
+            self.store.put(self._key(cell), measurement)
+
+    def _measure_cells(
+        self, cells: Sequence[PlanCell], persist=None
+    ) -> list[Measurement]:
+        raise NotImplementedError
+
+
+class SerialExecutor(_ExecutorBase):
+    """In-process execution, batched per configuration."""
+
+    def _measure_cells(
+        self, cells: Sequence[PlanCell], persist=None
+    ) -> list[Measurement]:
+        logger.info("serial: measuring %d cells", len(cells))
+        return _measure_on(self.machine, cells, persist)
+
+
+# -- worker-process plumbing ---------------------------------------------------
+
+_WORKER_MACHINE: Machine | None = None
+
+
+def _init_worker(arch_name: str, seed: int) -> None:
+    """Build this worker's machine from the architecture registry.
+
+    Measurements depend only on the (deterministically parsed)
+    architecture definition and the seed, so a registry rebuild is
+    substrate-identical to the parent's machine; worker caches start
+    cold and warm up over the shard.
+    """
+    global _WORKER_MACHINE
+    from repro.march.definition import get_architecture
+
+    _WORKER_MACHINE = Machine(get_architecture(arch_name), seed)
+
+
+def _run_chunk(cells: Sequence[PlanCell]) -> list[Measurement]:
+    assert _WORKER_MACHINE is not None, "worker initializer did not run"
+    return _measure_on(_WORKER_MACHINE, cells)
+
+
+def _shutdown_pool(pool) -> None:
+    """Finalizer target: release a worker pool's processes."""
+    pool.terminate()
+    pool.join()
+
+
+class ParallelExecutor(_ExecutorBase):
+    """Multiprocessing execution: plan cells sharded across workers.
+
+    Bit-identical to :class:`SerialExecutor` -- same counters, same
+    powers, same noise draws -- because nothing in a measurement
+    depends on *where* or *in what order* it ran.  Cells are ordered
+    configuration-major before sharding so chunks batch well, shipped
+    to a worker pool, and reassembled in plan order.
+
+    Workers rebuild their machines from the architecture registry by
+    name, which is only sound if the registry's definition content
+    matches this machine's architecture -- verified by comparing
+    :meth:`~repro.march.definition.MicroArchitecture.content_digest`.
+    Execution falls back in-process when the digests differ (a
+    customized architecture), when the architecture is not registered
+    at all, when only one worker is requested, or when the shard would
+    be trivial.
+
+    The worker pool persists across ``run()`` calls, so repeated plans
+    (GA generations, DSE batches) reuse warm worker-side summary
+    caches; call :meth:`close` (or use the executor as a context
+    manager) to release the processes early.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        workers: int | None = None,
+        store: ResultStore | None = None,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(machine, store)
+        self.workers = max(1, workers if workers is not None else os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self._pool = None
+        self._pool_finalizer = None
+        # (parent arch digest, verdict) of the last rebuild probe.
+        self._rebuild_probe: tuple[int, bool] | None = None
+
+    def _resolve_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        available = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in available else "spawn"
+
+    def _workers_can_rebuild(self) -> bool:
+        """Whether a registry rebuild reproduces this machine's arch.
+
+        Probed by content digest -- through the base class's
+        per-architecture-object memo, so steady-state parallel runs pay
+        no digest rendering -- and memoized against the digest value,
+        so swapping in an edited architecture re-probes the registry.
+        """
+        from repro.march.definition import get_architecture
+
+        self._refresh_arch_digest()
+        mine = self._arch_digest
+        if self._rebuild_probe is not None and self._rebuild_probe[0] == mine:
+            return self._rebuild_probe[1]
+        try:
+            registry = get_architecture(self.machine.arch.name)
+            sound = registry.content_digest() == mine
+        except UnknownArchitectureError:
+            sound = False
+        self._rebuild_probe = (mine, sound)
+        return sound
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context(self._resolve_start_method())
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.machine.arch.name, self.machine.seed),
+            )
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (recreated lazily on the next run)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()
+            self._pool_finalizer = None
+        self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _measure_cells(
+        self, cells: Sequence[PlanCell], persist=None
+    ) -> list[Measurement]:
+        workers = min(self.workers, len(cells))
+        if workers <= 1:
+            logger.info("parallel: shard too small, measuring %d cells in-process", len(cells))
+            return _measure_on(self.machine, cells, persist)
+        if not self._workers_can_rebuild():
+            logger.warning(
+                "architecture %r cannot be rebuilt from the registry "
+                "(unregistered, or customized away from the bundled "
+                "definition); falling back to in-process execution to "
+                "preserve bit-identity",
+                self.machine.arch.name,
+            )
+            return _measure_on(self.machine, cells, persist)
+
+        # Configuration-major ordering keeps each chunk's run_many
+        # batches large; the index map restores cell order afterwards.
+        ordered_indices = [
+            index
+            for indices in _group_cells(cells).values()
+            for index in indices
+        ]
+        ordered_cells = [cells[index] for index in ordered_indices]
+
+        chunk_size = self.chunk_size or max(
+            1, math.ceil(len(ordered_cells) / (workers * _CHUNKS_PER_WORKER))
+        )
+        chunks = [
+            ordered_cells[start : start + chunk_size]
+            for start in range(0, len(ordered_cells), chunk_size)
+        ]
+        logger.info(
+            "parallel: %d cells in %d chunks across %d workers (%s)",
+            len(cells),
+            len(chunks),
+            workers,
+            self._resolve_start_method(),
+        )
+        flat: list[Measurement] = []
+        pool = self._ensure_pool()
+        for number, chunk_result in enumerate(
+            pool.imap(_run_chunk, chunks), start=1
+        ):
+            if persist is not None:
+                # Per-chunk persistence: an interrupted campaign
+                # resumes from everything already returned.
+                for cell, measurement in zip(
+                    chunks[number - 1], chunk_result
+                ):
+                    persist(cell, measurement)
+            flat.extend(chunk_result)
+            logger.info(
+                "parallel: chunk %d/%d done (%d/%d cells)",
+                number,
+                len(chunks),
+                len(flat),
+                len(ordered_cells),
+            )
+        out: list[Measurement | None] = [None] * len(cells)
+        for index, measurement in zip(ordered_indices, flat):
+            out[index] = measurement
+        return out  # type: ignore[return-value]
+
+
+def default_executor(
+    machine: Machine,
+    parallel: int | None = None,
+    store: ResultStore | str | None = None,
+) -> _ExecutorBase:
+    """The executor the environment asks for.
+
+    ``REPRO_STORE`` (a directory path) attaches a persistent
+    :class:`ResultStore`; ``REPRO_PARALLEL`` (a worker count > 1)
+    selects the :class:`ParallelExecutor`.  Explicit arguments win over
+    the environment.  With neither, this is a plain
+    :class:`SerialExecutor` -- the exact historical behaviour.
+    """
+    if store is None:
+        store_dir = os.environ.get("REPRO_STORE")
+        store = ResultStore(store_dir) if store_dir else None
+    elif isinstance(store, (str, os.PathLike)):
+        store = ResultStore(store)
+    if parallel is None:
+        try:
+            parallel = int(os.environ.get("REPRO_PARALLEL", "0"))
+        except ValueError:
+            parallel = 0
+    if parallel and parallel > 1:
+        return ParallelExecutor(machine, workers=parallel, store=store)
+    return SerialExecutor(machine, store=store)

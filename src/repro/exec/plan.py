@@ -1,0 +1,239 @@
+"""Declarative experiment plans: what to measure, expressed as data.
+
+Every measurement campaign in the system -- the 24-configuration
+CMP/SMT sweep, the section-4 training suites, DSE populations, the
+Figure-9 stressmark search -- reduces to the same shape: a set of
+*cells*, each one workload (or placement) on one configuration for one
+window.  An :class:`ExperimentPlan` captures that cross product
+declaratively, deduplicates cells that describe the same physical
+measurement, and gives every cell a deterministic content-addressed
+key derived from the same kernel digests the evaluation engine's
+summary memoization uses.  Executors (:mod:`repro.exec.executors`)
+consume plans; the :class:`~repro.exec.store.ResultStore` persists
+results under the cell keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.hashing import content_hash, content_hex
+from repro.measure.measurement import DEFAULT_DURATION_S
+from repro.sim.config import MachineConfig
+from repro.sim.placement import Placement, workload_key
+from repro.sim.pstate import PState
+
+
+def workload_fingerprint(workload: object) -> tuple:
+    """Deterministic, process-stable identity of one plan workload.
+
+    Kernels are identified by name plus analytic-content digest (the
+    identity :class:`~repro.sim.summary.KernelSummary` memoization
+    already keys on); placements by name, canonical salt and the
+    recursive fingerprints of their threads in declaration order
+    (counter readings keep declaration order, so two placements that
+    permute co-runners are *different* cells even though their power
+    draws coincide, while a same-named co-runner with different
+    content stays distinct); profiled workloads by name plus a digest
+    of their profile content; anything else by its protocol name --
+    the one place a caller-defined workload type must either keep
+    names unique or expose a ``fingerprint()`` method (which overrides
+    all of the above) to avoid aliasing.
+    """
+    custom = getattr(workload, "fingerprint", None)
+    if callable(custom):
+        return tuple(custom())
+    if isinstance(workload, Placement):
+        return (
+            "placement",
+            workload.name,
+            workload.canonical_salt(),
+            tuple(
+                workload_fingerprint(w) for w in workload.thread_workloads
+            ),
+        )
+    profile = getattr(workload, "profile", None)
+    if profile is not None:
+        name = getattr(workload, "name", type(workload).__name__)
+        return ("profile", name, content_hash(repr(profile)))
+    # Kernels and bare protocol workloads share the noise-salt identity
+    # (delegation, so the store/dedup identity can never drift from the
+    # physical noise identity): ("kernel", name, digest) for kernels,
+    # ("workload", name, 0) otherwise.
+    return workload_key(workload)
+
+
+def sweep_configs(
+    configs: Sequence[MachineConfig],
+    p_states: Sequence[PState] | None = None,
+) -> list[MachineConfig]:
+    """Cross a configuration list with a DVFS ladder, p-state-major.
+
+    The single definition of the sweep order (the whole CMP-SMT list
+    repeated per operating point, as a DVFS campaign runs it) shared by
+    :meth:`ExperimentPlan.cross` and the measurement runner's
+    ``run_sweep``.  ``p_states=None`` returns the list as given.
+    """
+    swept = list(configs)
+    if p_states is not None:
+        swept = [
+            config.with_p_state(p_state)
+            for p_state in p_states
+            for config in swept
+        ]
+    return swept
+
+
+@dataclass(frozen=True)
+class PlanCell:
+    """One measurement: one workload on one configuration for one window."""
+
+    workload: object
+    config: MachineConfig
+    duration: float = DEFAULT_DURATION_S
+
+    def identity(self) -> tuple:
+        """Machine-independent identity, used for in-plan deduplication.
+
+        Includes the configuration label alongside the configuration:
+        ``PState`` equality deliberately ignores the operating-point
+        *name*, but the label (which embeds it) seeds sensor noise, so
+        two same-scale points with different names are physically
+        distinct measurements and must never dedup into one cell.
+        """
+        return (
+            workload_fingerprint(self.workload),
+            self.config,
+            self.config.label,
+            self.duration,
+        )
+
+    def key(
+        self, arch_name: str, machine_seed: int, arch_digest: int = 0
+    ) -> str:
+        """Content-addressed store key of this cell on one machine.
+
+        Everything the measurement depends on flows in: the
+        architecture -- by name *and* definition-content digest
+        (:meth:`~repro.march.definition.MicroArchitecture.content_digest`),
+        so editing a bundled ``.isa``/``.march`` file invalidates
+        stale store entries rather than silently serving them -- the
+        machine seed (which seeds sensor noise), the workload's content
+        fingerprint (kernel digests -- two kernels sharing a name never
+        collide), the CMP-SMT mode, the operating point (name *and*
+        physical scales: the name enters the noise seed through the
+        configuration label, the scales enter the physics), and the
+        window length.
+        """
+        p_state: PState = self.config.p_state
+        parts = (
+            "cell-v1",
+            arch_name,
+            arch_digest,
+            machine_seed,
+            self.config.cores,
+            self.config.smt,
+            p_state.name,
+            p_state.freq_scale,
+            p_state.volt_scale,
+            self.duration,
+            workload_fingerprint(self.workload),
+        )
+        return content_hex("|".join(str(part) for part in parts))
+
+
+class ExperimentPlan:
+    """A deduplicated, ordered collection of measurement cells.
+
+    The plan remembers every *requested* cell but holds each distinct
+    physical measurement once: :attr:`cells` is the unique sequence an
+    executor measures, and :meth:`expand` fans unique results back out
+    to the requested order.  Construction order is preserved, so an
+    executor that walks :attr:`cells` front to back reproduces the
+    historical serial measurement order.
+    """
+
+    def __init__(self, cells: Iterable[PlanCell]) -> None:
+        unique: list[PlanCell] = []
+        index_of: dict[tuple, int] = {}
+        expansion: list[int] = []
+        for cell in cells:
+            identity = cell.identity()
+            index = index_of.get(identity)
+            if index is None:
+                index = len(unique)
+                index_of[identity] = index
+                unique.append(cell)
+            expansion.append(index)
+        # An empty plan is valid and executes to an empty result list,
+        # matching the historical behaviour of running zero workloads.
+        self.cells: tuple[PlanCell, ...] = tuple(unique)
+        self._expansion: tuple[int, ...] = tuple(expansion)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def cross(
+        cls,
+        workloads: Sequence[object],
+        configs: Sequence[MachineConfig],
+        p_states: Sequence[PState] | None = None,
+        duration: float = DEFAULT_DURATION_S,
+    ) -> "ExperimentPlan":
+        """The cross product ``configs x workloads``, configuration-major.
+
+        Passing ``p_states`` crosses the configuration list with that
+        DVFS ladder first (via :func:`sweep_configs`, p-state-major,
+        the order a DVFS campaign runs): the scenario count grows to
+        ``|p_states| x |configs| x |workloads|``.  Requested order is
+        configuration-major with workloads innermost, so the cells of
+        configuration ``i`` are the contiguous slice ``[i *
+        len(workloads), (i + 1) * len(workloads))`` of the expanded
+        results.
+        """
+        swept = sweep_configs(configs, p_states)
+        return cls(
+            PlanCell(workload, config, duration)
+            for config in swept
+            for workload in workloads
+        )
+
+    @classmethod
+    def single(
+        cls,
+        workload: object,
+        config: MachineConfig,
+        duration: float = DEFAULT_DURATION_S,
+    ) -> "ExperimentPlan":
+        """A one-cell plan."""
+        return cls([PlanCell(workload, config, duration)])
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Distinct physical measurements the plan requires."""
+        return len(self.cells)
+
+    @property
+    def requested(self) -> int:
+        """Cells as requested, duplicates included."""
+        return len(self._expansion)
+
+    def expand(self, unique_results: Sequence) -> list:
+        """Fan per-unique-cell results back out to requested order."""
+        if len(unique_results) != len(self.cells):
+            raise ValueError(
+                f"expected {len(self.cells)} unique results, "
+                f"got {len(unique_results)}"
+            )
+        return [unique_results[index] for index in self._expansion]
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        configs = {cell.config.label for cell in self.cells}
+        return (
+            f"{self.size} unique cells ({self.requested} requested) "
+            f"across {len(configs)} configuration(s)"
+        )

@@ -1,0 +1,95 @@
+"""Persistent measurement results, keyed by content-addressed cell keys.
+
+A :class:`ResultStore` is a directory of small JSON files, one per
+measurement cell, named by the cell's
+:meth:`~repro.exec.plan.PlanCell.key`.  Because keys are derived from
+the architecture, machine seed, workload content digest, configuration,
+operating point and window length, a store survives process restarts
+and is shared safely between serial and parallel executors: the same
+cell always lands in the same file with the same bytes, and a warm
+re-run of any campaign skips ``Machine.run`` entirely.
+
+Writes are atomic (write-to-temp + rename), so concurrent writers --
+parallel campaign shards, or two campaigns sharing one store -- never
+corrupt an entry; at worst they write the identical payload twice.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+from repro.measure.measurement import Measurement
+
+logger = logging.getLogger("repro.exec.store")
+
+#: Store layout version; bump when the payload format changes.
+FORMAT = "repro-result-v1"
+
+
+class ResultStore:
+    """On-disk measurement store, one JSON file per cell key."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Cells served from disk / missed since construction.
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        # Two-character fan-out keeps directories small at campaign scale.
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Measurement | None:
+        """The stored measurement for ``key``, or ``None`` on a miss.
+
+        Unreadable or format-mismatched entries count as misses (the
+        executor re-measures and overwrites them).
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("format") != FORMAT:
+                raise ValueError(f"unknown store format {payload.get('format')!r}")
+            measurement = Measurement.from_dict(payload["measurement"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # Any unreadable entry -- corrupt JSON, foreign permissions,
+            # a stray directory -- is a miss to re-measure, never a
+            # reason to abort a resumable campaign.
+            logger.warning("discarding unreadable store entry %s: %s", path, exc)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return measurement
+
+    def put(self, key: str, measurement: Measurement) -> None:
+        """Persist one measurement under ``key`` (atomic overwrite)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": FORMAT,
+            "key": key,
+            "measurement": measurement.to_dict(),
+        }
+        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        temp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(temp, path)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def keys(self) -> list[str]:
+        """All stored cell keys."""
+        return sorted(path.stem for path in self.root.glob("??/*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"

@@ -1,0 +1,27 @@
+"""Stable content hashing shared by the identity systems.
+
+Kernel digests, workload fingerprints, architecture content digests
+and store cell keys all reduce canonical text to a deterministic,
+process-stable value.  One implementation keeps them from drifting:
+changing the digest size or encoding here changes *every* identity
+system together, never one of them silently.
+
+(`repro.sim.sensors.stable_seed` is the separate, CRC32-based helper
+for 32-bit *noise seeds*; these are full-width content identities.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def content_hash(text: str, size: int = 8) -> int:
+    """Deterministic integer digest of canonical content text."""
+    return int.from_bytes(
+        hashlib.blake2b(text.encode(), digest_size=size).digest(), "big"
+    )
+
+
+def content_hex(text: str, size: int = 16) -> str:
+    """Deterministic hex digest of canonical content text (store keys)."""
+    return hashlib.blake2b(text.encode(), digest_size=size).hexdigest()

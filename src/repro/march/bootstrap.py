@@ -69,6 +69,7 @@ class Bootstrapper:
         config: MachineConfig | None = None,
         duration: float = 10.0,
         seed: int = 0,
+        executor=None,
     ) -> None:
         self.arch = arch
         self.machine = machine
@@ -79,6 +80,12 @@ class Bootstrapper:
         )
         self.duration = duration
         self.seed = seed
+        # Optional execution-engine routing: with a store-backed
+        # executor a warm re-run of the whole-ISA bootstrap is served
+        # from disk.  The default (None) keeps the generator-fed
+        # run_many path, which never materializes more than one kernel
+        # at a time -- preferable at paper loop sizes.
+        self.executor = executor
         self._reference_power: float | None = None
 
     # -- micro-benchmark construction ---------------------------------------
@@ -105,13 +112,23 @@ class Bootstrapper:
         )
         return synth.synthesize().to_kernel()
 
+    def _measure_batch(self, kernels) -> list[Measurement]:
+        """Measure bootstrap kernels, through the executor when set."""
+        if self.executor is None:
+            return self.machine.run_many(kernels, self.config, self.duration)
+        from repro.exec.plan import ExperimentPlan
+
+        return self.executor.run(
+            ExperimentPlan.cross(
+                list(kernels), [self.config], duration=self.duration
+            )
+        )
+
     def _reference(self) -> float:
         """Mean power of the nop reference loop (cancels statics)."""
         if self._reference_power is None:
             kernel = self._build("nop", chained=False)
-            measurement = self.machine.run(
-                kernel, self.config, self.duration
-            )
+            measurement = self._measure_batch([kernel])[0]
             self._reference_power = measurement.mean_power
         return self._reference_power
 
@@ -150,12 +167,8 @@ class Bootstrapper:
                 reference itself).
         """
         self._require_probeable(mnemonic)
-        chained = self.machine.run(
-            self._build(mnemonic, chained=True), self.config, self.duration
-        )
-        free = self.machine.run(
-            self._build(mnemonic, chained=False), self.config, self.duration
-        )
+        chained = self._measure_batch([self._build(mnemonic, chained=True)])[0]
+        free = self._measure_batch([self._build(mnemonic, chained=False)])[0]
         return self._derive(mnemonic, chained, free)
 
     def _derive(
@@ -207,17 +220,14 @@ class Bootstrapper:
             ]
         for mnemonic in mnemonics:
             self._require_probeable(mnemonic)
-        # Generators keep at most one kernel alive at a time; run_many
-        # drains them through the shared evaluation engine.
-        chained_batch = self.machine.run_many(
-            (self._build(m, chained=True) for m in mnemonics),
-            self.config,
-            self.duration,
+        # Generators keep at most one kernel alive at a time on the
+        # default path; an attached executor materializes the batch
+        # into a plan instead (acceptable at bootstrap loop sizes).
+        chained_batch = self._measure_batch(
+            self._build(m, chained=True) for m in mnemonics
         )
-        free_batch = self.machine.run_many(
-            (self._build(m, chained=False) for m in mnemonics),
-            self.config,
-            self.duration,
+        free_batch = self._measure_batch(
+            self._build(m, chained=False) for m in mnemonics
         )
         records = {}
         for mnemonic, chained, free in zip(

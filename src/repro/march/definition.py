@@ -15,6 +15,7 @@ from functools import lru_cache
 from importlib import resources
 
 from repro.errors import UnknownArchitectureError
+from repro.hashing import content_hash
 from repro.isa.registry import ISA, load_default_isa
 from repro.march.caches import CacheGeometry, MemoryLevel
 from repro.march.components import ChipGeometry, FunctionalUnit
@@ -111,6 +112,54 @@ class MicroArchitecture:
     def ipc(self, readings: Mapping[str, float]) -> float:
         """Evaluate the architecture's IPC formula on counter readings."""
         return self.formula("IPC").evaluate(readings)
+
+    # -- content identity ---------------------------------------------------------
+
+    def content_digest(self) -> int:
+        """Deterministic digest of the measurement-relevant definition.
+
+        Covers everything a measurement physically depends on -- chip
+        geometry, functional units, cache hierarchy, memory, counters,
+        formulas, the ISA records, and the static per-instruction
+        properties (unit usages, latency, inverse throughput) -- so
+        editing a definition file changes the digest and with it every
+        store cell key derived from this architecture, invalidating
+        stale persisted measurements.  The bootstrap-measured
+        ``epi``/``avg_power`` columns are deliberately excluded: they
+        are derived heuristic inputs, not machine physics, so
+        in-session bootstrap write-backs do not shift store keys.
+
+        Every component is rendered from value-based dataclass
+        ``repr``s -- except instruction ``flags``, a frozenset whose
+        iteration order is hash-randomized per process and therefore
+        rendered sorted -- making the digest stable across processes.
+        """
+        static_properties = "".join(
+            f"{prop.mnemonic};{prop.usages!r};{prop.latency!r};"
+            f"{prop.inv_throughput!r}"
+            for prop in sorted(self.properties, key=lambda p: p.mnemonic)
+        )
+        isa_records = "".join(
+            f"{ins.mnemonic};{ins.itype!r};{ins.width};{ins.operands!r};"
+            f"{sorted(ins.flags)!r};{ins.opcode};{ins.extended_opcode!r}"
+            for ins in self.isa
+        )
+        parts = [
+            self.name,
+            repr(self.chip),
+            "".join(repr(self.units[name]) for name in sorted(self.units)),
+            "".join(repr(cache) for cache in self.caches),
+            repr(self.memory),
+            "".join(
+                repr(self.counters[name]) for name in sorted(self.counters)
+            ),
+            "".join(
+                repr(self.formulas[name]) for name in sorted(self.formulas)
+            ),
+            isa_records,
+            static_properties,
+        ]
+        return content_hash("\x1f".join(parts))
 
     def __repr__(self) -> str:
         return (

@@ -105,6 +105,51 @@ class Measurement:
             self.thread_ipc(thread) for thread in range(self.threads)
         )
 
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able form, round-tripped exactly by :meth:`from_dict`.
+
+        Counter values and power statistics are floats; JSON carries
+        them at full shortest-round-trip precision, so a deserialized
+        measurement compares equal to the original bit for bit.
+        """
+        return {
+            "workload_name": self.workload_name,
+            "config": self.config.to_dict(),
+            "duration": self.duration,
+            "thread_counters": [
+                dict(counters) for counters in self.thread_counters
+            ],
+            "mean_power": self.mean_power,
+            "power_std": self.power_std,
+            "sample_count": self.sample_count,
+            "thread_workloads": (
+                list(self.thread_workloads)
+                if self.thread_workloads is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Measurement":
+        """Rebuild a measurement serialized by :meth:`to_dict`."""
+        thread_workloads = data.get("thread_workloads")
+        return cls(
+            workload_name=data["workload_name"],
+            config=MachineConfig.from_dict(data["config"]),
+            duration=data["duration"],
+            thread_counters=tuple(
+                dict(counters) for counters in data["thread_counters"]
+            ),
+            mean_power=data["mean_power"],
+            power_std=data["power_std"],
+            sample_count=data["sample_count"],
+            thread_workloads=(
+                tuple(thread_workloads) if thread_workloads is not None else None
+            ),
+        )
+
     def mean_rates(self) -> dict[str, float]:
         """Per-second rates averaged across threads."""
         totals = self.total_counters()

@@ -7,6 +7,13 @@ runs for a fixed 10-second window, and yields a
 :class:`~repro.measure.measurement.Measurement`.  Campaign helpers
 sweep workload sets across configuration lists, which is how the
 training and validation datasets of Section 4 are gathered.
+
+Since the execution-engine refactor the runner is a thin veneer over
+:mod:`repro.exec`: every entry point emits an
+:class:`~repro.exec.plan.ExperimentPlan` and hands it to an executor,
+so suites batch through ``Machine.run_many``, sweeps deduplicate
+repeated cells, and attaching a store-backed or parallel executor
+accelerates any caller without further changes here.
 """
 
 from __future__ import annotations
@@ -19,27 +26,58 @@ from repro.sim.config import MachineConfig, standard_configurations
 from repro.sim.pstate import PState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.executors import _ExecutorBase
     from repro.sim.machine import Machine
 
 
 class MeasurementRunner:
-    """Runs measurement campaigns on one machine."""
+    """Runs measurement campaigns on one machine.
+
+    ``executor`` defaults to the environment-resolved executor
+    (``REPRO_PARALLEL``/``REPRO_STORE``; a plain in-process
+    :class:`~repro.exec.executors.SerialExecutor` when neither is
+    set); pass a :class:`~repro.exec.executors.ParallelExecutor` or a
+    store-backed executor explicitly to shard or persist every
+    campaign this runner drives.
+    """
 
     def __init__(
-        self, machine: "Machine", duration: float = DEFAULT_DURATION_S
+        self,
+        machine: "Machine",
+        duration: float = DEFAULT_DURATION_S,
+        executor: "_ExecutorBase | None" = None,
     ) -> None:
+        # Imported here, not at module level: repro.exec consumes
+        # Measurement (and therefore this package), so the runner binds
+        # to the engine lazily to keep the import graph acyclic.
+        from repro.exec.executors import default_executor
+
         self.machine = machine
         self.duration = duration
+        self.executor = (
+            executor if executor is not None else default_executor(machine)
+        )
+        # Idle power is workload-independent: one measurement per
+        # (configuration, window) serves every baseline request.
+        self._baselines: dict[tuple[MachineConfig, float], Measurement] = {}
 
     def run(self, workload, config: MachineConfig) -> Measurement:
         """Measure one workload on one configuration."""
-        return self.machine.run(workload, config, self.duration)
+        from repro.exec.plan import ExperimentPlan
+
+        return self.executor.run(
+            ExperimentPlan.single(workload, config, self.duration)
+        )[0]
 
     def run_suite(
         self, workloads: Iterable, config: MachineConfig
     ) -> list[Measurement]:
-        """Measure a workload set on one configuration."""
-        return [self.run(workload, config) for workload in workloads]
+        """Measure a workload set on one configuration (one batch)."""
+        from repro.exec.plan import ExperimentPlan
+
+        return self.executor.run(
+            ExperimentPlan.cross(list(workloads), [config], duration=self.duration)
+        )
 
     def run_sweep(
         self,
@@ -55,27 +93,49 @@ class MeasurementRunner:
         the configuration list's CMP-SMT modes with that DVFS ladder
         instead, p-state-major: the scenario space grows to ``configs x
         p_states`` (and workloads may be placements, so mixes sweep the
-        same way).  Duplicate swept configurations are measured once.
+        same way).  Duplicate swept configurations are measured once
+        (the plan deduplicates their cells).
         """
+        from repro.exec.plan import ExperimentPlan, sweep_configs
+
         if configs is None:
             configs = standard_configurations(
                 self.machine.arch.chip.max_cores,
                 self.machine.arch.chip.smt_modes(),
             )
-        if p_states is None:
-            swept = list(configs)
-        else:
-            swept = [
-                config.with_p_state(p_state)
-                for p_state in p_states
-                for config in configs
-            ]
-        results: dict[MachineConfig, list[Measurement]] = {}
-        for config in swept:
-            if config not in results:
-                results[config] = self.run_suite(workloads, config)
-        return results
+        # First-wins dedup *before* planning: the returned dict is
+        # keyed by configuration, whose equality ignores the p-state
+        # name, so a same-scale differently-named duplicate could
+        # neither be represented in the result nor usefully measured
+        # (exactly the pre-engine behaviour, without wasted cells).
+        swept: list[MachineConfig] = []
+        seen: set[MachineConfig] = set()
+        for config in sweep_configs(configs, p_states):
+            if config not in seen:
+                seen.add(config)
+                swept.append(config)
+        workloads = list(workloads)
+        plan = ExperimentPlan.cross(workloads, swept, duration=self.duration)
+        measurements = self.executor.run(plan)
+        width = len(workloads)
+        return {
+            config: measurements[index * width : (index + 1) * width]
+            for index, config in enumerate(swept)
+        }
 
     def baseline(self, config: MachineConfig | None = None) -> Measurement:
-        """Measure workload-independent (idle) power."""
-        return self.machine.run_idle(config, self.duration)
+        """Measure workload-independent (idle) power.
+
+        Memoized per (configuration, window): idle power does not
+        depend on any workload, so repeated baseline requests -- every
+        model-fitting step asks for one -- reuse the first measurement.
+        """
+        resolved = config if config is not None else MachineConfig(1, 1)
+        # The label joins the key: config equality ignores the p-state
+        # name, but the label seeds the idle run's noise draws.
+        key = (resolved, resolved.label, self.duration)
+        found = self._baselines.get(key)
+        if found is None:
+            found = self.machine.run_idle(resolved, self.duration)
+            self._baselines[key] = found
+        return found

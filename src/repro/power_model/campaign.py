@@ -6,12 +6,23 @@ requires, the SPEC proxy validation measurements across the full
 CMP-SMT sweep, and the four fitted models (BU, TD_Micro, TD_Random,
 TD_SPEC).  The benchmark harnesses and the integration tests all
 consume this single entry point so the experiments stay consistent.
+
+All data gathering is expressed as
+:class:`~repro.exec.plan.ExperimentPlan` cross products and executed
+through the campaign's executor: the default (environment-resolved)
+executor keeps historical serial behaviour, while a parallel or
+store-backed executor shards the hundreds of suite x configuration
+cells across workers and/or serves warm re-runs from disk.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.exec.executors import default_executor
+from repro.exec.plan import ExperimentPlan
 from repro.measure.measurement import Measurement
 from repro.power_model.bottom_up import BottomUpModel, BottomUpTrainer
 from repro.power_model.top_down import TopDownModel, TopDownTrainer
@@ -24,6 +35,11 @@ from repro.sim.config import MachineConfig, standard_configurations
 from repro.sim.machine import Machine
 from repro.sim.pstate import NOMINAL, PState
 from repro.workloads.spec import spec_cpu2006
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.executors import _ExecutorBase
+
+logger = logging.getLogger("repro.campaign")
 
 
 @dataclass
@@ -50,6 +66,7 @@ class ModelingCampaign:
         duration: float = 10.0,
         seed: int = 0,
         p_states: tuple[PState, ...] = (NOMINAL,),
+        executor: "_ExecutorBase | None" = None,
     ) -> None:
         self.machine = machine if machine is not None else Machine()
         self.scale = scale
@@ -57,6 +74,9 @@ class ModelingCampaign:
         self.duration = duration
         self.seed = seed
         self.p_states = p_states
+        self.executor = (
+            executor if executor is not None else default_executor(self.machine)
+        )
         arch = self.machine.arch
         # The validation sweep crosses the paper's CMP-SMT grid with the
         # requested operating points (24 -> 24 x |p_states| scenarios);
@@ -77,34 +97,42 @@ class ModelingCampaign:
             arch, self.loop_size, self.scale, self.seed
         )
         suite = micro + randoms
+        logger.info(
+            "training suite: %d micro + %d random benchmarks (scale %g, "
+            "loop %d)",
+            len(micro),
+            len(randoms),
+            self.scale,
+            self.loop_size,
+        )
 
         # Step 1/2 measurements run with one benchmark copy per thread
         # on all cores: per-event weights are configuration-independent
         # (threads are homogeneous) and the 8x dynamic activity lifts
         # the unit-power signal well above sensor noise.
         cores = arch.chip.max_cores
-        single = MachineConfig(cores, 1)
-        smt2 = MachineConfig(cores, 2)
-        smt4 = MachineConfig(cores, 4)
+        step_configs = [
+            MachineConfig(cores, 1),
+            MachineConfig(cores, 2),
+            MachineConfig(cores, 4),
+        ]
 
-        # Batched measurement: one run_many sweep per configuration.
-        # Every kernel's steady-state summary is computed once and
-        # shared across all 26 sweeps via the machine's digest cache.
+        # One plan per gathering stage; the executor batches each
+        # configuration through run_many (and, when store-backed,
+        # serves warm cells without touching the machine at all).
         suite_kernels = [bench.kernel for bench in suite]
+        logger.info("gathering step-1/2 SMT measurements")
+        by_smt = self.executor.run(
+            ExperimentPlan.cross(suite_kernels, step_configs, duration=self.duration)
+        )
+        count = len(suite_kernels)
         data = {
             "suite": suite,
             "suite_smt1": list(
-                zip(
-                    [bench.family for bench in suite],
-                    self.machine.run_many(suite_kernels, single, self.duration),
-                )
+                zip([bench.family for bench in suite], by_smt[:count])
             ),
-            "suite_smt2": self.machine.run_many(
-                suite_kernels, smt2, self.duration
-            ),
-            "suite_smt4": self.machine.run_many(
-                suite_kernels, smt4, self.duration
-            ),
+            "suite_smt2": by_smt[count : 2 * count],
+            "suite_smt4": by_smt[2 * count :],
             "random_all": self._run_sweep([b.kernel for b in randoms]),
             "micro_all": self._run_sweep([b.kernel for b in micro]),
             "idle": self.machine.run_idle(duration=self.duration),
@@ -113,22 +141,36 @@ class ModelingCampaign:
 
     def _run_sweep(self, kernels) -> list[Measurement]:
         """Every kernel on every configuration, kernel-major order."""
-        by_config = [
-            self.machine.run_many(kernels, config, self.duration)
-            for config in self.configs
-        ]
+        logger.info(
+            "sweeping %d kernels across %d configurations",
+            len(kernels),
+            len(self.configs),
+        )
+        by_config = self.executor.run(
+            ExperimentPlan.cross(kernels, self.configs, duration=self.duration)
+        )
+        count = len(kernels)
         return [
-            by_config[config_index][kernel_index]
-            for kernel_index in range(len(kernels))
+            by_config[config_index * count + kernel_index]
+            for kernel_index in range(count)
             for config_index in range(len(self.configs))
         ]
 
     def gather_spec(self) -> dict[MachineConfig, list[Measurement]]:
         """SPEC proxy measurements across the full sweep."""
         suite = spec_cpu2006()
+        logger.info(
+            "gathering SPEC validation: %d proxies x %d configurations",
+            len(suite),
+            len(self.configs),
+        )
+        measurements = self.executor.run(
+            ExperimentPlan.cross(suite, self.configs, duration=self.duration)
+        )
+        count = len(suite)
         return {
-            config: self.machine.run_many(suite, config, self.duration)
-            for config in self.configs
+            config: measurements[index * count : (index + 1) * count]
+            for index, config in enumerate(self.configs)
         }
 
     # -- model fitting ------------------------------------------------------------
@@ -138,6 +180,7 @@ class ModelingCampaign:
         data = self.gather()
         spec_by_config = self.gather_spec()
 
+        logger.info("fitting bottom-up model")
         bottom_up = BottomUpTrainer(sequential=sequential).train(
             suite_smt1=data["suite_smt1"],
             suite_smt2=data["suite_smt2"],
@@ -152,6 +195,7 @@ class ModelingCampaign:
             for measurements in spec_by_config.values()
             for measurement in measurements
         ]
+        logger.info("fitting top-down models")
         top_down = {
             "TD_Micro": td_trainer.train("TD_Micro", data["micro_all"]),
             "TD_Random": td_trainer.train("TD_Random", data["random_all"]),

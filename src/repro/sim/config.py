@@ -80,6 +80,26 @@ class MachineConfig:
     def __str__(self) -> str:
         return self.label
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able form, round-tripped by :meth:`from_dict`."""
+        return {
+            "cores": self.cores,
+            "smt": self.smt,
+            "p_state": self.p_state.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineConfig":
+        """Rebuild a configuration serialized by :meth:`to_dict`."""
+        p_state = data.get("p_state")
+        return cls(
+            cores=data["cores"],
+            smt=data["smt"],
+            p_state=PState.from_dict(p_state) if p_state else NOMINAL,
+        )
+
 
 def standard_configurations(
     max_cores: int = 8,

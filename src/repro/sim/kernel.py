@@ -18,8 +18,9 @@ summarize a kernel in O(period) instead of O(loop size) work.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
+
+from repro.hashing import content_hash
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,21 @@ class KernelInstruction:
     def analytic_key(self) -> tuple:
         """The fields steady-state analytics depend on (no address)."""
         return (self.mnemonic, self.dep_distance, self.source_level)
+
+    def to_list(self) -> list:
+        """Compact JSON-able form, round-tripped by :meth:`from_list`."""
+        return [self.mnemonic, self.dep_distance, self.source_level, self.address]
+
+    @classmethod
+    def from_list(cls, data: list) -> "KernelInstruction":
+        """Rebuild a slot serialized by :meth:`to_list`."""
+        mnemonic, dep_distance, source_level, address = data
+        return cls(
+            mnemonic=mnemonic,
+            dep_distance=dep_distance,
+            source_level=source_level,
+            address=address,
+        )
 
 
 @dataclass(frozen=True)
@@ -154,9 +170,7 @@ class Kernel:
             f"{self.operand_entropy}:{len(pattern)}:{repeats}:"
             f"{_content_text(pattern)}#{_content_text(tail)}"
         )
-        value = int.from_bytes(
-            hashlib.blake2b(text.encode(), digest_size=8).digest(), "big"
-        )
+        value = content_hash(text)
         object.__setattr__(self, "_digest", value)
         return value
 
@@ -171,6 +185,49 @@ class Kernel:
         for instruction in tail:
             counts[instruction.mnemonic] = counts.get(instruction.mnemonic, 0) + 1
         return counts
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able form, round-tripped by :meth:`from_dict`.
+
+        Periodic kernels serialize one pattern plus the repeat count and
+        tail (the same decomposition :meth:`digest` hashes), so a
+        4096-instruction stressmark stores as its 6-slot pattern.
+        """
+        pattern, repeats, tail = self.periodic_parts()
+        return {
+            "name": self.name,
+            "operand_entropy": self.operand_entropy,
+            "period": self.period,
+            "pattern": [instruction.to_list() for instruction in pattern],
+            "repeats": repeats,
+            "tail": [instruction.to_list() for instruction in tail],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Kernel":
+        """Rebuild a kernel serialized by :meth:`to_dict`.
+
+        :meth:`digest` hashes exactly what :meth:`to_dict` stores (one
+        pattern, the repeat count, the tail), so digests -- and with
+        them cell keys, summary-cache entries and noise salts --
+        round-trip identically.  The only thing that can differ is the
+        raw bytes of replicated pattern slots whose planned addresses
+        varied across repeats; those are analytically irrelevant (see
+        :meth:`KernelInstruction.analytic_key`).  Aperiodic kernels
+        round-trip byte-exactly.
+        """
+        pattern = tuple(
+            KernelInstruction.from_list(item) for item in data["pattern"]
+        )
+        tail = tuple(KernelInstruction.from_list(item) for item in data["tail"])
+        return cls(
+            name=data["name"],
+            instructions=pattern * data["repeats"] + tail,
+            operand_entropy=data["operand_entropy"],
+            period=data["period"],
+        )
 
     def memory_slots(self) -> list[int]:
         """Indices of slots carrying a planned memory access."""

@@ -192,6 +192,45 @@ class Placement:
         ]
         return stable_seed(*parts)
 
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able form, round-tripped by :meth:`from_dict`.
+
+        Only kernel placements serialize: generated kernels carry their
+        full content, while protocol workloads (SPEC proxies) are
+        opaque adapter objects a JSON file cannot reconstruct.
+
+        Raises:
+            TypeError: If some placed workload is not a
+                :class:`~repro.sim.kernel.Kernel`.
+        """
+        for workload in self.thread_workloads:
+            if not isinstance(workload, Kernel):
+                raise TypeError(
+                    f"placement {self.name!r} places "
+                    f"{type(workload).__name__!r}; only kernel "
+                    "placements serialize"
+                )
+        return {
+            "name": self.name,
+            "core_groups": [
+                [workload.to_dict() for workload in group]
+                for group in self.core_groups
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Placement":
+        """Rebuild a placement serialized by :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            core_groups=tuple(
+                tuple(Kernel.from_dict(workload) for workload in group)
+                for group in data["core_groups"]
+            ),
+        )
+
     # -- constructors ---------------------------------------------------------
 
     @classmethod

@@ -69,6 +69,25 @@ class PState:
     def __str__(self) -> str:
         return self.name
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able form, round-tripped by :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "freq_scale": self.freq_scale,
+            "volt_scale": self.volt_scale,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PState":
+        """Rebuild a p-state serialized by :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            freq_scale=data["freq_scale"],
+            volt_scale=data["volt_scale"],
+        )
+
 
 #: The pre-DVFS operating point: the exact identity.
 NOMINAL = PState("nominal", 1.0, 1.0)

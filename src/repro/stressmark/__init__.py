@@ -6,6 +6,7 @@ from repro.stressmark.report import StressmarkReport, SetSummary
 from repro.stressmark.search import (
     build_stressmark,
     sequence_space,
+    spec_power_baseline,
     stressmark_search,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "expert_manual_set",
     "select_candidates",
     "sequence_space",
+    "spec_power_baseline",
     "stressmark_search",
 ]

@@ -10,12 +10,15 @@ percents (section 6's 17 % observation).
 
 from __future__ import annotations
 
+import logging
 import math
 from collections.abc import Iterable, Sequence
 
 from repro.dse.space import DesignPoint, DesignSpace
 from repro.march.definition import MicroArchitecture
 from repro.sim.kernel import Kernel, KernelInstruction
+
+logger = logging.getLogger("repro.stressmark")
 
 #: Paper sequence length.
 SEQUENCE_LENGTH = 6
@@ -129,19 +132,61 @@ def covering_sequences(
     ]
 
 
+def spec_power_baseline(
+    machine, duration: float = 10.0, executor=None
+) -> float:
+    """The Figure-9 baseline: maximum SPEC CPU2006 proxy power.
+
+    One definition shared by the figure harness, the CLI and the
+    examples: every SPEC proxy on all cores in every SMT mode, maximum
+    mean sensor power.  Routed through the execution engine, so a
+    store-backed executor serves a warm baseline without touching the
+    machine.
+    """
+    from repro.exec.executors import default_executor
+    from repro.exec.plan import ExperimentPlan
+    from repro.sim.config import MachineConfig
+    from repro.workloads.spec import spec_cpu2006
+
+    arch = machine.arch
+    if executor is None:
+        executor = default_executor(machine)
+    plan = ExperimentPlan.cross(
+        spec_cpu2006(),
+        [
+            MachineConfig(arch.chip.max_cores, smt)
+            for smt in arch.chip.smt_modes()
+        ],
+        duration=duration,
+    )
+    logger.info("SPEC baseline: %s", plan.describe())
+    return max(
+        measurement.mean_power for measurement in executor.run(plan)
+    )
+
+
 def stressmark_search(
     machine,
     sequences: Iterable[tuple[str, ...]],
     smt_modes: tuple[int, ...] = (1, 2, 4),
     loop_size: int = 768,
     duration: float = 10.0,
+    executor=None,
 ) -> list[tuple[tuple[str, ...], int, float, float]]:
     """Measure every sequence in every SMT mode on all cores.
 
     Returns ``(sequence, smt, power, core_ipc)`` tuples -- the raw
     material for the Figure 9 summaries and the max-IPC order-spread
     analysis.
+
+    The whole search is one experiment plan (sequences x SMT modes)
+    handed to ``executor`` -- by default the environment-resolved
+    executor, so ``REPRO_PARALLEL``/``REPRO_STORE`` shard the search
+    across workers or serve a warm re-run from disk with zero machine
+    invocations.
     """
+    from repro.exec.executors import default_executor
+    from repro.exec.plan import ExperimentPlan
     from repro.sim.config import MachineConfig
 
     arch = machine.arch
@@ -150,16 +195,23 @@ def stressmark_search(
     kernels = [
         build_stressmark(arch, sequence, loop_size) for sequence in sequences
     ]
-    # One batched pass per SMT mode; every kernel's steady-state summary
-    # is computed exactly once and shared across the modes.
-    by_smt = {
-        smt: machine.run_many(kernels, MachineConfig(cores, smt), duration)
-        for smt in smt_modes
-    }
+    configs = [MachineConfig(cores, smt) for smt in smt_modes]
+    if executor is None:
+        executor = default_executor(machine)
+    plan = ExperimentPlan.cross(kernels, configs, duration=duration)
+    logger.info(
+        "stressmark search: %d sequences x %d SMT modes (%s)",
+        len(sequences),
+        len(smt_modes),
+        plan.describe(),
+    )
+    # Configuration-major plan: the measurements of SMT mode ``m`` are
+    # the contiguous slice ``[m * len(kernels), (m + 1) * len(kernels))``.
+    measurements = executor.run(plan)
     results = []
     for index, sequence in enumerate(sequences):
-        for smt in smt_modes:
-            measurement = by_smt[smt][index]
+        for mode_index, smt in enumerate(smt_modes):
+            measurement = measurements[mode_index * len(kernels) + index]
             ipc = arch.ipc(measurement.thread_counters[0]) * smt
             results.append((sequence, smt, measurement.mean_power, ipc))
     return results

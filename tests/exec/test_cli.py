@@ -1,0 +1,84 @@
+"""``python -m repro`` CLI: argument plumbing and engine integration."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_engine_options_shared(self):
+        for command in ("sweep", "campaign", "stressmark"):
+            args = build_parser().parse_args(
+                [command, "--parallel", "2", "--store", "x", "--duration", "1"]
+            )
+            assert args.parallel == 2
+            assert args.store == "x"
+            assert args.duration == 1.0
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_reports(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--workloads",
+                "daxpy",
+                "--configs",
+                "1-1,2-2@p2",
+                "--loop-size",
+                "96",
+                "--duration",
+                "1",
+                "--store",
+                str(tmp_path / "store"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1-1" in out and "2-2@p2" in out
+        assert "daxpy" in out
+        assert "0 cells warm" in out
+
+    def test_sweep_warm_rerun_serves_from_store(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--workloads",
+            "daxpy",
+            "--configs",
+            "1-1",
+            "--loop-size",
+            "96",
+            "--duration",
+            "1",
+            "--store",
+            str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        # Same numbers, zero fresh measurements.
+        assert cold.splitlines()[1] == warm.splitlines()[1]
+        assert "0 measured this run" in warm
+
+    def test_sweep_parallel_matches_serial(self, capsys, tmp_path):
+        base = [
+            "sweep",
+            "--workloads",
+            "daxpy",
+            "--configs",
+            "2-1,2-2,2-4",
+            "--loop-size",
+            "96",
+            "--duration",
+            "1",
+        ]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--parallel", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel

@@ -1,0 +1,181 @@
+"""Experiment-plan semantics: fingerprints, deduplication, cell keys."""
+
+import pytest
+
+from repro.exec.plan import ExperimentPlan, PlanCell, workload_fingerprint
+from repro.sim import MachineConfig, Placement, get_pstate
+from repro.sim.config import standard_configurations
+from repro.workloads import spec_cpu2006
+
+
+class TestFingerprints:
+    def test_kernel_identity_is_name_plus_digest(self, small_kernel_factory):
+        kernel = small_kernel_factory("add", count=32)
+        same_content = small_kernel_factory("add", count=32)
+        assert workload_fingerprint(kernel) == workload_fingerprint(same_content)
+
+    def test_same_name_different_content_distinct(self, small_kernel_factory):
+        a = small_kernel_factory("add", count=32)
+        b = small_kernel_factory("mulld", count=32)
+        object.__setattr__(b, "name", a.name)
+        assert workload_fingerprint(a) != workload_fingerprint(b)
+
+    def test_profiled_workloads_fingerprint_by_content(self):
+        suite = spec_cpu2006()
+        prints = {workload_fingerprint(w) for w in suite}
+        assert len(prints) == len(suite)
+        # A fresh adapter around the same profile is the same cell.
+        assert workload_fingerprint(spec_cpu2006()[0]) == workload_fingerprint(
+            suite[0]
+        )
+
+    def test_placed_profiles_fingerprint_by_content(self):
+        import dataclasses
+
+        from repro.workloads import ProfiledWorkload
+        from repro.workloads.spec import spec_profile
+
+        profile = spec_profile("mcf")
+        faster = dataclasses.replace(profile, ipc=2.5)
+        original = Placement("mix", ((ProfiledWorkload(profile),) * 2,))
+        modified = Placement("mix", ((ProfiledWorkload(faster),) * 2,))
+        # Same placement name, same workload name ('mcf'), different
+        # physics: the cells must never alias.
+        assert workload_fingerprint(original) != workload_fingerprint(modified)
+
+    def test_fingerprint_override_hook(self):
+        class Custom:
+            name = "custom"
+
+            def fingerprint(self):
+                return ("custom", 42)
+
+        assert workload_fingerprint(Custom()) == ("custom", 42)
+
+    def test_placement_declaration_order_matters(self, small_kernel_factory):
+        compute = small_kernel_factory("addic", count=32)
+        stalled = small_kernel_factory("ld", count=32, level="MEM")
+        forward = Placement("mix", ((compute, stalled),))
+        reverse = Placement("mix", ((stalled, compute),))
+        # Same physics (canonical salt), but per-thread counters keep
+        # declaration order, so the cells must stay distinct.
+        assert forward.canonical_salt() == reverse.canonical_salt()
+        assert workload_fingerprint(forward) != workload_fingerprint(reverse)
+
+
+class TestPlan:
+    def test_cross_shape_and_order(self, small_kernel_factory):
+        kernels = [
+            small_kernel_factory("add", count=16),
+            small_kernel_factory("mulld", count=16),
+        ]
+        configs = [MachineConfig(1, 1), MachineConfig(2, 2)]
+        plan = ExperimentPlan.cross(kernels, configs, duration=1.0)
+        assert plan.size == plan.requested == 4
+        # Configuration-major, workloads innermost.
+        assert [cell.config for cell in plan.cells] == [
+            configs[0], configs[0], configs[1], configs[1],
+        ]
+
+    def test_cross_p_state_major(self, small_kernel_factory):
+        kernel = small_kernel_factory("add", count=16)
+        plan = ExperimentPlan.cross(
+            [kernel],
+            [MachineConfig(1, 1), MachineConfig(2, 1)],
+            p_states=(get_pstate("nominal"), get_pstate("p2")),
+        )
+        labels = [cell.config.label for cell in plan.cells]
+        assert labels == ["1-1", "2-1", "1-1@p2", "2-1@p2"]
+
+    def test_same_scale_p_states_stay_distinct(
+        self, machine, small_kernel_factory
+    ):
+        """PState equality ignores the name, but the name seeds sensor
+        noise through the label -- same-scale, differently-named points
+        are distinct physical measurements and must not dedup."""
+        from repro.exec import SerialExecutor
+        from repro.sim import PState
+
+        kernel = small_kernel_factory("add", count=24)
+        eco = MachineConfig(1, 1).with_p_state(PState("eco", 0.8, 0.9))
+        slow = MachineConfig(1, 1).with_p_state(PState("slow", 0.8, 0.9))
+        assert eco == slow  # scales compare equal by design...
+        plan = ExperimentPlan.cross([kernel], [eco, slow], duration=1.0)
+        assert plan.size == 2  # ...but the cells never alias
+        measured = SerialExecutor(machine).run(plan)
+        assert measured[0] == machine.run(kernel, eco, 1.0)
+        assert measured[1] == machine.run(kernel, slow, 1.0)
+        assert measured[0].mean_power != measured[1].mean_power
+
+    def test_duplicates_collapse_and_expand(self, small_kernel_factory):
+        kernel = small_kernel_factory("add", count=16)
+        copy = small_kernel_factory("add", count=16)
+        config = MachineConfig(1, 1)
+        plan = ExperimentPlan(
+            [
+                PlanCell(kernel, config, 1.0),
+                PlanCell(copy, config, 1.0),
+                PlanCell(kernel, config, 2.0),
+            ]
+        )
+        assert plan.size == 2 and plan.requested == 3
+        expanded = plan.expand(["first", "second"])
+        assert expanded == ["first", "first", "second"]
+
+    def test_empty_plan_executes_to_empty(self, machine):
+        from repro.exec import SerialExecutor
+
+        plan = ExperimentPlan([])
+        assert plan.size == plan.requested == 0
+        assert SerialExecutor(machine).run(plan) == []
+
+    def test_expand_length_checked(self, small_kernel_factory):
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=16), MachineConfig(1, 1)
+        )
+        with pytest.raises(ValueError, match="unique results"):
+            plan.expand([])
+
+
+class TestCellKeys:
+    def test_key_is_deterministic_and_content_addressed(
+        self, small_kernel_factory
+    ):
+        kernel = small_kernel_factory("add", count=16)
+        cell = PlanCell(kernel, MachineConfig(2, 2), 1.0)
+        assert cell.key("POWER7", 0) == cell.key("POWER7", 0)
+        rebuilt = PlanCell(
+            small_kernel_factory("add", count=16), MachineConfig(2, 2), 1.0
+        )
+        assert rebuilt.key("POWER7", 0) == cell.key("POWER7", 0)
+
+    def test_key_separates_every_axis(self, small_kernel_factory):
+        kernel = small_kernel_factory("add", count=16)
+        base = PlanCell(kernel, MachineConfig(2, 2), 1.0)
+        variants = [
+            PlanCell(kernel, MachineConfig(2, 4), 1.0),
+            PlanCell(kernel, MachineConfig(2, 2), 2.0),
+            PlanCell(
+                kernel,
+                MachineConfig(2, 2).with_p_state(get_pstate("p2")),
+                1.0,
+            ),
+            PlanCell(small_kernel_factory("mulld", count=16), MachineConfig(2, 2), 1.0),
+        ]
+        keys = {base.key("POWER7", 0)}
+        keys.update(cell.key("POWER7", 0) for cell in variants)
+        assert len(keys) == len(variants) + 1
+        # Machine identity separates too.
+        assert base.key("POWER7", 1) != base.key("POWER7", 0)
+        assert base.key("OTHER", 0) != base.key("POWER7", 0)
+
+    def test_full_sweep_keys_unique(self, small_kernel_factory):
+        kernels = [
+            small_kernel_factory(mnemonic, count=16)
+            for mnemonic in ("add", "mulld", "ld")
+        ]
+        plan = ExperimentPlan.cross(
+            kernels, standard_configurations(), duration=1.0
+        )
+        keys = {cell.key("POWER7", 0) for cell in plan.cells}
+        assert len(keys) == plan.size == 72

@@ -1,0 +1,463 @@
+"""Result-store round trips and warm-run semantics.
+
+Covers the serialization satellite (serialize -> JSON -> deserialize
+-> *identical* objects for PState, MachineConfig, Kernel, Placement and
+Measurement) and the acceptance property that a warm store serves a
+whole campaign -- including the Figure-9 stressmark search -- with
+zero ``Machine.run``/``run_many`` invocations.
+"""
+
+import json
+
+import pytest
+
+from repro.exec import (
+    ExperimentPlan,
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+)
+from repro.measure.measurement import Measurement
+from repro.sim import (
+    Kernel,
+    Machine,
+    MachineConfig,
+    Placement,
+    PState,
+    get_pstate,
+)
+from repro.stressmark.search import build_stressmark, covering_sequences
+from repro.workloads import spec_cpu2006
+
+_DURATION = 1.0
+
+
+def _json_round_trip(payload):
+    return json.loads(json.dumps(payload))
+
+
+class TestSerializationRoundTrips:
+    def test_pstate(self):
+        p_state = get_pstate("p2")
+        assert PState.from_dict(_json_round_trip(p_state.to_dict())) == p_state
+
+    def test_machine_config(self):
+        config = MachineConfig(4, 2).with_p_state(get_pstate("turbo"))
+        rebuilt = MachineConfig.from_dict(_json_round_trip(config.to_dict()))
+        assert rebuilt == config
+        assert rebuilt.label == "4-2@turbo"
+
+    def test_aperiodic_kernel_exact(self, small_kernel_factory):
+        kernel = small_kernel_factory("ld", count=24, dep=3, level="L2")
+        rebuilt = Kernel.from_dict(_json_round_trip(kernel.to_dict()))
+        assert rebuilt == kernel
+        assert rebuilt.digest() == kernel.digest()
+
+    def test_periodic_kernel_preserves_digest(self, power7_arch):
+        kernel = build_stressmark(
+            power7_arch, ("mulldo", "lxvw4x", "xvnmsubmdp"), 96
+        )
+        rebuilt = Kernel.from_dict(_json_round_trip(kernel.to_dict()))
+        assert rebuilt.period == kernel.period
+        assert rebuilt.digest() == kernel.digest()
+        assert rebuilt == kernel
+
+    def test_placement(self, small_kernel_factory):
+        placement = Placement(
+            "mix",
+            (
+                (
+                    small_kernel_factory("addic", count=24),
+                    small_kernel_factory("ld", count=24, level="MEM"),
+                ),
+            ),
+        )
+        rebuilt = Placement.from_dict(_json_round_trip(placement.to_dict()))
+        assert rebuilt == placement
+        assert rebuilt.canonical_salt() == placement.canonical_salt()
+
+    def test_placement_with_protocol_workload_rejected(self):
+        placement = Placement("spec", ((spec_cpu2006()[0],),))
+        with pytest.raises(TypeError, match="only kernel placements"):
+            placement.to_dict()
+
+    def test_measurement_bit_identical(self, machine, small_kernel_factory):
+        config = MachineConfig(2, 2).with_p_state(get_pstate("p2"))
+        measurement = machine.run(
+            small_kernel_factory("fmadd", count=24), config, _DURATION
+        )
+        rebuilt = Measurement.from_dict(
+            _json_round_trip(measurement.to_dict())
+        )
+        assert rebuilt == measurement
+
+    def test_placement_measurement_round_trip(
+        self, machine, small_kernel_factory
+    ):
+        config = MachineConfig(1, 2)
+        mix = Placement(
+            "mix",
+            (
+                (
+                    small_kernel_factory("addic", count=24),
+                    small_kernel_factory("ld", count=24, level="MEM"),
+                ),
+            ),
+        )
+        measurement = machine.run(mix, config, _DURATION)
+        rebuilt = Measurement.from_dict(
+            _json_round_trip(measurement.to_dict())
+        )
+        assert rebuilt == measurement
+        assert rebuilt.thread_workloads == measurement.thread_workloads
+        assert rebuilt.is_heterogeneous
+
+
+class TestResultStore:
+    def test_put_get_contains(self, machine, small_kernel_factory, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        measurement = machine.run(
+            small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+        )
+        assert store.get("ab" * 16) is None
+        store.put("ab" * 16, measurement)
+        assert "ab" * 16 in store
+        assert store.get("ab" * 16) == measurement
+        assert len(store) == 1
+        assert store.keys() == ["ab" * 16]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store._path("cd" * 16)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert store.get("cd" * 16) is None
+
+    def test_format_mismatch_is_a_miss(self, machine, small_kernel_factory, tmp_path):
+        store = ResultStore(tmp_path)
+        measurement = machine.run(
+            small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+        )
+        store.put("ef" * 16, measurement)
+        path = store._path("ef" * 16)
+        payload = json.loads(path.read_text())
+        payload["format"] = "something-else"
+        path.write_text(json.dumps(payload))
+        assert store.get("ef" * 16) is None
+
+
+def _forbid_measurement(machine):
+    """Make any machine measurement path raise loudly."""
+
+    def explode(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("Machine measurement invoked on a warm run")
+
+    machine.run = explode
+    machine.run_many = explode
+    machine._measure = explode
+
+
+class TestWarmRuns:
+    def test_warm_plan_never_touches_the_machine(
+        self, power7_arch, small_kernel_factory, tmp_path
+    ):
+        kernels = [
+            small_kernel_factory("add", count=24),
+            small_kernel_factory("mulld", count=24),
+        ]
+        plan = ExperimentPlan.cross(
+            kernels + [spec_cpu2006()[0]],
+            [MachineConfig(1, 1), MachineConfig(8, 4)],
+            duration=_DURATION,
+        )
+        store = ResultStore(tmp_path / "store")
+        cold = SerialExecutor(Machine(power7_arch), store=store).run(plan)
+
+        warm_machine = Machine(power7_arch)
+        _forbid_measurement(warm_machine)
+        warm = SerialExecutor(warm_machine, store=store).run(plan)
+        assert warm == cold
+        assert store.hits == plan.size
+
+    def test_store_shared_between_serial_and_parallel(
+        self, power7_arch, small_kernel_factory, tmp_path
+    ):
+        plan = ExperimentPlan.cross(
+            [small_kernel_factory("add", count=24)],
+            [MachineConfig(2, 2), MachineConfig(4, 4)],
+            duration=_DURATION,
+        )
+        store = ResultStore(tmp_path / "store")
+        cold = ParallelExecutor(
+            Machine(power7_arch), workers=2, chunk_size=1, store=store
+        ).run(plan)
+        warm_machine = Machine(power7_arch)
+        _forbid_measurement(warm_machine)
+        warm = SerialExecutor(warm_machine, store=store).run(plan)
+        assert warm == cold
+
+    def test_fig9_stressmark_warm_run_zero_machine_runs(
+        self, power7_arch, tmp_path
+    ):
+        """The acceptance criterion, at reduced scale: a warm store
+        re-run of the Figure-9 search flow performs zero Machine.run
+        calls and reproduces the cold results exactly."""
+        from repro.stressmark import stressmark_search
+
+        sequences = covering_sequences(("mulldo", "lxvw4x", "xvnmsubmdp"))[:12]
+        store = ResultStore(tmp_path / "store")
+        cold_machine = Machine(power7_arch)
+        cold = stressmark_search(
+            cold_machine,
+            sequences,
+            loop_size=96,
+            duration=_DURATION,
+            executor=SerialExecutor(cold_machine, store=store),
+        )
+
+        warm_machine = Machine(power7_arch)
+        _forbid_measurement(warm_machine)
+        warm = stressmark_search(
+            warm_machine,
+            sequences,
+            loop_size=96,
+            duration=_DURATION,
+            executor=SerialExecutor(warm_machine, store=store),
+        )
+        assert warm == cold
+
+
+class TestInterruptedRuns:
+    def test_progress_is_durable_mid_campaign(
+        self, power7_arch, small_kernel_factory, tmp_path
+    ):
+        """A campaign killed partway keeps everything measured so far:
+        persistence happens per batch, not after the whole miss set."""
+        machine = Machine(power7_arch)
+        kernel = small_kernel_factory("add", count=24)
+        plan = ExperimentPlan.cross(
+            [kernel],
+            [MachineConfig(1, 1), MachineConfig(2, 2)],
+            duration=_DURATION,
+        )
+        store = ResultStore(tmp_path / "store")
+        original = machine.run_many
+
+        def dies_on_second_config(workloads, config, duration):
+            if config == MachineConfig(2, 2):
+                raise KeyboardInterrupt
+            return original(workloads, config, duration)
+
+        machine.run_many = dies_on_second_config
+        with pytest.raises(KeyboardInterrupt):
+            SerialExecutor(machine, store=store).run(plan)
+        # The first configuration's cell survived the interruption...
+        assert len(store) == 1
+        # ...and a re-run only measures the missing one.
+        machine.run_many = original
+        SerialExecutor(machine, store=store).run(plan)
+        assert store.hits == 1 and len(store) == 2
+
+
+class TestArchDigestKeys:
+    def test_cell_keys_stable_across_processes(self, tmp_path):
+        """Hash randomization must never shift store keys: a store is
+        only useful if a new process computes the same keys."""
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent(
+            """
+            from repro.exec.plan import PlanCell
+            from repro.march import get_architecture
+            from repro.sim import MachineConfig
+            from repro.stressmark.search import build_stressmark
+            from repro.workloads import spec_cpu2006
+
+            arch = get_architecture("POWER7")
+            kernel = build_stressmark(arch, ("mulldo", "lxvw4x"), 64)
+            digest = arch.content_digest()
+            cells = [
+                PlanCell(kernel, MachineConfig(2, 2), 1.0),
+                PlanCell(spec_cpu2006()[0], MachineConfig(8, 4), 1.0),
+            ]
+            print(";".join(cell.key("POWER7", 0, digest) for cell in cells))
+            """
+        )
+
+        def run_once(seed: str) -> str:
+            import os
+
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (env.get("PYTHONPATH"), "src") if p
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            return result.stdout.strip()
+
+        assert run_once("1") == run_once("2")
+
+    def test_definition_edit_invalidates_store(
+        self, small_kernel_factory, tmp_path
+    ):
+        """Editing the architecture definition must shift cell keys so
+        stale persisted measurements are never served."""
+        import dataclasses
+
+        from repro.march import get_architecture
+
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+        )
+        store = ResultStore(tmp_path / "store")
+        SerialExecutor(Machine(get_architecture("POWER7")), store=store).run(plan)
+
+        edited_arch = get_architecture("POWER7")
+        prop = edited_arch.properties.get("add")
+        edited_arch.properties.add(
+            dataclasses.replace(prop, latency=prop.latency + 1.0)
+        )
+        edited_store_view = SerialExecutor(Machine(edited_arch), store=store)
+        edited_store_view.run(plan)
+        # The edited machine measured afresh instead of aliasing.
+        assert store.misses >= 1 and len(store) == 2
+
+    def test_bootstrap_write_back_keeps_keys_stable(
+        self, small_kernel_factory, tmp_path
+    ):
+        """epi/avg_power write-backs are not machine physics and must
+        not invalidate the store mid-session."""
+        from repro.march import get_architecture
+
+        arch = get_architecture("POWER7")
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+        )
+        store = ResultStore(tmp_path / "store")
+        SerialExecutor(Machine(arch), store=store).run(plan)
+        arch.properties.add(
+            arch.properties.get("add").with_bootstrap(epi=1.0, avg_power=9.0)
+        )
+        warm_machine = Machine(arch)
+        _forbid_measurement(warm_machine)
+        SerialExecutor(warm_machine, store=store).run(plan)
+        assert len(store) == 1
+
+
+class TestBootstrapThroughEngine:
+    def test_warm_store_bootstrap_zero_machine_runs(self, tmp_path):
+        from repro.march import get_architecture
+        from repro.march.bootstrap import Bootstrapper
+
+        store = ResultStore(tmp_path / "store")
+        mnemonics = ["add", "mulld"]
+
+        cold_arch = get_architecture("POWER7")
+        cold_machine = Machine(cold_arch)
+        cold = Bootstrapper(
+            cold_arch,
+            cold_machine,
+            loop_size=64,
+            duration=_DURATION,
+            executor=SerialExecutor(cold_machine, store=store),
+        ).run(mnemonics)
+
+        warm_arch = get_architecture("POWER7")
+        warm_machine = Machine(warm_arch)
+        _forbid_measurement(warm_machine)
+        warm = Bootstrapper(
+            warm_arch,
+            warm_machine,
+            loop_size=64,
+            duration=_DURATION,
+            executor=SerialExecutor(warm_machine, store=store),
+        ).run(mnemonics)
+        assert warm == cold
+
+    def test_executor_path_matches_default_path(self):
+        from repro.march import get_architecture
+        from repro.march.bootstrap import Bootstrapper
+
+        arch_a = get_architecture("POWER7")
+        machine_a = Machine(arch_a)
+        default_path = Bootstrapper(
+            arch_a, machine_a, loop_size=64, duration=_DURATION
+        ).run(["add"])
+
+        arch_b = get_architecture("POWER7")
+        machine_b = Machine(arch_b)
+        engine_path = Bootstrapper(
+            arch_b,
+            machine_b,
+            loop_size=64,
+            duration=_DURATION,
+            executor=SerialExecutor(machine_b),
+        ).run(["add"])
+        assert engine_path == default_path
+
+
+class TestRunnerBaselineMemoization:
+    def test_idle_measured_once_per_config_and_window(self, power7_arch):
+        from repro.measure import MeasurementRunner
+
+        machine = Machine(power7_arch)
+        calls = []
+        original = machine.run_idle
+
+        def counting(config=None, duration=10.0):
+            calls.append((config, duration))
+            return original(config, duration)
+
+        machine.run_idle = counting
+        runner = MeasurementRunner(machine, duration=_DURATION)
+        first = runner.baseline()
+        assert runner.baseline() is first
+        assert len(calls) == 1
+        runner.baseline(MachineConfig(8, 4))
+        runner.baseline(MachineConfig(8, 4))
+        assert len(calls) == 2
+
+    def test_run_sweep_equal_config_ladder_first_wins(self, power7_arch):
+        """A same-scale duplicate ladder entry cannot be represented in
+        the config-keyed result dict; it must be skipped without being
+        measured (the pre-engine behaviour)."""
+        from repro.measure import MeasurementRunner
+        from repro.sim import PState
+        from tests.conftest import make_uniform_kernel
+
+        machine = Machine(power7_arch)
+        runner = MeasurementRunner(machine, duration=_DURATION)
+        batches = []
+        original = machine.run_many
+
+        def counting(workloads, config, duration):
+            batches.append(config.label)
+            return original(workloads, config, duration)
+
+        machine.run_many = counting
+        sweep = runner.run_sweep(
+            [make_uniform_kernel("add", count=24)],
+            configs=[MachineConfig(8, 1)],
+            p_states=[PState("a", 0.9, 0.9), PState("b", 0.9, 0.9)],
+        )
+        assert batches == ["8-1@a"]
+        assert [config.label for config in sweep] == ["8-1@a"]
+
+    def test_same_scale_p_state_baselines_stay_distinct(self, power7_arch):
+        from repro.measure import MeasurementRunner
+        from repro.sim import PState
+
+        runner = MeasurementRunner(Machine(power7_arch), duration=_DURATION)
+        eco = MachineConfig(1, 1).with_p_state(PState("eco", 0.8, 0.9))
+        slow = MachineConfig(1, 1).with_p_state(PState("slow", 0.8, 0.9))
+        # Equal configs (scales compare), different noise labels: the
+        # memo must not serve one point's idle draws for the other.
+        assert runner.baseline(eco) != runner.baseline(slow)
+        assert runner.baseline(slow).config.label == "1-1@slow"
