@@ -15,7 +15,11 @@ weights.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
@@ -26,6 +30,37 @@ from repro.sim import Machine
 
 SCALE = float(os.environ.get("REPRO_SCALE", "0.3"))
 LOOP_SIZE = int(os.environ.get("REPRO_LOOP_SIZE", "1024"))
+
+#: Machine-readable benchmark results, merged across the bench session,
+#: so the perf trajectory is tracked across PRs (CI uploads the file as
+#: an artifact).  Benches call :func:`record_result` with their
+#: headline numbers; the file is rewritten on every record (it is tiny,
+#: and pytest may load this conftest under two module names, so a
+#: session-end hook could see an empty dict).
+BENCH_RESULTS_PATH = Path(
+    os.environ.get("REPRO_BENCH_RESULTS", "BENCH_results.json")
+)
+
+
+def record_result(name: str, **metrics) -> None:
+    """Merge one benchmark's headline metrics into BENCH_results.json."""
+    try:
+        payload = json.loads(BENCH_RESULTS_PATH.read_text())
+        if payload.get("format") != "repro-bench-v1":
+            raise ValueError
+    except (OSError, ValueError):
+        payload = {"format": "repro-bench-v1", "results": {}}
+    payload.update(
+        recorded_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        platform=platform.platform(),
+        python=platform.python_version(),
+        repro_scale=SCALE,
+        loop_size=LOOP_SIZE,
+    )
+    payload["results"].setdefault(name, {}).update(metrics)
+    BENCH_RESULTS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True)
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,93 @@
+"""Size-capped LRU memo caches with hit/miss accounting.
+
+Every long-lived memo in the system -- kernel-digest summaries, machine
+activity vectors, mixed-core contention solves, architecture digests,
+packed vector-plane kernels -- goes through :class:`LRUCache` so a
+week-long campaign cannot grow memory without bound: the cache holds at
+most ``capacity`` entries and evicts the least-recently-used one past
+that.  Hit/miss counters are kept per cache and surfaced through
+:meth:`LRUCache.stats` (see ``Machine.cache_stats`` for the aggregate
+view), so throughput investigations can see whether a campaign is
+actually re-using its memoized work.
+
+The implementation is a thin shell over :class:`collections.OrderedDict`
+-- ``move_to_end`` on hit, ``popitem(last=False)`` on eviction -- which
+keeps ``get``/``put`` O(1) and cheap enough for the evaluation engine's
+hot path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable
+from typing import Generic, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache(Generic[K, V]):
+    """A size-capped least-recently-used mapping with hit/miss counters."""
+
+    __slots__ = ("name", "capacity", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, capacity: int, name: str = "lru") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[K, V] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """The cached value, refreshed to most-recently-used on a hit."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one past capacity."""
+        data = self._data
+        if key in data:
+            data[key] = value
+            data.move_to_end(key)
+            return
+        if len(data) >= self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+        data[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._data.clear()
+
+    def stats(self) -> dict:
+        """Size/capacity/hit/miss/eviction counters, for diagnostics."""
+        return {
+            "name": self.name,
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LRUCache({self.name!r}, {len(self._data)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -149,9 +149,10 @@ class MeasurementEvaluator:
 
         The batch becomes one single-configuration experiment plan:
         duplicate genotypes deduplicate into one cell, the executor
-        batches the misses through ``Machine.run_many`` (or shards them
-        across workers), and a store-backed executor serves revisited
-        points from disk across processes.
+        drives the misses through the machine's vectorized measurement
+        plane (``Machine.run_cells``/``run_many`` -- one tensor pass
+        per batch, or sharded across workers), and a store-backed
+        executor serves revisited points from disk across processes.
         """
         workloads = [self.builder(point) for point in points]
         plan = ExperimentPlan.cross(

@@ -64,11 +64,17 @@ def _measure_on(
 ) -> list[Measurement]:
     """Measure ``cells`` on ``machine``, grouped by configuration.
 
-    Grouping preserves first-seen configuration order and feeds each
-    group through ``run_many``; the output list is in ``cells`` order.
-    ``persist(cell, measurement)``, when given, is called after each
-    configuration group so progress is durable mid-campaign.
+    Without a ``persist`` callback the whole shard evaluates as one
+    :meth:`Machine.run_cells` batch, so the vectorized measurement
+    plane sees every configuration of the shard in a single tensor
+    pass.  With ``persist(cells, measurements)`` -- called after each
+    configuration group so progress stays durable mid-campaign -- the
+    shard evaluates group by group through ``run_many``; grouping
+    preserves first-seen configuration order either way, and the
+    output list is in ``cells`` order.
     """
+    if persist is None:
+        return machine.run_cells(cells)
     out: list[Measurement | None] = [None] * len(cells)
     for (config, _label, duration), indices in _group_cells(cells).items():
         measurements = machine.run_many(
@@ -76,8 +82,9 @@ def _measure_on(
         )
         for index, measurement in zip(indices, measurements):
             out[index] = measurement
-            if persist is not None:
-                persist(cells[index], measurement)
+        persist(
+            [cells[index] for index in indices], measurements
+        )
     return out  # type: ignore[return-value]
 
 
@@ -141,17 +148,31 @@ class _ExecutorBase:
         if misses:
             # Persistence happens inside _measure_cells (per batch /
             # per chunk), so an interrupted campaign keeps everything
-            # measured so far; re-runs resume from the store.
+            # measured so far; re-runs resume from the store.  Without
+            # a store there is nothing to persist, and passing no
+            # callback lets the measurement plane evaluate the whole
+            # miss set as one tensor pass.
             measured = self._measure_cells(
-                [cells[index] for index in misses], self._persist
+                [cells[index] for index in misses],
+                self._persist if self.store is not None else None,
             )
             for index, measurement in zip(misses, measured):
                 results[index] = measurement
         return plan.expand(results)
 
-    def _persist(self, cell: PlanCell, measurement: Measurement) -> None:
+    def _persist(
+        self,
+        cells: Sequence[PlanCell],
+        measurements: Sequence[Measurement],
+    ) -> None:
+        """Persist one measured batch -- a single O(batch) store write."""
         if self.store is not None:
-            self.store.put(self._key(cell), measurement)
+            self.store.put_many(
+                [
+                    (self._key(cell), measurement)
+                    for cell, measurement in zip(cells, measurements)
+                ]
+            )
 
     def _measure_cells(
         self, cells: Sequence[PlanCell], persist=None
@@ -174,18 +195,21 @@ class SerialExecutor(_ExecutorBase):
 _WORKER_MACHINE: Machine | None = None
 
 
-def _init_worker(arch_name: str, seed: int) -> None:
+def _init_worker(arch_name: str, seed: int, vector: bool) -> None:
     """Build this worker's machine from the architecture registry.
 
     Measurements depend only on the (deterministically parsed)
     architecture definition and the seed, so a registry rebuild is
     substrate-identical to the parent's machine; worker caches start
-    cold and warm up over the shard.
+    cold and warm up over the shard.  The parent's vector-plane flag
+    is carried over so an explicitly scalar machine stays scalar in
+    every worker (the paths are bit-identical, but a user debugging or
+    benchmarking one of them must get the one they asked for).
     """
     global _WORKER_MACHINE
     from repro.march.definition import get_architecture
 
-    _WORKER_MACHINE = Machine(get_architecture(arch_name), seed)
+    _WORKER_MACHINE = Machine(get_architecture(arch_name), seed, vector=vector)
 
 
 def _run_chunk(cells: Sequence[PlanCell]) -> list[Measurement]:
@@ -276,7 +300,11 @@ class ParallelExecutor(_ExecutorBase):
             self._pool = context.Pool(
                 processes=self.workers,
                 initializer=_init_worker,
-                initargs=(self.machine.arch.name, self.machine.seed),
+                initargs=(
+                    self.machine.arch.name,
+                    self.machine.seed,
+                    self.machine.vector_enabled,
+                ),
             )
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, self._pool
@@ -343,11 +371,9 @@ class ParallelExecutor(_ExecutorBase):
         ):
             if persist is not None:
                 # Per-chunk persistence: an interrupted campaign
-                # resumes from everything already returned.
-                for cell, measurement in zip(
-                    chunks[number - 1], chunk_result
-                ):
-                    persist(cell, measurement)
+                # resumes from everything already returned, and each
+                # chunk lands as one batched store write.
+                persist(chunks[number - 1], chunk_result)
             flat.extend(chunk_result)
             logger.info(
                 "parallel: chunk %d/%d done (%d/%d cells)",

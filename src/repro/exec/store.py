@@ -1,17 +1,39 @@
 """Persistent measurement results, keyed by content-addressed cell keys.
 
-A :class:`ResultStore` is a directory of small JSON files, one per
-measurement cell, named by the cell's
-:meth:`~repro.exec.plan.PlanCell.key`.  Because keys are derived from
-the architecture, machine seed, workload content digest, configuration,
-operating point and window length, a store survives process restarts
-and is shared safely between serial and parallel executors: the same
-cell always lands in the same file with the same bytes, and a warm
-re-run of any campaign skips ``Machine.run`` entirely.
+A :class:`ResultStore` is a directory of *shard* files --
+``shards/<xx>.jsonl``, fanned out on the first key byte -- each an
+append-only sequence of JSON lines, one per persisted measurement
+cell.  Because keys are derived from the architecture, machine seed,
+workload content digest, configuration, operating point and window
+length (:meth:`~repro.exec.plan.PlanCell.key`), a store survives
+process restarts and is shared safely between serial and parallel
+executors: the same cell always lands under the same key with the
+same payload, and a warm re-run of any campaign skips ``Machine.run``
+entirely.
 
-Writes are atomic (write-to-temp + rename), so concurrent writers --
-parallel campaign shards, or two campaigns sharing one store -- never
-corrupt an entry; at worst they write the identical payload twice.
+Writes are *append-style and batched*: persisting a measured batch
+groups its cells by shard and issues one locked append per touched
+shard, so a store write costs O(batch) regardless of how many cells
+the store already holds -- a week-long campaign's checkpoint cadence
+never degrades as the store grows.  Appends take an exclusive
+``flock`` on the shard, verify the file still ends on a line boundary
+(a crashed writer's torn tail is repaired by prepending a newline),
+and write the whole batch with a single ``write`` call.  Re-written
+keys simply append a newer line; readers index the shard last-wins.
+
+Reads are served from a lazy per-shard offset index: the first lookup
+touching a shard scans it once, later lookups seek straight to the
+line (verifying the key, so an externally rewritten shard is a miss,
+never a wrong entry).  A miss re-checks whether another process has
+grown the shard since it was scanned, so concurrent campaigns sharing
+one store see each other's results.  Stores written by the pre-shard
+layout (one ``<xx>/<key>.json`` file per cell) are still readable --
+legacy entries are found through a per-file fallback -- so existing
+warm stores keep serving.
+
+Shard locking uses POSIX ``flock``; on platforms without ``fcntl``
+(Windows) appends are lock-free and a store directory should have a
+single writer at a time (readers are always safe).
 """
 
 from __future__ import annotations
@@ -19,7 +41,13 @@ from __future__ import annotations
 import json
 import logging
 import os
+from collections.abc import Sequence
 from pathlib import Path
+
+try:  # POSIX shard locking; on platforms without fcntl the store
+    import fcntl  # degrades to lock-free appends (single-writer safe).
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.measure.measurement import Measurement
 
@@ -29,19 +57,114 @@ logger = logging.getLogger("repro.exec.store")
 FORMAT = "repro-result-v1"
 
 
+class _Shard:
+    """Offset index of one shard file."""
+
+    __slots__ = ("path", "offsets", "scanned")
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        #: key -> (byte offset, byte length) of the newest line.
+        self.offsets: dict[str, tuple[int, int]] = {}
+        #: How far into the file the index has scanned.
+        self.scanned = 0
+
+
 class ResultStore:
-    """On-disk measurement store, one JSON file per cell key."""
+    """On-disk measurement store: sharded, append-style JSON lines."""
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        self.shard_dir = self.root / "shards"
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
         #: Cells served from disk / missed since construction.
         self.hits = 0
         self.misses = 0
+        self._shards: dict[str, _Shard] = {}
 
-    def _path(self, key: str) -> Path:
-        # Two-character fan-out keeps directories small at campaign scale.
+    # -- shard plumbing --------------------------------------------------------
+
+    def _shard(self, key: str) -> _Shard:
+        name = key[:2]
+        shard = self._shards.get(name)
+        if shard is None:
+            shard = self._shards[name] = _Shard(
+                self.shard_dir / f"{name}.jsonl"
+            )
+        return shard
+
+    def _refresh(self, shard: _Shard) -> None:
+        """Index any lines appended since the shard was last scanned."""
+        try:
+            size = shard.path.stat().st_size
+        except OSError:
+            return
+        if size <= shard.scanned:
+            return
+        try:
+            with shard.path.open("rb") as handle:
+                handle.seek(shard.scanned)
+                offset = shard.scanned
+                for line in handle:
+                    if not line.endswith(b"\n"):
+                        # Unterminated tail: a concurrent writer's
+                        # append that is only partially visible (or a
+                        # crashed writer's remnant).  Do not advance
+                        # past it -- the next refresh re-reads from
+                        # here, picking the line up once its remaining
+                        # bytes land.
+                        break
+                    self._index_line(shard, line, offset, len(line))
+                    offset += len(line)
+                shard.scanned = offset
+        except OSError as exc:  # pragma: no cover - foreign permissions
+            logger.warning("cannot scan store shard %s: %s", shard.path, exc)
+
+    def _index_line(
+        self, shard: _Shard, line: bytes, offset: int, length: int
+    ) -> None:
+        # Only the key is needed for the index; the payload is parsed
+        # on ``get``.  Unparseable lines are skipped (a miss at worst).
+        try:
+            payload = json.loads(line)
+            key = payload["key"]
+        except (ValueError, KeyError, TypeError):
+            logger.warning(
+                "skipping unreadable line in store shard %s @%d",
+                shard.path,
+                offset,
+            )
+            return
+        shard.offsets[str(key)] = (offset, length)
+
+    def _read_at(self, shard: _Shard, offset: int, length: int):
+        with shard.path.open("rb") as handle:
+            handle.seek(offset)
+            return json.loads(handle.read(length))
+
+    # -- legacy per-cell-file layout -------------------------------------------
+
+    def _legacy_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _legacy_get(self, key: str) -> Measurement | None:
+        path = self._legacy_path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("format") != FORMAT:
+                raise ValueError(
+                    f"unknown store format {payload.get('format')!r}"
+                )
+            return Measurement.from_dict(payload["measurement"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            logger.warning(
+                "discarding unreadable store entry %s: %s", path, exc
+            )
+            return None
+
+    # -- public API -------------------------------------------------------------
 
     def get(self, key: str) -> Measurement | None:
         """The stored measurement for ``key``, or ``None`` on a miss.
@@ -49,47 +172,131 @@ class ResultStore:
         Unreadable or format-mismatched entries count as misses (the
         executor re-measures and overwrites them).
         """
-        path = self._path(key)
-        try:
-            payload = json.loads(path.read_text())
-            if payload.get("format") != FORMAT:
-                raise ValueError(f"unknown store format {payload.get('format')!r}")
-            measurement = Measurement.from_dict(payload["measurement"])
-        except FileNotFoundError:
+        shard = self._shard(key)
+        location = shard.offsets.get(key)
+        if location is None:
+            # Another process may have appended since the last scan.
+            self._refresh(shard)
+            location = shard.offsets.get(key)
+        if location is None:
+            legacy = self._legacy_get(key)
+            if legacy is not None:
+                self.hits += 1
+                return legacy
             self.misses += 1
             return None
+        try:
+            payload = self._read_at(shard, *location)
+            if payload.get("format") != FORMAT:
+                raise ValueError(
+                    f"unknown store format {payload.get('format')!r}"
+                )
+            if payload.get("key") != key:
+                # The shard was rewritten out from under a long-lived
+                # index (external compaction/cleanup): never serve
+                # whatever entry now occupies the stale offset.
+                raise ValueError(
+                    f"stale shard index: found {payload.get('key')!r}"
+                )
+            measurement = Measurement.from_dict(payload["measurement"])
         except (OSError, ValueError, KeyError, TypeError) as exc:
-            # Any unreadable entry -- corrupt JSON, foreign permissions,
-            # a stray directory -- is a miss to re-measure, never a
-            # reason to abort a resumable campaign.
-            logger.warning("discarding unreadable store entry %s: %s", path, exc)
+            logger.warning(
+                "discarding unreadable store entry %s[%s]: %s",
+                shard.path,
+                key,
+                exc,
+            )
             self.misses += 1
             return None
         self.hits += 1
         return measurement
 
     def put(self, key: str, measurement: Measurement) -> None:
-        """Persist one measurement under ``key`` (atomic overwrite)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "format": FORMAT,
-            "key": key,
-            "measurement": measurement.to_dict(),
-        }
-        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        temp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(temp, path)
+        """Persist one measurement under ``key``."""
+        self.put_many([(key, measurement)])
+
+    def put_many(
+        self, entries: Sequence[tuple[str, Measurement]]
+    ) -> None:
+        """Persist a whole batch: one locked append per touched shard.
+
+        The batch groups by shard, each shard's lines are rendered and
+        written with a single ``write`` under an exclusive ``flock``,
+        and the in-memory index is updated from the append position --
+        O(batch) work and O(shards-touched) syscall round trips, no
+        matter how large the store already is.
+        """
+        by_shard: dict[str, list[tuple[str, Measurement]]] = {}
+        for key, measurement in entries:
+            by_shard.setdefault(key[:2], []).append((key, measurement))
+        for name, batch in by_shard.items():
+            shard = self._shard(batch[0][0])
+            lines = []
+            rendered = []
+            for key, measurement in batch:
+                line = (
+                    json.dumps(
+                        {
+                            "format": FORMAT,
+                            "key": key,
+                            "measurement": measurement.to_dict(),
+                        },
+                        sort_keys=True,
+                    ).encode()
+                    + b"\n"
+                )
+                lines.append(line)
+                rendered.append((key, len(line)))
+            payload = b"".join(lines)
+            with shard.path.open("ab") as handle:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    # Repair a crashed writer's torn tail so our first
+                    # line starts on a fresh line boundary.
+                    end = handle.seek(0, os.SEEK_END)
+                    if end > 0:
+                        with shard.path.open("rb") as reader:
+                            reader.seek(end - 1)
+                            if reader.read(1) != b"\n":
+                                handle.write(b"\n")
+                                end += 1
+                    handle.write(payload)
+                    handle.flush()
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            offset = end
+            for key, length in rendered:
+                shard.offsets[key] = (offset, length)
+                offset += length
+            if shard.scanned == end:
+                shard.scanned = offset
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).exists()
+        shard = self._shard(key)
+        if key not in shard.offsets:
+            self._refresh(shard)
+        return key in shard.offsets or self._legacy_path(key).exists()
+
+    def _all_keys(self) -> set[str]:
+        for path in self.shard_dir.glob("??.jsonl"):
+            shard = self._shard(path.stem + "00")
+            self._refresh(shard)
+        keys = {
+            key
+            for shard in self._shards.values()
+            for key in shard.offsets
+        }
+        keys.update(path.stem for path in self.root.glob("??/*.json"))
+        return keys
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return len(self._all_keys())
 
     def keys(self) -> list[str]:
-        """All stored cell keys."""
-        return sorted(path.stem for path in self.root.glob("??/*.json"))
+        """All stored cell keys (sharded and legacy layouts)."""
+        return sorted(self._all_keys())
 
     def __repr__(self) -> str:
         return f"ResultStore({str(self.root)!r})"

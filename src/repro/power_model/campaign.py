@@ -12,7 +12,11 @@ All data gathering is expressed as
 through the campaign's executor: the default (environment-resolved)
 executor keeps historical serial behaviour, while a parallel or
 store-backed executor shards the hundreds of suite x configuration
-cells across workers and/or serves warm re-runs from disk.
+cells across workers and/or serves warm re-runs from disk.  Under
+every executor, the suite's kernel cells evaluate through the
+machine's vectorized measurement plane (:mod:`repro.sim.vector`) --
+whole sweeps as single tensor passes, bit-identical to the scalar
+walk.
 """
 
 from __future__ import annotations

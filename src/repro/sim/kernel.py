@@ -43,8 +43,17 @@ class KernelInstruction:
     address: int | None = None
 
     def analytic_key(self) -> tuple:
-        """The fields steady-state analytics depend on (no address)."""
-        return (self.mnemonic, self.dep_distance, self.source_level)
+        """The fields steady-state analytics depend on (no address).
+
+        Cached on the instance: builders intern slot objects, so the
+        periodicity checks over large generated bodies reduce to dict
+        lookups.  (Benign if raced -- the tuple is deterministic.)
+        """
+        key = self.__dict__.get("_akey")
+        if key is None:
+            key = (self.mnemonic, self.dep_distance, self.source_level)
+            object.__setattr__(self, "_akey", key)
+        return key
 
     def to_list(self) -> list:
         """Compact JSON-able form, round-tripped by :meth:`from_list`."""
@@ -79,12 +88,22 @@ class Kernel:
             declaration yields wrong steady-state results.  See
             :meth:`validate_period` for the contract check (O(loop
             size); the producer tests run it on every builder).
+        analytic_period: Optional declared *minimal* analytic period of
+            the pattern: a divisor ``q`` of ``period`` such that slot
+            ``i`` of the pattern is analytically equivalent to slot
+            ``i % q``.  Builders whose pattern is a short sequence
+            replicated over an address round-robin (the declared period
+            is the lcm, the analytic period the bare sequence length)
+            set this so the evaluation engine can skip its periodicity
+            search.  Trusted exactly like ``period``; never enters the
+            digest, so it is free to add to existing kernels.
     """
 
     name: str
     instructions: tuple[KernelInstruction, ...]
     operand_entropy: float = 1.0
     period: int | None = None
+    analytic_period: int | None = None
 
     def __post_init__(self) -> None:
         if not self.instructions:
@@ -96,6 +115,14 @@ class Kernel:
         # With a declared period, the fingerprint contract makes one
         # period plus the tail representative -- validate O(period).
         pattern, repeats, tail = self.periodic_parts()
+        if self.analytic_period is not None and (
+            self.analytic_period < 1 or len(pattern) % self.analytic_period
+        ):
+            raise ValueError(
+                f"kernel {self.name!r}: analytic_period "
+                f"{self.analytic_period} must divide the pattern "
+                f"length {len(pattern)}"
+            )
         for base, slots in ((0, pattern), (repeats * len(pattern), tail)):
             for index, instruction in enumerate(slots):
                 distance = instruction.dep_distance
@@ -138,18 +165,29 @@ class Kernel:
             ValueError: If some slot below the last full period is not
                 analytically equivalent to its image in the first one.
         """
-        if self.period is None:
-            return
         pattern, repeats, _ = self.periodic_parts()
         period = len(pattern)
-        for index in range(period, repeats * period):
-            expected = pattern[index % period].analytic_key()
-            actual = self.instructions[index].analytic_key()
-            if actual != expected:
-                raise ValueError(
-                    f"kernel {self.name!r}: slot {index} {actual} breaks "
-                    f"the declared period {period} ({expected} expected)"
-                )
+        if self.period is not None:
+            for index in range(period, repeats * period):
+                expected = pattern[index % period].analytic_key()
+                actual = self.instructions[index].analytic_key()
+                if actual != expected:
+                    raise ValueError(
+                        f"kernel {self.name!r}: slot {index} {actual} "
+                        f"breaks the declared period {period} "
+                        f"({expected} expected)"
+                    )
+        if self.analytic_period is not None:
+            reduced = self.analytic_period
+            for index in range(reduced, period):
+                expected = pattern[index % reduced].analytic_key()
+                actual = pattern[index].analytic_key()
+                if actual != expected:
+                    raise ValueError(
+                        f"kernel {self.name!r}: pattern slot {index} "
+                        f"{actual} breaks the declared analytic period "
+                        f"{reduced} ({expected} expected)"
+                    )
 
     # -- content identity --------------------------------------------------------
 
@@ -200,6 +238,7 @@ class Kernel:
             "name": self.name,
             "operand_entropy": self.operand_entropy,
             "period": self.period,
+            "analytic_period": self.analytic_period,
             "pattern": [instruction.to_list() for instruction in pattern],
             "repeats": repeats,
             "tail": [instruction.to_list() for instruction in tail],
@@ -227,6 +266,7 @@ class Kernel:
             instructions=pattern * data["repeats"] + tail,
             operand_entropy=data["operand_entropy"],
             period=data["period"],
+            analytic_period=data.get("analytic_period"),
         )
 
     def memory_slots(self) -> list[int]:
@@ -238,7 +278,24 @@ class Kernel:
 
 
 def _content_text(instructions: tuple[KernelInstruction, ...]) -> str:
-    return "|".join(
-        f"{ins.mnemonic},{ins.dep_distance},{ins.source_level},{ins.address}"
-        for ins in instructions
-    )
+    # The rendered slot text is cached on the instruction objects:
+    # builders intern slot instances, so a batch of generated kernels
+    # renders each distinct slot once instead of once per digest, and
+    # the warm path is a bare dict-lookup comprehension.
+    try:
+        return "|".join(
+            [ins.__dict__["_content"] for ins in instructions]
+        )
+    except KeyError:
+        pass
+    parts = []
+    for ins in instructions:
+        text = ins.__dict__.get("_content")
+        if text is None:
+            text = (
+                f"{ins.mnemonic},{ins.dep_distance},"
+                f"{ins.source_level},{ins.address}"
+            )
+            object.__setattr__(ins, "_content", text)
+        parts.append(text)
+    return "|".join(parts)

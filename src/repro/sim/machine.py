@@ -10,19 +10,23 @@ SPEC proxies::
     workload.name                              -> str
     workload.thread_activity(machine, smt)     -> ThreadActivity
 
-``Machine.run_many`` is the batched entry point the measurement
-campaigns use: it amortizes per-kernel steady-state analysis across
-the whole batch through the evaluation engine's summary-digest
-memoization, so re-measuring one kernel across the 24-configuration
-CMP/SMT sweep (or a GA population re-visiting genotypes) never
-re-walks a loop body.
+``Machine.run_many`` / ``Machine.run_cells`` / ``Machine.run_plan``
+are the batched entry points the measurement campaigns use: they
+amortize per-kernel steady-state analysis across the whole batch
+through the evaluation engine's summary-digest memoization, and they
+route kernel batches through the vectorized measurement plane
+(:mod:`repro.sim.vector`), which evaluates whole plans as dense NumPy
+tensor passes -- bit-identical to the scalar walk, which remains in
+place as the reference implementation (``REPRO_VECTOR=0`` forces it).
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable, Sequence
 from typing import Protocol, runtime_checkable
 
+from repro.caching import LRUCache
 from repro.errors import MeasurementError
 from repro.march.definition import MicroArchitecture, get_architecture
 from repro.measure.measurement import DEFAULT_DURATION_S, Measurement
@@ -33,10 +37,16 @@ from repro.sim.placement import Placement, strict_workload_key, workload_key
 from repro.sim.pipeline import CorePipelineModel
 from repro.sim.power import GroundTruthPowerModel
 from repro.sim.sensors import PowerSensor, stable_seed
+from repro.sim.vector import VectorPlane
 
-#: Activity vectors retained per machine (FIFO eviction past this);
+#: Activity vectors retained per machine (LRU eviction past this);
 #: one-shot sweeps over huge design spaces never revisit a kernel.
 ACTIVITY_CACHE_LIMIT = 65_536
+
+
+def _vector_enabled_by_default() -> bool:
+    """``REPRO_VECTOR=0`` opts out of the tensor plane (debug knob)."""
+    return os.environ.get("REPRO_VECTOR", "1") != "0"
 
 
 @runtime_checkable
@@ -55,7 +65,10 @@ class Machine:
     """A POWER7-like CMP/SMT machine with sensors and counters."""
 
     def __init__(
-        self, arch: MicroArchitecture | None = None, seed: int = 0
+        self,
+        arch: MicroArchitecture | None = None,
+        seed: int = 0,
+        vector: bool | None = None,
     ) -> None:
         self.arch = arch if arch is not None else get_architecture("POWER7")
         self.pipeline = CorePipelineModel(self.arch)
@@ -66,18 +79,34 @@ class Machine:
         # loop-body content share one steady-state analysis regardless
         # of how many Kernel objects carry it; distinct kernels that
         # happen to share a name never alias.
-        self._activity_cache: dict[tuple[int, int], ThreadActivity] = {}
+        self._activity_cache: LRUCache[
+            tuple[int, int], ThreadActivity
+        ] = LRUCache(ACTIVITY_CACHE_LIMIT, "machine.activity")
         # Mixed-core contention solves, keyed on the canonical workload
         # keys of the co-runners plus the SMT way: a placement sweep
         # re-deploying the same mix across cores, configurations and
         # p-states runs the bisection once (solutions are stored at
         # nominal frequency; the p-state re-clock applies on top).
-        self._mixed_cache: dict[tuple, list[ThreadActivity]] = {}
+        self._mixed_cache: LRUCache[tuple, list[ThreadActivity]] = LRUCache(
+            ACTIVITY_CACHE_LIMIT, "machine.mixed_core"
+        )
+        # The vectorized measurement plane (sim/vector.py): kernel
+        # batches evaluate as dense tensor ops, bit-identical to the
+        # scalar walk.  ``vector=False`` (or REPRO_VECTOR=0) keeps
+        # every measurement on the scalar reference path.
+        if vector is None:
+            vector = _vector_enabled_by_default()
+        self._vector = VectorPlane(self) if vector else None
 
     @property
     def frequency(self) -> float:
         """Clock frequency in cycles per second."""
         return self.arch.chip.cycles_per_second
+
+    @property
+    def vector_enabled(self) -> bool:
+        """Whether batches route through the vectorized plane."""
+        return self._vector is not None
 
     # -- running workloads ---------------------------------------------------
 
@@ -125,10 +154,82 @@ class Machine:
                 or some workload does not follow the protocol.
         """
         self._validate(config)
+        workloads = list(workloads)
+        if self._vector is not None:
+            batched = self._vector.try_measure_cells(
+                [(workload, config, duration) for workload in workloads]
+            )
+            if batched is not None:
+                return batched
         return [
             self._measure(workload, config, duration)
             for workload in workloads
         ]
+
+    def run_cells(self, cells) -> list[Measurement]:
+        """Measure a heterogeneous batch of plan cells in one pass.
+
+        ``cells`` is any sequence of objects with ``workload``,
+        ``config`` and ``duration`` attributes (e.g.
+        :class:`~repro.exec.plan.PlanCell`).  Unlike :meth:`run_many`,
+        the batch may span many configurations and windows: the
+        vectorized measurement plane evaluates every kernel cell of
+        the whole batch as *one* tensor pass, which is what lets a
+        full 24-configuration sweep amortize its per-batch setup (and
+        its sensor seeding) across all cells.  Results are returned in
+        cell order, bit-identical to per-cell :meth:`run` calls.
+
+        Raises:
+            MeasurementError: If some configuration does not fit the
+                chip or some workload does not follow the protocol.
+        """
+        triples = [
+            (cell.workload, cell.config, cell.duration) for cell in cells
+        ]
+        # Deduplicate by object identity: plans reuse config objects
+        # across cells, and hashing a MachineConfig per cell is more
+        # expensive than the validation itself.
+        distinct = {id(triple[1]): triple[1] for triple in triples}
+        for config in distinct.values():
+            self._validate(config)
+        if self._vector is not None:
+            batched = self._vector.try_measure_cells(triples)
+            if batched is not None:
+                return batched
+        return [
+            self._measure(workload, config, duration)
+            for workload, config, duration in triples
+        ]
+
+    def run_plan(self, plan) -> list[Measurement]:
+        """Execute a whole :class:`~repro.exec.plan.ExperimentPlan`.
+
+        The plan's unique cells evaluate through :meth:`run_cells`
+        (one tensor pass across every configuration), and results fan
+        back out to the plan's requested order.  This is the
+        in-process fast path; executors add stores and worker sharding
+        on top.
+        """
+        return plan.expand(self.run_cells(plan.cells))
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/size counters of every memo cache in the substrate.
+
+        Covers the machine's activity and mixed-core solve caches, the
+        pipeline's kernel-digest summary cache, and (when the vector
+        plane is enabled) its packed-kernel and stacked-batch caches.
+        All of them are size-capped LRUs, so week-long campaigns hold
+        memory flat; these counters show whether they are earning
+        their keep.
+        """
+        stats = {
+            "activity": self._activity_cache.stats(),
+            "mixed_core": self._mixed_cache.stats(),
+            "summaries": self.pipeline.cache_stats(),
+        }
+        if self._vector is not None:
+            stats.update(self._vector.cache_stats())
+        return stats
 
     def run_idle(
         self,
@@ -327,9 +428,7 @@ class Machine:
                 solved = self.pipeline.mixed_core_activities(
                     summaries, config.smt
                 )
-                if len(self._mixed_cache) >= ACTIVITY_CACHE_LIMIT:
-                    self._mixed_cache.pop(next(iter(self._mixed_cache)))
-                self._mixed_cache[cache_key] = solved
+                self._mixed_cache.put(cache_key, solved)
             activities: list[ThreadActivity | None] = [None] * len(group)
             for slot, activity in zip(order, solved):
                 activities[slot] = activity.at_frequency_scale(freq_scale)
@@ -346,9 +445,7 @@ class Machine:
             cached = self._activity_cache.get(key)
             if cached is None:
                 cached = self.pipeline.activity(workload, smt)
-                if len(self._activity_cache) >= ACTIVITY_CACHE_LIMIT:
-                    self._activity_cache.pop(next(iter(self._activity_cache)))
-                self._activity_cache[key] = cached
+                self._activity_cache.put(key, cached)
             return cached
         if isinstance(workload, Workload):
             return workload.thread_activity(self, smt)

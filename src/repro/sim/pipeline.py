@@ -44,6 +44,7 @@ from collections import Counter
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.caching import LRUCache
 from repro.errors import MicroProbeError, UnknownInstructionError
 from repro.march.definition import MicroArchitecture
 from repro.march.properties import InstructionProperties
@@ -61,7 +62,7 @@ SMT_OVERHEAD = {1: 0.0, 2: 0.04, 4: 0.09}
 SECONDARY_OCCUPANCY = 1.0
 
 #: Summaries retained per model; exhaustive sweeps over huge design
-#: spaces never revisit a kernel, so the cache evicts FIFO past this.
+#: spaces never revisit a kernel, so the cache evicts LRU past this.
 SUMMARY_CACHE_LIMIT = 65_536
 
 
@@ -156,12 +157,13 @@ class CorePipelineModel:
         self._unit_pipes = {
             name: unit.pipes for name, unit in arch.units.items()
         }
-        # Precompiled per-mnemonic rows; instructions registered with
-        # the ISA after construction fall back to a lazy build.
+        # Per-mnemonic rows compile lazily on first use (see _row):
+        # a model constructed for a handful of kernels -- cold executor
+        # machines, parallel workers -- never pays for the full ISA.
         self._rows: dict[str, _PropertyRow] = {}
-        for props in arch.properties:
-            self._rows[props.mnemonic] = self._build_row(props.mnemonic)
-        self._summaries: dict[int, KernelSummary] = {}
+        self._summaries: LRUCache[int, KernelSummary] = LRUCache(
+            SUMMARY_CACHE_LIMIT, "pipeline.summaries"
+        )
 
     # -- public API ---------------------------------------------------------
 
@@ -172,9 +174,7 @@ class CorePipelineModel:
         if cached is not None and cached.size == len(kernel):
             return cached
         summary = self._build_summary(kernel, digest)
-        if len(self._summaries) >= SUMMARY_CACHE_LIMIT:
-            self._summaries.pop(next(iter(self._summaries)))
-        self._summaries[digest] = summary
+        self._summaries.put(digest, summary)
         return summary
 
     def bounds(self, kernel: Kernel, smt: int = 1) -> PipelineBounds:
@@ -373,6 +373,10 @@ class CorePipelineModel:
         """Fraction of adjacent slots executing on different units."""
         return self.summarize(kernel).alternation
 
+    def cache_stats(self) -> dict:
+        """Hit/miss/size counters of the summary memo cache."""
+        return self._summaries.stats()
+
     # -- property rows ------------------------------------------------------------
 
     def _row(self, mnemonic: str) -> _PropertyRow:
@@ -386,9 +390,8 @@ class CorePipelineModel:
         try:
             is_store = self.arch.isa.instruction(mnemonic).is_store
         except UnknownInstructionError:
-            # Rows are precompiled eagerly for every property entry, so
-            # a user pruning the ISA after properties were built must
-            # not break model construction; a pruned mnemonic can only
+            # A mnemonic with properties but no ISA definition (a user
+            # pruning the ISA after properties were built) can only
             # matter if a kernel still uses it as a memory op, and then
             # it counts as a load.
             is_store = False
@@ -401,8 +404,82 @@ class CorePipelineModel:
 
     # -- summary construction -------------------------------------------------------
 
+    @staticmethod
+    def _reduce_parts(
+        pattern: tuple[KernelInstruction, ...],
+        repeats: int,
+        tail: tuple[KernelInstruction, ...],
+        declared: int | None = None,
+    ) -> tuple[
+        tuple[KernelInstruction, ...], int, tuple[KernelInstruction, ...]
+    ]:
+        """Shrink a declared decomposition to its minimal analytic period.
+
+        The period contract only promises analytic equivalence
+        (mnemonic, dependency distance, source level -- addresses may
+        differ), so a pattern that is itself analytically periodic with
+        some divisor ``q`` of its length describes the same replicated
+        body as the ``q``-slot pattern repeated proportionally more
+        times; a tail prefix that keeps following that periodicity
+        (builders put the replicated remainder plus the loop branch
+        there) folds into extra repeats the same way.  Every summary
+        quantity below is a function of the decomposition's
+        *per-mnemonic integer counts* and junction structure, both
+        invariant under this rewrite, so the reduced summary is
+        bit-identical to the declared one -- just O(q + reduced tail)
+        instead of O(declared period + tail) to accumulate.
+        (Stressmark builders declare the lcm of sequence length and
+        address round-robin as their period; the analytic period is
+        usually the bare sequence length.)
+
+        A ``declared`` analytic period (``Kernel.analytic_period``) is
+        trusted like the period fingerprint itself and skips the
+        periodicity search entirely.
+        """
+        length = len(pattern)
+        if length < 2 or repeats < 1:
+            return pattern, repeats, tail
+        if declared is not None and 0 < declared <= length and not length % declared:
+            q = declared
+            # Inline the analytic-key cache lookup (the tuple is never
+            # falsy); builders intern slots, so these are dict gets.
+            keys = [
+                ins.__dict__.get("_akey") or ins.analytic_key()
+                for ins in pattern[:q]
+            ]
+        else:
+            keys = [
+                ins.__dict__.get("_akey") or ins.analytic_key()
+                for ins in pattern
+            ]
+            for q in range(1, length // 2 + 1):
+                if length % q:
+                    continue
+                if keys[q:] == keys[: length - q]:
+                    break
+            else:
+                return pattern, repeats, tail
+        repeats = repeats * (length // q)
+        # Fold the tail prefix that continues the q-periodicity into
+        # whole extra repeats; the sub-period remainder it ends on goes
+        # back to the front of the reduced tail (those slots are
+        # analytically interchangeable with their pattern images).
+        follows = 0
+        for index, ins in enumerate(tail):
+            if (
+                ins.__dict__.get("_akey") or ins.analytic_key()
+            ) != keys[index % q]:
+                break
+            follows += 1
+        leftover = follows % q
+        repeats += (follows - leftover) // q
+        return pattern[:q], repeats, tail[follows - leftover:]
+
     def _build_summary(self, kernel: Kernel, digest: int) -> KernelSummary:
         pattern, repeats, tail = kernel.periodic_parts()
+        pattern, repeats, tail = self._reduce_parts(
+            pattern, repeats, tail, kernel.analytic_period
+        )
 
         # Per-mnemonic counts: one Counter pass over the period, scaled.
         counts: Counter[str] = Counter()

@@ -1,0 +1,532 @@
+"""Array-backed evaluation plane: whole measurement plans as tensors.
+
+The scalar walk (:meth:`repro.sim.machine.Machine._measure`) evaluates
+one (kernel, configuration, window) cell at a time through per-mnemonic
+dict arithmetic.  This module compiles the same analytic state into
+dense NumPy arrays and evaluates an entire plan's worth of cells --
+spanning *different* configurations and windows -- in one vectorized
+pass:
+
+* a **packed** form of :class:`~repro.sim.summary.KernelSummary` --
+  fixed unit/level/counter index spaces derived from the architecture,
+  with each kernel's occupancy/operation/level-count vectors stored as
+  small dense arrays (:class:`PackedKernel`, LRU-memoized by kernel
+  digest);
+* packed kernels stacked into ``(kernels x units)`` / ``(kernels x
+  levels)`` matrices (memoized per distinct batch composition, so a
+  configuration sweep re-measuring one kernel set stacks it once), and
+  gathered per cell by row index;
+* the steady-state bounds, activity rates, performance-counter
+  synthesis and hidden-power evaluation expressed as elementwise tensor
+  ops over those matrices, with per-configuration scalars (SMT share,
+  frequency scale, thread count, static power) repeated across each
+  configuration's cell span;
+* the batched sensor plane
+  (:meth:`~repro.sim.sensors.PowerSensor.measure_batch`), which
+  reproduces the per-cell ``stable_seed`` noise draws exactly --
+  including a vectorized replay of CPython's MT19937 seeding for wide
+  batches.
+
+**Bit-identity contract.**  Every floating-point operation of the
+scalar walk is replayed here with the same operand values in the same
+order (IEEE-754 double arithmetic is deterministic, and NumPy
+elementwise ops round exactly like Python floats), and reductions whose
+accumulation order matters (the per-mnemonic energy sums, the
+per-thread dynamic-power sum) are evaluated as explicit sequential
+column adds rather than ``np.sum`` (whose pairwise blocking would
+re-associate them).  The vectorized path therefore produces
+*bit-identical* Measurements -- counters, powers and sensor noise draws
+-- to the scalar reference, which stays in place as the executable
+specification and property-test oracle
+(``tests/sim/test_vector_plane.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from zlib import crc32
+
+import numpy as np
+
+from repro.caching import LRUCache
+from repro.measure.measurement import Measurement
+from repro.sim.config import MachineConfig
+from repro.sim.kernel import Kernel
+from repro.sim.pipeline import MSHRS_PER_THREAD, SMT_OVERHEAD
+from repro.sim.power import (
+    IDLE_POWER,
+    LEVEL_ENERGY_NJ,
+    SMT_LOGIC,
+    UNCORE_ACTIVE,
+    cmp_effect,
+    data_multiplier,
+    order_multiplier,
+)
+
+#: Packed kernels retained per machine (LRU past this).
+PACKED_CACHE_LIMIT = 65_536
+#: Stacked batch matrices retained per machine (LRU past this); a
+#: configuration sweep re-uses one stack across its whole ladder.
+STACK_CACHE_LIMIT = 256
+#: Below this many kernel cells the scalar walk is faster than the
+#: tensor pass's fixed setup cost.  Both paths are bit-identical, so
+#: this is purely a latency knob.
+MIN_VECTOR_BATCH = 8
+
+
+class PackedKernel:
+    """One kernel's summary, packed into dense index-space arrays."""
+
+    __slots__ = (
+        "digest",
+        "size",
+        "unit_bound",
+        "dependency_bound",
+        "miss_latency",
+        "alternation",
+        "entropy",
+        "active",
+        "insn_e9",
+        "insn_counts",
+        "unit_ops",
+        "counter_levels",
+        "level_e9",
+        "level_counts",
+    )
+
+    def __init__(self, summary, unit_names, counter_level_names, power_model):
+        self.digest = summary.digest
+        self.size = summary.size
+        self.unit_bound = summary.unit_bound
+        self.dependency_bound = summary.dependency_bound
+        self.miss_latency = summary.miss_latency
+        self.alternation = summary.alternation
+        self.entropy = summary.entropy
+        # Kernels always commit work (empty loop bodies are rejected at
+        # construction); the flag guards the idle-power degenerate case
+        # exactly as the scalar walk's activity check does.
+        self.active = bool(summary.mnemonic_counts)
+        # Per-mnemonic energies and counts, in the summary's dict
+        # insertion order: the scalar energy sum iterates that order,
+        # and sequential column adds must replay it term for term.
+        items = list(summary.mnemonic_counts.items())
+        self.insn_e9 = np.array(
+            [power_model.instruction_energy(m) * 1e-9 for m, _ in items]
+        )
+        self.insn_counts = np.array([float(c) for _, c in items])
+        self.unit_ops = np.array(
+            [summary.unit_ops.get(name, 0.0) for name in unit_names]
+        )
+        self.counter_levels = np.array(
+            [summary.level_counts.get(name, 0.0) for name in counter_level_names]
+        )
+        energy_levels = [
+            (LEVEL_ENERGY_NJ[level] * 1e-9, float(count))
+            for level, count in summary.level_counts.items()
+            if level in LEVEL_ENERGY_NJ
+        ]
+        self.level_e9 = np.array([e for e, _ in energy_levels])
+        self.level_counts = np.array([c for _, c in energy_levels])
+
+
+class _KernelStack:
+    """Matrices of one distinct kernel-set, shared across configurations."""
+
+    __slots__ = (
+        "size",
+        "unit_bound",
+        "dependency_bound",
+        "miss_latency",
+        "order_mult",
+        "data_mult",
+        "all_active",
+        "active",
+        "insn_e9",
+        "insn_counts",
+        "unit_ops",
+        "counter_levels",
+        "level_e9",
+        "level_counts",
+    )
+
+    def __init__(self, packs: Sequence[PackedKernel]) -> None:
+        count = len(packs)
+        self.size = np.array([float(pack.size) for pack in packs])
+        self.unit_bound = np.array([pack.unit_bound for pack in packs])
+        self.dependency_bound = np.array(
+            [pack.dependency_bound for pack in packs]
+        )
+        self.miss_latency = np.array([pack.miss_latency for pack in packs])
+        # The order/data multipliers only depend on the kernel, so they
+        # stack once per batch composition; computed with the exact
+        # scalar helpers so each element carries the scalar's bits.
+        self.order_mult = np.array(
+            [order_multiplier(pack.alternation) for pack in packs]
+        )
+        self.data_mult = np.array(
+            [data_multiplier(pack.entropy) for pack in packs]
+        )
+        self.active = np.array([pack.active for pack in packs])
+        self.all_active = all(pack.active for pack in packs)
+        # Ragged per-mnemonic/per-level vectors pad with trailing
+        # zeros: a zero term adds exactly nothing to a non-negative
+        # sequential sum, so padding never perturbs the accumulation.
+        mnemonics = max((len(pack.insn_e9) for pack in packs), default=0)
+        levels = max((len(pack.level_e9) for pack in packs), default=0)
+        self.insn_e9 = np.zeros((count, mnemonics))
+        self.insn_counts = np.zeros((count, mnemonics))
+        self.level_e9 = np.zeros((count, levels))
+        self.level_counts = np.zeros((count, levels))
+        for row, pack in enumerate(packs):
+            width = len(pack.insn_e9)
+            self.insn_e9[row, :width] = pack.insn_e9
+            self.insn_counts[row, :width] = pack.insn_counts
+            depth = len(pack.level_e9)
+            self.level_e9[row, :depth] = pack.level_e9
+            self.level_counts[row, :depth] = pack.level_counts
+        self.unit_ops = np.vstack([pack.unit_ops for pack in packs])
+        self.counter_levels = np.vstack(
+            [pack.counter_levels for pack in packs]
+        )
+
+
+def _sequential_row_sum(terms: np.ndarray) -> np.ndarray:
+    """Left-to-right row sums, replaying Python's ``sum()`` exactly.
+
+    ``np.sum`` uses pairwise blocking, which re-associates the
+    floating-point adds; the scalar reference accumulates strictly left
+    to right starting from zero, so the vector plane must too.
+    """
+    total = np.zeros(terms.shape[0])
+    for column in range(terms.shape[1]):
+        total = total + terms[:, column]
+    return total
+
+
+class _Group:
+    """One (configuration, window) span of a cell batch."""
+
+    __slots__ = ("config", "duration", "cells", "seed_mid")
+
+    def __init__(self, config: MachineConfig, duration: float) -> None:
+        self.config = config
+        self.duration = duration
+        self.cells: list[int] = []  # positions in the kernel-cell order
+
+
+class VectorPlane:
+    """Vectorized batch evaluator bound to one machine."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        arch = machine.arch
+        self.arch = arch
+        self._width = arch.chip.dispatch_width
+        self._frequency = arch.chip.cycles_per_second
+        self._unit_names = tuple(arch.units)
+        # Fixed counter layout: exactly the key order
+        # ``counters_from_activity`` emits.
+        names = ["PM_RUN_CYC", "PM_RUN_INST_CMPL"]
+        names.extend(unit.counter for unit in arch.units.values())
+        names.extend(["PM_LD_REF_L1", "PM_ST_REF_L1"])
+        names.extend(cache.counter for cache in arch.caches[1:])
+        names.append(arch.memory.counter)
+        self._counter_names = tuple(names)
+        # The hierarchy levels backing the level-derived counters, in
+        # the same column order as the counter tail above.
+        self._counter_level_names = (
+            "_loads",
+            "_stores",
+            *(cache.name for cache in arch.caches[1:]),
+            arch.memory.name,
+        )
+        self._packed: LRUCache[int, PackedKernel] = LRUCache(
+            PACKED_CACHE_LIMIT, "vector.packed"
+        )
+        self._stacks: LRUCache[tuple, _KernelStack] = LRUCache(
+            STACK_CACHE_LIMIT, "vector.stacks"
+        )
+
+    # -- packing ---------------------------------------------------------------
+
+    def _pack(self, kernel: Kernel) -> PackedKernel:
+        digest = kernel.digest()
+        pack = self._packed.get(digest)
+        if pack is None:
+            pack = PackedKernel(
+                self.machine.pipeline.summarize(kernel),
+                self._unit_names,
+                self._counter_level_names,
+                self.machine._power,
+            )
+            self._packed.put(digest, pack)
+        return pack
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/size counters of the plane's memo caches."""
+        return {
+            "packed": self._packed.stats(),
+            "stacks": self._stacks.stats(),
+        }
+
+    # -- batch evaluation --------------------------------------------------------
+
+    def try_measure_cells(
+        self, cells: Sequence[tuple[object, MachineConfig, float]]
+    ) -> list[Measurement] | None:
+        """Measure ``(workload, config, duration)`` cells, or decline.
+
+        Kernel cells -- across *all* configurations and windows in the
+        batch -- evaluate as one tensor pass; placements and protocol
+        workloads fall back to the scalar walk cell by cell (order
+        preserved).  Batches with too few kernel cells to amortize the
+        tensor setup are declined entirely: the caller runs the scalar
+        walk, which is bit-identical anyway.
+        """
+        kernel_indices = [
+            index
+            for index, (workload, _, _) in enumerate(cells)
+            if isinstance(workload, Kernel)
+        ]
+        if len(kernel_indices) < MIN_VECTOR_BATCH:
+            return None
+
+        # Group kernel cells by (config object, window).  Grouping is
+        # purely an evaluation-shape choice -- every cell's result is
+        # an independent pure function of its own content -- so
+        # object-identity grouping (plans reuse config objects, and
+        # hashing a MachineConfig per cell is costly) is always sound;
+        # equal configs arriving as distinct objects just form
+        # separate, identically-evaluated spans.
+        groups: dict[tuple, _Group] = {}
+        # Unique kernels by measurement identity: the noise seed folds
+        # in the workload *name* and content digest, so two
+        # equal-content kernels under different names stay distinct.
+        unique_of: dict[tuple, int] = {}
+        kernels: list[Kernel] = []
+        cell_rows: list[int] = []  # kernel-cell -> unique kernel row
+        for index in kernel_indices:
+            workload, config, duration = cells[index]
+            group_key = (id(config), duration)
+            group = groups.get(group_key)
+            if group is None:
+                group = groups[group_key] = _Group(config, duration)
+            key = (workload.name, workload.digest())
+            row = unique_of.get(key)
+            if row is None:
+                row = len(kernels)
+                unique_of[key] = row
+                kernels.append(workload)
+            group.cells.append(len(cell_rows))
+            cell_rows.append(row)
+
+        measurements = self._evaluate(
+            kernels, cell_rows, list(groups.values())
+        )
+
+        results: list[Measurement | None] = [None] * len(cells)
+        for position, index in enumerate(kernel_indices):
+            results[index] = measurements[position]
+        for index, (workload, config, duration) in enumerate(cells):
+            if results[index] is None:
+                results[index] = self.machine._measure(
+                    workload, config, duration
+                )
+        return results  # type: ignore[return-value]
+
+    def _evaluate(
+        self,
+        kernels: Sequence[Kernel],
+        cell_rows: Sequence[int],
+        groups: Sequence[_Group],
+    ) -> list[Measurement]:
+        """One Measurement per kernel cell, in kernel-cell order."""
+        packs = [self._pack(kernel) for kernel in kernels]
+        stack_key = tuple(pack.digest for pack in packs)
+        stack = self._stacks.get(stack_key)
+        if stack is None:
+            stack = _KernelStack(packs)
+            self._stacks.put(stack_key, stack)
+
+        cell_count = len(cell_rows)
+        rows = np.asarray(cell_rows, dtype=np.intp)
+
+        # Per-configuration scalars, computed once per group in plain
+        # Python (bit-for-bit the scalar walk's arithmetic) and
+        # repeated across the group's cell span.
+        machine_seed = self.machine.seed
+        group_sizes = []
+        share_g, fs_g, freq_eff_g, duration_g = [], [], [], []
+        threads_g, dyn_scale_g, nominal_g, static_g = [], [], [], []
+        scatter: list[int] = []  # tensor position -> kernel-cell index
+        for group in groups:
+            config = group.config
+            p_state = config.p_state
+            group_sizes.append(len(group.cells))
+            scatter.extend(group.cells)
+            share_g.append(config.smt / (1.0 - SMT_OVERHEAD[config.smt]))
+            fs_g.append(p_state.freq_scale)
+            freq_eff_g.append(self.machine.frequency * p_state.freq_scale)
+            duration_g.append(group.duration)
+            threads_g.append(config.threads)
+            nominal_g.append(p_state.is_nominal)
+            dyn_scale_g.append(
+                1.0 if p_state.is_nominal else p_state.dynamic_scale
+            )
+            static = IDLE_POWER
+            static += UNCORE_ACTIVE
+            static += cmp_effect(config.cores)
+            if config.smt_enabled:
+                static += SMT_LOGIC * config.cores
+            static_g.append(static)
+            group.seed_mid = (
+                f"|{config.label}|{group.duration}|{machine_seed}|"
+            )
+
+        order = np.asarray(scatter, dtype=np.intp)
+        krows = rows[order]  # tensor position -> unique kernel row
+        repeats = np.asarray(group_sizes)
+        share = np.repeat(np.asarray(share_g), repeats)
+        fs = np.repeat(np.asarray(fs_g), repeats)
+        freq_eff = np.repeat(np.asarray(freq_eff_g), repeats)
+        window = np.repeat(np.asarray(duration_g), repeats)
+        threads = np.repeat(np.asarray(threads_g), repeats)
+        dyn_scale = np.repeat(np.asarray(dyn_scale_g), repeats)
+        static = np.repeat(np.asarray(static_g), repeats)
+
+        # Steady-state bounds and period (same operand order as
+        # bounds_from_summary), gathered per cell.
+        size = stack.size[krows]
+        dispatch = (size / self._width) * share
+        unit = stack.unit_bound[krows] * share
+        memory = (stack.miss_latency[krows] / MSHRS_PER_THREAD) * share
+        period = np.maximum(
+            np.maximum(dispatch, unit),
+            np.maximum(stack.dependency_bound[krows], memory),
+        )
+        iterations = self._frequency / period
+        ipc = size / period
+
+        # Performance counters: a (cells x counters) matrix in the
+        # scalar synthesizer's exact column order and operand order
+        # (rate = (per-iteration count * iterations) * freq_scale, then
+        # * duration).
+        rate_scale = iterations[:, None]
+        fs_col = fs[:, None]
+        window_col = window[:, None]
+        unit_block = (
+            (stack.unit_ops[krows] * rate_scale) * fs_col
+        ) * window_col
+        level_block = (
+            (stack.counter_levels[krows] * rate_scale) * fs_col
+        ) * window_col
+        counters = np.empty((cell_count, len(self._counter_names)))
+        counters[:, 0] = freq_eff * window
+        counters[:, 1] = (ipc * freq_eff) * window
+        units = len(self._unit_names)
+        counters[:, 2 : 2 + units] = unit_block
+        counters[:, 2 + units :] = level_block
+
+        # Hidden power: per-thread dynamic watts, then the chip sum.
+        insn_terms = stack.insn_e9[krows] * (
+            (stack.insn_counts[krows] * rate_scale) * fs_col
+        )
+        core_joules = _sequential_row_sum(insn_terms)
+        level_terms = stack.level_e9[krows] * (
+            (stack.level_counts[krows] * rate_scale) * fs_col
+        )
+        level_joules = _sequential_row_sum(level_terms)
+        order_mult = stack.order_mult[krows]
+        data_mult = stack.data_mult[krows]
+        thread_dynamic = (
+            order_mult * data_mult
+        ) * core_joules + data_mult * level_joules
+        # The scalar walk sums the identical per-thread power once per
+        # hardware thread; replay that accumulation exactly rather than
+        # multiplying by the thread count (which rounds differently).
+        # Cells whose thread count is already exhausted accumulate
+        # +0.0, which leaves their partial sum bit-identical.
+        dynamic = np.zeros(cell_count)
+        for step in range(int(threads.max())):
+            dynamic = dynamic + np.where(
+                step < threads, thread_dynamic, 0.0
+            )
+        dynamic = dynamic * dyn_scale
+        power = static + dynamic
+        active = stack.active[krows]
+        if not stack.all_active:
+            power = np.where(active, power, IDLE_POWER)
+
+        # Sensor plane: per-cell stable_seed draws, exactly as the
+        # scalar walk salts them (workload name, configuration label,
+        # window, machine seed, kernel digest).
+        digests = [pack.digest for pack in packs]
+        names = [kernel.name for kernel in kernels]
+        seeds = []
+        position = 0
+        krows_list = krows.tolist()
+        for group, count in zip(groups, group_sizes):
+            mid = group.seed_mid
+            for row in krows_list[position : position + count]:
+                seeds.append(
+                    crc32(f"{names[row]}{mid}{digests[row]}".encode())
+                )
+            position += count
+        # Windows can differ across groups; batch the sensor per
+        # distinct duration (draws are per-cell-seeded, so regrouping
+        # cannot change them).
+        means: list[float] = [0.0] * cell_count
+        stats: list[tuple[float, int]] = [None] * cell_count  # type: ignore[list-item]
+        power_list = power.tolist()
+        position = 0
+        by_duration: dict[float, tuple[list[int], list[float], list[int]]] = {}
+        for group, count in zip(groups, group_sizes):
+            span = range(position, position + count)
+            bucket = by_duration.setdefault(group.duration, ([], [], []))
+            bucket[0].extend(span)
+            bucket[1].extend(power_list[position : position + count])
+            bucket[2].extend(seeds[position : position + count])
+            position += count
+        sensor = self.machine._sensor
+        for duration, (positions, powers, cell_seeds) in by_duration.items():
+            batch_means, power_std, samples = sensor.measure_batch(
+                powers, duration, cell_seeds
+            )
+            for cell, mean in zip(positions, batch_means):
+                means[cell] = mean
+                stats[cell] = (power_std, samples)
+
+        # Assemble Measurements through the validation-free fast
+        # constructor (the plane guarantees the invariants by
+        # construction).
+        counter_rows = counters.tolist()
+        counter_names = self._counter_names
+        measurements: list[Measurement] = [None] * cell_count  # type: ignore[list-item]
+        position = 0
+        for group, count in zip(groups, group_sizes):
+            config = group.config
+            duration = group.duration
+            thread_count = config.threads
+            for offset in range(count):
+                cell = position + offset
+                readings = dict(
+                    zip(counter_names, counter_rows[cell])
+                )
+                power_std, samples = stats[cell]
+                measurements[cell] = Measurement.unchecked(
+                    workload_name=names[krows_list[cell]],
+                    config=config,
+                    duration=duration,
+                    thread_counters=(readings,) * thread_count,
+                    mean_power=means[cell],
+                    power_std=power_std,
+                    sample_count=samples,
+                )
+            position += count
+
+        # Scatter back from tensor (group-major) order to the caller's
+        # kernel-cell order.
+        ordered: list[Measurement] = [None] * cell_count  # type: ignore[list-item]
+        for tensor_position, cell_index in enumerate(scatter):
+            ordered[cell_index] = measurements[tensor_position]
+        return ordered

@@ -14,11 +14,19 @@ import logging
 import math
 from collections.abc import Iterable, Sequence
 
+from repro.caching import LRUCache
 from repro.dse.space import DesignPoint, DesignSpace
 from repro.march.definition import MicroArchitecture
 from repro.sim.kernel import Kernel, KernelInstruction
 
 logger = logging.getLogger("repro.stressmark")
+
+#: Interned loop-body slots: stressmark spaces reuse a small set of
+#: (mnemonic, level, address) combinations across hundreds of
+#: sequences, and :class:`~repro.sim.kernel.KernelInstruction` is
+#: frozen, so sharing instances across kernels is safe and makes
+#: building a 540-point space mostly dictionary lookups.
+_SLOT_CACHE: LRUCache = LRUCache(65_536, "stressmark.slots")
 
 #: Paper sequence length.
 SEQUENCE_LENGTH = 6
@@ -57,12 +65,14 @@ def build_stressmark(
     l1_name = arch.caches[0].name
     region_lines = max(1, _L1_REGION_BYTES // line)
 
-    definitions = {
-        mnemonic: arch.isa.instruction(mnemonic) for mnemonic in set(sequence)
-    }
-    has_memory = any(
-        d.is_memory and not d.is_prefetch for d in definitions.values()
-    )
+    # Per-mnemonic memory-ness resolved once, not once per slot.
+    is_memory_slot = {}
+    for mnemonic in set(sequence):
+        definition = arch.isa.instruction(mnemonic)
+        is_memory_slot[mnemonic] = (
+            definition.is_memory and not definition.is_prefetch
+        )
+    has_memory = any(is_memory_slot.values())
     pattern_length = (
         math.lcm(len(sequence), region_lines) if has_memory else len(sequence)
     )
@@ -71,34 +81,51 @@ def build_stressmark(
     pattern = []
     for index in range(pattern_length):
         mnemonic = sequence[index % len(sequence)]
-        definition = definitions[mnemonic]
-        if definition.is_memory and not definition.is_prefetch:
+        if is_memory_slot[mnemonic]:
             offset = (index * line) % _L1_REGION_BYTES
-            pattern.append(
-                KernelInstruction(
-                    mnemonic=mnemonic,
-                    source_level=l1_name,
-                    address=_L1_REGION_BASE + offset,
-                )
-            )
+            slot_key = (mnemonic, l1_name, _L1_REGION_BASE + offset)
         else:
-            pattern.append(KernelInstruction(mnemonic=mnemonic))
+            slot_key = (mnemonic, None, None)
+        slot = _SLOT_CACHE.get(slot_key)
+        if slot is None:
+            slot = KernelInstruction(
+                mnemonic=mnemonic,
+                source_level=slot_key[1],
+                address=slot_key[2],
+            )
+            _SLOT_CACHE.put(slot_key, slot)
+        pattern.append(slot)
 
     pattern = tuple(pattern)
     repeats, remainder = divmod(loop_size, pattern_length)
     instructions = pattern * repeats + pattern[:remainder]
     # Loop-closing branch, as the skeleton pass would emit.
-    instructions += (KernelInstruction(mnemonic="b"),)
+    branch_key = ("b", None, None)
+    branch = _SLOT_CACHE.get(branch_key)
+    if branch is None:
+        branch = KernelInstruction(mnemonic="b")
+        _SLOT_CACHE.put(branch_key, branch)
+    instructions += (branch,)
     # The fingerprint contract places everything outside the replicated
     # pattern in the remainder tail; when the branch would land exactly
     # on a period boundary ((loop_size + 1) % pattern_length == 0) the
     # body has no remainder to hold it, so no period is declared.
     period = pattern_length if (loop_size + 1) % pattern_length else None
+    # The declared period is the mnemonic/address lcm, but the
+    # *analytic* content (addresses excluded) repeats every
+    # len(sequence) slots -- declare that too, so the evaluation
+    # engine summarizes in O(sequence) without a periodicity search.
+    analytic = (
+        len(sequence)
+        if period is not None and not pattern_length % len(sequence)
+        else None
+    )
     return Kernel(
         name=name,
         instructions=instructions,
         operand_entropy=1.0,
         period=period,
+        analytic_period=analytic,
     )
 
 

@@ -50,13 +50,13 @@ class TestSerialExecutor:
     ):
         machine = Machine(power7_arch)
         calls = []
-        original = machine.run_many
+        original = machine.run_cells
 
-        def counting(workloads, config, duration):
-            calls.append(len(list(workloads)))
-            return original(workloads, config, duration)
+        def counting(cells):
+            calls.append(len(list(cells)))
+            return original(cells)
 
-        machine.run_many = counting
+        machine.run_cells = counting
         kernel = small_kernel_factory("add", count=24)
         copy = small_kernel_factory("add", count=24)
         plan = ExperimentPlan.cross(

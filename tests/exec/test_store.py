@@ -128,9 +128,8 @@ class TestResultStore:
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         store = ResultStore(tmp_path)
-        path = store._path("cd" * 16)
-        path.parent.mkdir(parents=True)
-        path.write_text("{not json")
+        shard = store.shard_dir / "cd.jsonl"
+        shard.write_text("{not json\n")
         assert store.get("cd" * 16) is None
 
     def test_format_mismatch_is_a_miss(self, machine, small_kernel_factory, tmp_path):
@@ -139,11 +138,107 @@ class TestResultStore:
             small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
         )
         store.put("ef" * 16, measurement)
-        path = store._path("ef" * 16)
-        payload = json.loads(path.read_text())
+        shard = store.shard_dir / "ef.jsonl"
+        payload = json.loads(shard.read_text())
         payload["format"] = "something-else"
-        path.write_text(json.dumps(payload))
-        assert store.get("ef" * 16) is None
+        shard.write_text(json.dumps(payload) + "\n")
+        assert ResultStore(tmp_path).get("ef" * 16) is None
+
+    def test_put_many_one_append_per_shard(
+        self, machine, small_kernel_factory, tmp_path
+    ):
+        """A batched write is O(batch): the cells land as appended
+        lines in their shard files, and rewriting a key appends a
+        newer line that wins on read."""
+        store = ResultStore(tmp_path)
+        first = machine.run(
+            small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+        )
+        second = machine.run(
+            small_kernel_factory("mulld", count=24),
+            MachineConfig(1, 1),
+            _DURATION,
+        )
+        store.put_many([("ab" * 16, first), ("ab" + "cd" * 15 + "ef", second)])
+        shard = store.shard_dir / "ab.jsonl"
+        assert len(shard.read_text().splitlines()) == 2
+        store.put_many([("ab" * 16, second)])  # overwrite appends
+        assert len(shard.read_text().splitlines()) == 3
+        assert store.get("ab" * 16) == second
+        assert ResultStore(tmp_path).get("ab" * 16) == second
+        assert len(store) == 2
+
+    def test_appends_visible_across_store_objects(
+        self, machine, small_kernel_factory, tmp_path
+    ):
+        """Two campaigns sharing one directory see each other's writes:
+        a miss re-scans the shard tail before giving up."""
+        writer = ResultStore(tmp_path)
+        reader = ResultStore(tmp_path)
+        measurement = machine.run(
+            small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+        )
+        assert reader.get("ab" * 16) is None  # prime the shard index
+        writer.put("ab" * 16, measurement)
+        assert reader.get("ab" * 16) == measurement
+
+    def test_torn_tail_is_repaired_and_skipped(
+        self, machine, small_kernel_factory, tmp_path
+    ):
+        """A crashed writer's partial trailing line neither corrupts
+        later appends nor is ever served."""
+        store = ResultStore(tmp_path)
+        measurement = machine.run(
+            small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+        )
+        shard = store.shard_dir / "ab.jsonl"
+        shard.write_bytes(b'{"format": "repro-result-v1", "key": "ab')
+        store.put("ab" * 16, measurement)
+        assert store.get("ab" * 16) == measurement
+        assert ResultStore(tmp_path).get("ab" * 16) == measurement
+
+    def test_reader_waits_out_partially_visible_append(
+        self, machine, small_kernel_factory, tmp_path
+    ):
+        """A reader racing a concurrent append must not skip past the
+        torn tail: once the remaining bytes land, the entry is found."""
+        writer = ResultStore(tmp_path)
+        reader = ResultStore(tmp_path)
+        measurement = machine.run(
+            small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+        )
+        writer.put("ab" * 16, measurement)
+        shard = writer.shard_dir / "ab.jsonl"
+        full = shard.read_bytes()
+        # Simulate the reader observing only half the append...
+        shard.write_bytes(full[: len(full) // 2])
+        assert reader.get("ab" * 16) is None
+        # ...then the rest of the write becomes visible.
+        shard.write_bytes(full)
+        assert reader.get("ab" * 16) == measurement
+
+    def test_legacy_per_cell_files_still_served(
+        self, machine, small_kernel_factory, tmp_path
+    ):
+        """Stores written by the pre-shard layout stay warm."""
+        store = ResultStore(tmp_path)
+        measurement = machine.run(
+            small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+        )
+        legacy = tmp_path / "ab" / ("ab" * 16 + ".json")
+        legacy.parent.mkdir(parents=True)
+        legacy.write_text(
+            json.dumps(
+                {
+                    "format": "repro-result-v1",
+                    "key": "ab" * 16,
+                    "measurement": measurement.to_dict(),
+                }
+            )
+        )
+        assert store.get("ab" * 16) == measurement
+        assert "ab" * 16 in store
+        assert len(store) == 1 and store.keys() == ["ab" * 16]
 
 
 def _forbid_measurement(machine):
@@ -154,6 +249,7 @@ def _forbid_measurement(machine):
 
     machine.run = explode
     machine.run_many = explode
+    machine.run_cells = explode
     machine._measure = explode
 
 
@@ -435,13 +531,15 @@ class TestRunnerBaselineMemoization:
         machine = Machine(power7_arch)
         runner = MeasurementRunner(machine, duration=_DURATION)
         batches = []
-        original = machine.run_many
+        original = machine.run_cells
 
-        def counting(workloads, config, duration):
-            batches.append(config.label)
-            return original(workloads, config, duration)
+        def counting(cells):
+            batches.extend(
+                sorted({cell.config.label for cell in cells})
+            )
+            return original(cells)
 
-        machine.run_many = counting
+        machine.run_cells = counting
         sweep = runner.run_sweep(
             [make_uniform_kernel("add", count=24)],
             configs=[MachineConfig(8, 1)],

@@ -1,0 +1,300 @@
+"""Vector plane == scalar reference: bit-exact equivalence properties.
+
+The vectorized measurement plane (:mod:`repro.sim.vector`) must
+reproduce the scalar walk *bit for bit* -- Measurements, every counter
+reading, chip power and the sensor noise draws -- over arbitrary
+kernels, placements, configurations, operating points and windows.
+These tests drive both paths (``Machine(vector=True)`` vs
+``Machine(vector=False)``) over randomized inputs and assert strict
+equality (dataclass ``==`` on Measurement compares every float), plus
+a degenerate-batch edge-case suite and draw-level checks of the
+batched MT19937 sensor seeding.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec import ExperimentPlan, SerialExecutor
+from repro.sim import (
+    Kernel,
+    KernelInstruction,
+    Machine,
+    MachineConfig,
+    Placement,
+)
+from repro.sim.pstate import get_pstate, standard_pstates
+from repro.sim.sensors import MT_BATCH_MIN, PowerSensor, _mt_first_uniform_pairs
+from repro.sim.vector import MIN_VECTOR_BATCH
+from repro.stressmark.search import build_stressmark
+from repro.workloads.spec import spec_cpu2006
+
+_DURATION = 1.0
+
+POOL = (
+    "addic", "mulldo", "add", "nor", "lwz", "lxvw4x", "xvmaddadp",
+    "fadd", "lhaux", "ldu", "stfd", "stw", "b", "nop", "divd",
+)
+MEMORY_POOL = ("lwz", "lxvw4x", "ldu", "stfd", "stw", "lhaux")
+LEVELS = (None, "L1", "L1", "L2", "L3", "MEM")
+
+
+def random_kernel(seed, size=None, name=None):
+    rng = random.Random(seed)
+    size = size or rng.randint(2, 96)
+    instructions = []
+    for _ in range(size):
+        mnemonic = rng.choice(POOL)
+        level = rng.choice(LEVELS) if mnemonic in MEMORY_POOL else None
+        distance = (
+            rng.randint(1, size - 1)
+            if rng.random() < 0.4 and size > 1
+            else None
+        )
+        instructions.append(
+            KernelInstruction(
+                mnemonic,
+                dep_distance=distance,
+                source_level=level,
+                address=(
+                    0x1000_0000 + rng.randrange(1 << 20) * 8
+                    if level
+                    else None
+                ),
+            )
+        )
+    return Kernel(
+        name=name or f"vrand-{seed}",
+        instructions=tuple(instructions),
+        operand_entropy=rng.choice([0.0, 0.5, 1.0]),
+    )
+
+
+@pytest.fixture(scope="module")
+def machines(power7_arch):
+    return Machine(power7_arch, vector=True), Machine(power7_arch, vector=False)
+
+
+def assert_batch_identical(machines, workloads, config, duration=_DURATION):
+    vector, scalar = machines
+    fast = vector.run_many(workloads, config, duration)
+    reference = scalar.run_many(workloads, config, duration)
+    assert fast == reference
+    return fast
+
+
+class TestBitIdentity:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_kernel_batches(self, machines, seed):
+        """Randomized kernels x configs x p-states: strict equality."""
+        rng = random.Random(seed)
+        kernels = [
+            random_kernel(seed * 100 + index)
+            for index in range(MIN_VECTOR_BATCH + rng.randint(0, 8))
+        ]
+        config = MachineConfig(
+            rng.randint(1, 8), rng.choice([1, 2, 4])
+        )
+        if rng.random() < 0.5:
+            config = config.with_p_state(
+                rng.choice(standard_pstates())
+            )
+        duration = rng.choice([0.25, 1.0, 10.0])
+        assert_batch_identical(machines, kernels, config, duration)
+
+    def test_heterogeneous_plan_single_pass(self, machines, power7_arch):
+        """A whole plan across many configs, p-states and windows
+        evaluates in one tensor pass and matches the scalar walk."""
+        vector, scalar = machines
+        kernels = [random_kernel(9000 + index) for index in range(12)]
+        kernels.append(
+            build_stressmark(power7_arch, ("mulldo", "lxvw4x"), 96)
+        )
+        configs = [
+            MachineConfig(1, 1),
+            MachineConfig(8, 4),
+            MachineConfig(3, 2).with_p_state(get_pstate("p2")),
+            MachineConfig(8, 1).with_p_state(get_pstate("turbo")),
+        ]
+        for duration in (0.5, 10.0):
+            plan = ExperimentPlan.cross(kernels, configs, duration=duration)
+            assert vector.run_plan(plan) == scalar.run_plan(plan)
+
+    def test_mixed_durations_in_one_cell_batch(self, machines):
+        """run_cells spans windows; sensor sample counts still match."""
+        vector, scalar = machines
+        from repro.exec.plan import PlanCell
+
+        kernels = [random_kernel(7000 + index) for index in range(10)]
+        cells = [
+            PlanCell(kernel, MachineConfig(2, 2), duration)
+            for kernel in kernels
+            for duration in (0.5, 2.0)
+        ]
+        assert vector.run_cells(cells) == scalar.run_cells(cells)
+
+    def test_executor_parity_with_scalar_machine(self, power7_arch):
+        """SerialExecutor over a vector machine == scalar machine."""
+        kernels = [random_kernel(3000 + index) for index in range(16)]
+        plan = ExperimentPlan.cross(
+            kernels,
+            [MachineConfig(8, smt) for smt in (1, 2, 4)],
+            duration=_DURATION,
+        )
+        fast = SerialExecutor(Machine(power7_arch, vector=True)).run(plan)
+        reference = SerialExecutor(
+            Machine(power7_arch, vector=False)
+        ).run(plan)
+        assert fast == reference
+
+    def test_same_content_different_name_draws_distinct_noise(
+        self, machines
+    ):
+        base = random_kernel(42, size=24)
+        renamed = Kernel(
+            name="renamed-twin",
+            instructions=base.instructions,
+            operand_entropy=base.operand_entropy,
+        )
+        batch = [base, renamed] * MIN_VECTOR_BATCH
+        measurements = assert_batch_identical(
+            machines, batch, MachineConfig(2, 2)
+        )
+        assert measurements[0].mean_power != measurements[1].mean_power
+
+    def test_duplicates_dedupe_to_equal_measurements(self, machines):
+        kernel = random_kernel(77, size=24)
+        batch = [kernel] * (MIN_VECTOR_BATCH * 2)
+        measurements = assert_batch_identical(
+            machines, batch, MachineConfig(4, 2)
+        )
+        assert all(m == measurements[0] for m in measurements)
+
+
+class TestMixedAndDegenerateBatches:
+    def test_mixed_kernel_placement_profile_batch(
+        self, machines, small_kernel_factory
+    ):
+        """Kernels ride the tensor pass; placements and SPEC proxies
+        fall back to the scalar walk in place, order preserved."""
+        mix = Placement(
+            "mix",
+            (
+                (
+                    small_kernel_factory("addic", count=24),
+                    small_kernel_factory("ld", count=24, level="MEM"),
+                ),
+            ),
+        )
+        batch = (
+            [random_kernel(500 + index) for index in range(MIN_VECTOR_BATCH)]
+            + [spec_cpu2006()[0]]
+            + [mix]
+            + [random_kernel(600)]
+        )
+        assert_batch_identical(machines, batch, MachineConfig(1, 2))
+
+    def test_empty_batch(self, machines):
+        vector, scalar = machines
+        assert vector.run_many([], MachineConfig(1, 1)) == []
+        assert scalar.run_many([], MachineConfig(1, 1)) == []
+
+    def test_empty_plan(self, machines):
+        vector, _ = machines
+        plan = ExperimentPlan([])
+        assert vector.run_plan(plan) == []
+        assert SerialExecutor(vector).run(plan) == []
+
+    def test_single_cell_below_threshold_matches(self, machines):
+        """Tiny batches decline the tensor pass but stay identical."""
+        kernel = random_kernel(321, size=16)
+        assert_batch_identical(machines, [kernel], MachineConfig(8, 4))
+
+    def test_single_kernel_run_matches_batch(self, machines):
+        vector, scalar = machines
+        kernel = random_kernel(654, size=16)
+        config = MachineConfig(2, 1)
+        direct = vector.run(kernel, config, _DURATION)
+        assert direct == scalar.run(kernel, config, _DURATION)
+        batched = vector.run_many(
+            [kernel] * (MIN_VECTOR_BATCH + 1), config, _DURATION
+        )
+        assert all(m == direct for m in batched)
+
+    def test_wide_batch_crosses_mt_threshold(self, machines):
+        """Batches wide enough for the vectorized MT seeding still
+        reproduce the per-cell generator draws exactly."""
+        kernels = [
+            random_kernel(10_000 + index, size=8)
+            for index in range(MT_BATCH_MIN + 16)
+        ]
+        assert_batch_identical(machines, kernels, MachineConfig(1, 1))
+
+
+class TestBatchedSensorPlane:
+    def test_mt_uniforms_match_cpython(self):
+        rng = random.Random(99)
+        seeds = [rng.randrange(2**32) for _ in range(512)]
+        seeds += [0, 1, 2**32 - 1]
+        first, second = _mt_first_uniform_pairs(seeds)
+        for seed, u1, u2 in zip(seeds, first.tolist(), second.tolist()):
+            reference = random.Random(seed)
+            assert (reference.random(), reference.random()) == (u1, u2)
+
+    @given(count=st.integers(1, 40), base_seed=st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_measure_batch_equals_measure(self, count, base_seed):
+        sensor = PowerSensor()
+        rng = random.Random(base_seed)
+        powers = [50.0 + rng.random() * 150.0 for _ in range(count)]
+        seeds = [rng.randrange(2**32) for _ in range(count)]
+        means, std, samples = sensor.measure_batch(powers, 1.0, seeds)
+        for power, seed, mean in zip(powers, seeds, means):
+            reference = sensor.measure(power, 1.0, seed)
+            assert mean == reference.mean_power
+            assert std == reference.power_std
+            assert samples == reference.sample_count
+
+    def test_wide_measure_batch_equals_measure(self):
+        sensor = PowerSensor()
+        rng = random.Random(17)
+        count = MT_BATCH_MIN + 32
+        powers = [60.0 + rng.random() * 100.0 for _ in range(count)]
+        seeds = [rng.randrange(2**32) for _ in range(count)]
+        means, _, _ = sensor.measure_batch(powers, 10.0, seeds)
+        for power, seed, mean in zip(powers, seeds, means):
+            assert mean == sensor.measure(power, 10.0, seed).mean_power
+
+
+class TestCacheAccounting:
+    def test_cache_stats_exposes_bounded_lrus(self, power7_arch):
+        machine = Machine(power7_arch, vector=True)
+        kernels = [random_kernel(800 + index) for index in range(12)]
+        machine.run_many(kernels, MachineConfig(8, 2), _DURATION)
+        machine.run_many(kernels, MachineConfig(8, 4), _DURATION)
+        stats = machine.cache_stats()
+        for name in ("activity", "mixed_core", "summaries", "packed", "stacks"):
+            assert name in stats
+            assert stats[name]["size"] <= stats[name]["capacity"]
+        # The second configuration re-used every packed kernel.
+        assert stats["packed"]["hits"] >= len(kernels)
+        assert stats["summaries"]["misses"] >= len(kernels)
+
+    def test_lru_caps_and_counts(self):
+        from repro.caching import LRUCache
+
+        cache = LRUCache(3, "test")
+        for index in range(5):
+            cache.put(index, index)
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        assert cache.get(0) is None and cache.misses == 1
+        assert cache.get(4) == 4 and cache.hits == 1
+        # Refreshing 2 makes 3 the LRU victim.
+        cache.get(2)
+        cache.put(5, 5)
+        assert 3 not in cache and 2 in cache
+        stats = cache.stats()
+        assert stats["size"] == 3 and stats["capacity"] == 3
