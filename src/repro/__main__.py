@@ -9,13 +9,15 @@ substrate.
 
 Subcommands::
 
-    sweep       a workload set across a CMP-SMT (x DVFS) sweep
+    sweep       a workload set across a CMP-SMT (x DVFS) sweep,
+                or across heterogeneous big.LITTLE topologies
     campaign    the full section-4 modeling campaign + PAAE report
     stressmark  the section-6 max-power stressmark hunt
 
 Examples::
 
     python -m repro sweep --workloads spec --parallel 4 --store .store
+    python -m repro sweep --topology 8big,4big+4little,8little
     python -m repro campaign --scale 0.05 --loop-size 256 --store .store
     python -m repro -v stressmark --loop-size 384 --parallel 4
 """
@@ -29,7 +31,12 @@ from collections.abc import Sequence
 
 from repro.exec.executors import default_executor
 from repro.march import get_architecture
-from repro.sim import Machine, parse_config, standard_configurations
+from repro.sim import (
+    Machine,
+    parse_config,
+    parse_topology,
+    standard_configurations,
+)
 from repro.sim.pstate import get_pstate
 
 logger = logging.getLogger("repro.cli")
@@ -64,6 +71,26 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         metavar="S",
         help="measurement window in seconds (default 10)",
     )
+    parser.add_argument(
+        "--no-vector",
+        action="store_true",
+        help="force the scalar reference measurement path "
+        "(equivalent to REPRO_VECTOR=0; both paths are bit-identical)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print the machine's memo-cache hit/miss counters "
+        "at the end of the run",
+    )
+
+
+def _build_machine(arch, args: argparse.Namespace) -> Machine:
+    # --no-vector pins the scalar path; otherwise the REPRO_VECTOR
+    # environment default applies.
+    return Machine(
+        arch, seed=args.seed, vector=False if args.no_vector else None
+    )
 
 
 def _build_executor(machine: Machine, args: argparse.Namespace):
@@ -81,6 +108,23 @@ def _report_store(executor) -> None:
         )
 
 
+def _report_cache_stats(machine: Machine, args: argparse.Namespace) -> None:
+    """Print (and log) the substrate's memo-cache counters."""
+    if not args.cache_stats:
+        return
+    stats = machine.cache_stats()
+    print("=== cache stats ===")
+    for name in sorted(stats):
+        counters = stats[name]
+        print(
+            f"{name:>20s}  {counters['hits']:>8d} hits  "
+            f"{counters['misses']:>8d} misses  "
+            f"{counters['size']:>6d}/{counters['capacity']} held  "
+            f"{counters['evictions']} evicted"
+        )
+        logger.info("cache %s: %s", name, counters)
+
+
 # -- sweep ---------------------------------------------------------------------
 
 
@@ -89,7 +133,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.workloads import daxpy_kernels, extreme_kernels, spec_cpu2006
 
     arch = get_architecture(args.arch)
-    machine = Machine(arch, seed=args.seed)
+    machine = _build_machine(arch, args)
     if args.workloads == "spec":
         workloads = spec_cpu2006()
     elif args.workloads == "daxpy":
@@ -97,7 +141,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         workloads = list(extreme_kernels(arch, loop_size=args.loop_size).values())
 
-    if args.configs:
+    if args.topology:
+        # Heterogeneous sweep: each spec is one big.LITTLE chip shape.
+        configs = [
+            parse_topology(spec) for spec in args.topology.split(",")
+        ]
+    elif args.configs:
         configs = [parse_config(label) for label in args.configs.split(",")]
     else:
         configs = list(
@@ -120,14 +169,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = runner.run_sweep(workloads, configs=configs, p_states=p_states)
 
     print(f"=== {args.workloads} sweep: {len(sweep)} configurations ===")
+    width = max(len(config.label) for config in sweep)
     for config, measurements in sweep.items():
         powers = [measurement.mean_power for measurement in measurements]
         hottest = max(measurements, key=lambda m: m.mean_power)
         print(
-            f"{config.label:>8s}  mean {sum(powers) / len(powers):7.1f} W  "
+            f"{config.label:>{max(8, width)}s}  "
+            f"mean {sum(powers) / len(powers):7.1f} W  "
             f"max {hottest.mean_power:7.1f} W ({hottest.workload_name})"
         )
     _report_store(executor)
+    _report_cache_stats(machine, args)
     return 0
 
 
@@ -139,7 +191,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.power_model.metrics import max_error, paae
 
     arch = get_architecture(args.arch)
-    machine = Machine(arch, seed=args.seed)
+    machine = _build_machine(arch, args)
     executor = _build_executor(machine, args)
     campaign = ModelingCampaign(
         machine,
@@ -168,6 +220,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"max error {max_error(model.predict, validation):5.2f} %"
         )
     _report_store(executor)
+    _report_cache_stats(machine, args)
     return 0
 
 
@@ -189,7 +242,7 @@ def _cmd_stressmark(args: argparse.Namespace) -> int:
     from repro.stressmark.search import covering_sequences
 
     arch = get_architecture(args.arch)
-    machine = Machine(arch, seed=args.seed)
+    machine = _build_machine(arch, args)
     executor = _build_executor(machine, args)
 
     logger.info("bootstrapping per-instruction EPI/IPC records")
@@ -232,6 +285,7 @@ def _cmd_stressmark(args: argparse.Namespace) -> int:
         f"{spread.sequences_at_max_ipc} orderings (paper: ~17%)"
     )
     _report_store(executor)
+    _report_cache_stats(machine, args)
     return 0
 
 
@@ -265,6 +319,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LIST",
         help="comma-separated configuration labels (e.g. 8-1,8-4@p2); "
         "default: the full 24-configuration sweep",
+    )
+    sweep.add_argument(
+        "--topology",
+        metavar="LIST",
+        help="comma-separated heterogeneous chip topologies to sweep "
+        "instead of CMP-SMT configurations (e.g. "
+        "8big,4big+4little,4big-2@p2+4little); overrides --configs",
     )
     sweep.add_argument(
         "--p-states",

@@ -22,6 +22,15 @@ from repro.dse.genetic import GeneticSearch
 from repro.dse.guided import GuidedSearch
 from repro.dse.results import Evaluation, SearchResult
 from repro.dse.space import DesignPoint, DesignSpace, Dimension
+from repro.dse.topology import (
+    TopologyEvaluator,
+    efficiency_objective,
+    energy_per_instruction_nj,
+    epi_objective,
+    throughput_objective,
+    topology_from_point,
+    topology_space,
+)
 
 __all__ = [
     "CachingEvaluator",
@@ -34,9 +43,16 @@ __all__ = [
     "GuidedSearch",
     "MeasurementEvaluator",
     "SearchResult",
+    "TopologyEvaluator",
+    "efficiency_objective",
+    "energy_per_instruction_nj",
+    "epi_objective",
     "epi_spread_objective",
     "ipc_spread_objective",
     "ipc_target_objective",
     "mean_power_objective",
     "thread_epi_estimates",
+    "throughput_objective",
+    "topology_from_point",
+    "topology_space",
 ]

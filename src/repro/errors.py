@@ -12,6 +12,11 @@ class MicroProbeError(Exception):
     """Base class for all errors raised by the framework."""
 
 
+#: Friendly alias: callers catch ``ReproError`` to mean "any error this
+#: framework raises" without reaching for the historical class name.
+ReproError = MicroProbeError
+
+
 class DefinitionError(MicroProbeError):
     """A textual ISA or micro-architecture definition file is invalid."""
 
@@ -58,6 +63,16 @@ class SearchError(MicroProbeError):
 
 class MeasurementError(MicroProbeError):
     """The measurement harness was used incorrectly."""
+
+
+class PlanValidationError(MicroProbeError):
+    """An experiment plan asks for configurations the chip cannot run.
+
+    Raised at plan-build/plan-submit time -- before any cell is
+    measured -- so a bad ``MachineConfig`` or :class:`ChipTopology`
+    fails fast with a clear message instead of surfacing as a deep
+    failure in the middle of a campaign.
+    """
 
 
 class ModelingError(MicroProbeError):

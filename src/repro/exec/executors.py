@@ -32,6 +32,7 @@ from repro.exec.plan import ExperimentPlan, PlanCell
 from repro.exec.store import ResultStore
 from repro.measure.measurement import Measurement
 from repro.sim.machine import Machine
+from repro.sim.topology import ChipTopology
 
 logger = logging.getLogger("repro.exec")
 
@@ -107,6 +108,12 @@ class _ExecutorBase:
         # sanctioned in-place mutation.
         self._arch_digest_memo = None
         self._arch_digest = 0
+        # Cluster-class definition digests (topology cell keys), by
+        # class name.  Cluster classes resolve through the registry --
+        # freshly parsed, never mutated in place -- so one digest per
+        # class per executor lifetime is sound; the *base* class rides
+        # the per-object memo above instead.
+        self._cluster_digest_memo: dict[str, int] = {}
 
     def _refresh_arch_digest(self) -> None:
         arch = self.machine.arch
@@ -115,13 +122,45 @@ class _ExecutorBase:
             self._arch_digest_memo = (arch, arch.content_digest())
         self._arch_digest = self._arch_digest_memo[1]
 
+    def _cluster_digests(self, topology) -> dict:
+        """Per-class definition digests a topology cell's key folds in."""
+        digests: dict = {}
+        for cluster in topology.clusters:
+            core_class = cluster.core_class
+            if self.machine._class_key(core_class) is None:
+                digests[core_class] = self._arch_digest
+                continue
+            found = self._cluster_digest_memo.get(core_class)
+            if found is None:
+                found = self.machine.cluster_arch(
+                    core_class
+                ).content_digest()
+                self._cluster_digest_memo[core_class] = found
+            digests[core_class] = found
+        return digests
+
     def _key(self, cell: PlanCell) -> str:
+        cluster_digests = (
+            self._cluster_digests(cell.config)
+            if isinstance(cell.config, ChipTopology)
+            else None
+        )
         return cell.key(
-            self.machine.arch.name, self.machine.seed, self._arch_digest
+            self.machine.arch.name,
+            self.machine.seed,
+            self._arch_digest,
+            cluster_digests,
         )
 
     def run(self, plan: ExperimentPlan) -> list[Measurement]:
-        """Execute the plan; measurements in requested order."""
+        """Execute the plan; measurements in requested order.
+
+        The plan's configurations are validated against the machine
+        up front (:meth:`ExperimentPlan.validate_against`), so an
+        infeasible sweep raises ``PlanValidationError`` before any
+        cell is measured or served from the store.
+        """
+        plan.validate_against(self.machine)
         cells = plan.cells
         results: list[Measurement | None] = [None] * len(cells)
         if self.store is None:

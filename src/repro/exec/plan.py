@@ -18,11 +18,13 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from repro.errors import MeasurementError, PlanValidationError
 from repro.hashing import content_hash, content_hex
 from repro.measure.measurement import DEFAULT_DURATION_S
 from repro.sim.config import MachineConfig
 from repro.sim.placement import Placement, workload_key
 from repro.sim.pstate import PState
+from repro.sim.topology import ChipTopology
 
 
 def workload_fingerprint(workload: object) -> tuple:
@@ -87,11 +89,25 @@ def sweep_configs(
 
 @dataclass(frozen=True)
 class PlanCell:
-    """One measurement: one workload on one configuration for one window."""
+    """One measurement: one workload on one configuration for one window.
+
+    ``config`` is a :class:`~repro.sim.config.MachineConfig` or a
+    heterogeneous :class:`~repro.sim.topology.ChipTopology`.  A
+    degenerate single-cluster topology is collapsed to its
+    MachineConfig at construction, so the two spellings of the same
+    physical chip share one cell identity -- and therefore one store
+    key, one dedup slot and one noise seed.
+    """
 
     workload: object
-    config: MachineConfig
+    config: MachineConfig | ChipTopology
     duration: float = DEFAULT_DURATION_S
+
+    def __post_init__(self) -> None:
+        if isinstance(self.config, ChipTopology):
+            degenerate = self.config.degenerate_config()
+            if degenerate is not None:
+                object.__setattr__(self, "config", degenerate)
 
     def identity(self) -> tuple:
         """Machine-independent identity, used for in-plan deduplication.
@@ -110,7 +126,11 @@ class PlanCell:
         )
 
     def key(
-        self, arch_name: str, machine_seed: int, arch_digest: int = 0
+        self,
+        arch_name: str,
+        machine_seed: int,
+        arch_digest: int = 0,
+        cluster_digests: "dict[str | None, int] | None" = None,
     ) -> str:
         """Content-addressed store key of this cell on one machine.
 
@@ -125,7 +145,40 @@ class PlanCell:
         physical scales: the name enters the noise seed through the
         configuration label, the scales enter the physics), and the
         window length.
+
+        Topology cells use a ``cell-topo-v1`` key folding every
+        cluster's shape *and* its core class's own definition digest
+        (``cluster_digests``, by class name; the base class under
+        ``None``), so editing the eco definition invalidates exactly
+        the cells whose little clusters measured on it.  Degenerate
+        topologies were collapsed at construction and produce the
+        historical ``cell-v1`` key bit for bit.
         """
+        if isinstance(self.config, ChipTopology):
+            digests = cluster_digests or {}
+            parts = [
+                "cell-topo-v1",
+                arch_name,
+                arch_digest,
+                machine_seed,
+                self.duration,
+                workload_fingerprint(self.workload),
+            ]
+            for cluster in self.config.clusters:
+                p_state = cluster.p_state
+                parts.append(
+                    (
+                        cluster.name,
+                        cluster.core_class or "",
+                        digests.get(cluster.core_class, 0),
+                        cluster.cores,
+                        cluster.smt,
+                        p_state.name,
+                        p_state.freq_scale,
+                        p_state.volt_scale,
+                    )
+                )
+            return content_hex("|".join(str(part) for part in parts))
         p_state: PState = self.config.p_state
         parts = (
             "cell-v1",
@@ -220,6 +273,31 @@ class ExperimentPlan:
     def requested(self) -> int:
         """Cells as requested, duplicates included."""
         return len(self._expansion)
+
+    def validate_against(self, machine) -> "ExperimentPlan":
+        """Fail fast if some cell's configuration cannot run on ``machine``.
+
+        Checks every distinct configuration of the plan -- CMP-SMT
+        modes against the chip geometry, topology clusters against
+        their core classes' geometries -- *before* anything is
+        measured, so a bad sweep ladder surfaces as one clear
+        :class:`~repro.errors.PlanValidationError` (a ``ReproError``)
+        at plan-build time instead of a deep failure mid-campaign.
+        Returns the plan for call chaining.
+        """
+        seen: set[int] = set()
+        for cell in self.cells:
+            marker = id(cell.config)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            try:
+                machine.validate_config(cell.config)
+            except MeasurementError as exc:
+                raise PlanValidationError(
+                    f"plan cell cannot run on {machine.arch.name}: {exc}"
+                ) from None
+        return self
 
     def expand(self, unique_results: Sequence) -> list:
         """Fan per-unique-cell results back out to requested order."""

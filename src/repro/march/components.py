@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,14 @@ class ChipGeometry:
         frequency_ghz: Nominal clock frequency.
         dispatch_width: Instructions dispatched per cycle per core.
         issue_width: Instructions issued per cycle per core.
+        energy_scale: Multiplier the hidden ground-truth model applies
+            to every dynamic energy of this core class (1.0 for the
+            reference big core; low-power LITTLE classes declare < 1).
+            ``repr=False`` keeps the dataclass repr -- and therefore
+            the content digests of every pre-existing definition file,
+            none of which set the key -- byte-identical;
+            :meth:`MicroArchitecture.content_digest` folds a non-default
+            scale in explicitly instead.
     """
 
     max_cores: int
@@ -47,6 +55,7 @@ class ChipGeometry:
     frequency_ghz: float
     dispatch_width: int
     issue_width: int
+    energy_scale: float = field(default=1.0, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_cores < 1 or self.max_smt < 1:
@@ -55,6 +64,8 @@ class ChipGeometry:
             raise ValueError("frequency must be positive")
         if self.dispatch_width < 1 or self.issue_width < 1:
             raise ValueError("dispatch and issue widths must be >= 1")
+        if self.energy_scale <= 0:
+            raise ValueError("energy scale must be positive")
 
     @property
     def max_hardware_threads(self) -> int:
@@ -73,3 +84,39 @@ class ChipGeometry:
             modes.append(way)
             way *= 2
         return tuple(modes)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One ``[cluster <name>]`` block of a heterogeneous definition file.
+
+    A definition file may describe a multi-cluster chip declaratively:
+    each block names a core cluster, the core class implementing it
+    (another registered architecture, or ``self`` for the defining
+    file's own core), its core count, SMT level and default operating
+    point.  :func:`repro.sim.topology.topology_from_arch` turns the
+    spec tuple into a runnable
+    :class:`~repro.sim.topology.ChipTopology`.
+
+    Attributes:
+        name: Cluster name (``big``, ``little``); enters topology labels.
+        core_class: Architecture name of the core class, or ``self``.
+        cores: Cores in the cluster.
+        smt: Hardware threads per cluster core.
+        p_state: Standard-ladder operating-point name (``nominal`` by
+            default).
+    """
+
+    name: str
+    core_class: str
+    cores: int
+    smt: int
+    p_state: str = "nominal"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cluster needs a name")
+        if self.cores < 1:
+            raise ValueError(f"cluster {self.name}: cores must be >= 1")
+        if self.smt < 1:
+            raise ValueError(f"cluster {self.name}: smt must be >= 1")

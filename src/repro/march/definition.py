@@ -18,12 +18,16 @@ from repro.errors import UnknownArchitectureError
 from repro.hashing import content_hash
 from repro.isa.registry import ISA, load_default_isa
 from repro.march.caches import CacheGeometry, MemoryLevel
-from repro.march.components import ChipGeometry, FunctionalUnit
+from repro.march.components import ChipGeometry, ClusterSpec, FunctionalUnit
 from repro.march.counters import CounterDef, CounterFormula
 from repro.march.properties import InstructionProperties, PropertyDatabase
 
-#: Resource names of bundled micro-architecture definitions.
-_BUNDLED = {"POWER7": "power7.march"}
+#: Resource names of bundled micro-architecture definitions.  POWER7 is
+#: the paper's big core; POWER7_ECO is a narrow low-power LITTLE-style
+#: core class (same ISA, half-width pipelines, slower clock, smaller
+#: caches) used as the second cluster class of heterogeneous
+#: :class:`~repro.sim.topology.ChipTopology` chips.
+_BUNDLED = {"POWER7": "power7.march", "POWER7_ECO": "power7_eco.march"}
 
 
 @dataclass
@@ -40,6 +44,9 @@ class MicroArchitecture:
         counters: Performance-counter definitions by name.
         formulas: Named counter formulas (always includes ``IPC``).
         properties: Per-instruction dynamic property database.
+        clusters: Optional ``[cluster]`` blocks describing this
+            definition's default heterogeneous chip topology (empty for
+            homogeneous definitions like the bundled POWER7).
     """
 
     name: str
@@ -51,6 +58,7 @@ class MicroArchitecture:
     counters: dict[str, CounterDef]
     formulas: dict[str, CounterFormula]
     properties: PropertyDatabase = field(default_factory=PropertyDatabase)
+    clusters: tuple[ClusterSpec, ...] = ()
 
     # -- structural queries --------------------------------------------------
 
@@ -159,6 +167,18 @@ class MicroArchitecture:
             isa_records,
             static_properties,
         ]
+        # The heterogeneity extensions join the digest only when a
+        # definition actually uses them, so every pre-existing
+        # cluster-free, unit-scale definition keeps its historical
+        # digest (and with it every persisted store key) bit for bit,
+        # while editing an eco definition's energy scale or a cluster
+        # block still invalidates stale entries.
+        if self.chip.energy_scale != 1.0:
+            parts.append(f"energy_scale={self.chip.energy_scale!r}")
+        if self.clusters:
+            parts.append(
+                "".join(repr(cluster) for cluster in self.clusters)
+            )
         return content_hash("\x1f".join(parts))
 
     def __repr__(self) -> str:

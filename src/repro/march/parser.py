@@ -49,7 +49,7 @@ from repro.errors import DefinitionError
 from repro.isa.instruction import InstructionType
 from repro.isa.registry import ISA
 from repro.march.caches import CacheGeometry, MemoryLevel
-from repro.march.components import ChipGeometry, FunctionalUnit
+from repro.march.components import ChipGeometry, ClusterSpec, FunctionalUnit
 from repro.march.counters import CounterDef, CounterFormula, check_counters_known
 from repro.march.definition import MicroArchitecture
 from repro.march.properties import (
@@ -102,6 +102,7 @@ def parse_march_text(
         counters=counters,
         formulas=formulas,
         properties=properties,
+        clusters=_build_clusters(sections, chip, origin),
     )
 
 
@@ -198,7 +199,54 @@ def _build_chip(section: _Section, origin: str) -> ChipGeometry:
         frequency_ghz=float(section.pairs["frequency_ghz"]),
         dispatch_width=int(section.pairs["dispatch_width"]),
         issue_width=int(section.pairs["issue_width"]),
+        # Optional: low-power core classes declare a dynamic-energy
+        # discount the hidden ground-truth model applies.
+        energy_scale=float(section.pairs.get("energy_scale", "1.0")),
     )
+
+
+def _build_clusters(
+    sections: list[_Section], chip: ChipGeometry, origin: str
+) -> tuple[ClusterSpec, ...]:
+    """Optional ``[cluster <name>]`` blocks of a heterogeneous chip."""
+    clusters = []
+    for section in sections:
+        if section.kind != "cluster":
+            continue
+        if not section.name:
+            raise DefinitionError(
+                origin, section.line_number, "[cluster] needs a name"
+            )
+        try:
+            clusters.append(
+                ClusterSpec(
+                    name=section.name,
+                    core_class=section.pairs.get("core_class", "self"),
+                    cores=int(_need(section, "cores", origin)),
+                    smt=int(_need(section, "smt", origin)),
+                    p_state=section.pairs.get("p_state", "nominal"),
+                )
+            )
+        except ValueError as exc:
+            raise DefinitionError(
+                origin, section.line_number, str(exc)
+            ) from None
+        spec = clusters[-1]
+        if spec.core_class == "self" and (
+            spec.cores > chip.max_cores or spec.smt > chip.max_smt
+        ):
+            raise DefinitionError(
+                origin,
+                section.line_number,
+                f"cluster {spec.name!r} exceeds the defining chip's "
+                f"{chip.max_cores} cores x SMT-{chip.max_smt}",
+            )
+    names = [cluster.name for cluster in clusters]
+    if len(set(names)) != len(names):
+        raise DefinitionError(
+            origin, 0, f"duplicate cluster names: {names}"
+        )
+    return tuple(clusters)
 
 
 def _build_units(sections: list[_Section]) -> dict[str, FunctionalUnit]:

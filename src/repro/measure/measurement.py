@@ -13,6 +13,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.sim.config import MachineConfig
+from repro.sim.topology import ChipTopology
 
 #: Default measurement window, matching the paper's 10-second runs.
 DEFAULT_DURATION_S = 10.0
@@ -34,7 +35,7 @@ class Measurement:
     """
 
     workload_name: str
-    config: MachineConfig
+    config: MachineConfig | ChipTopology
     duration: float
     thread_counters: tuple[Mapping[str, float], ...]
     mean_power: float
@@ -166,11 +167,22 @@ class Measurement:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Measurement":
-        """Rebuild a measurement serialized by :meth:`to_dict`."""
+        """Rebuild a measurement serialized by :meth:`to_dict`.
+
+        The configuration deserializes by shape: a ``clusters`` key
+        marks a heterogeneous :class:`~repro.sim.topology.ChipTopology`,
+        anything else is a :class:`MachineConfig`.
+        """
+        config_data = data["config"]
+        config = (
+            ChipTopology.from_dict(config_data)
+            if "clusters" in config_data
+            else MachineConfig.from_dict(config_data)
+        )
         thread_workloads = data.get("thread_workloads")
         return cls(
             workload_name=data["workload_name"],
-            config=MachineConfig.from_dict(data["config"]),
+            config=config,
             duration=data["duration"],
             thread_counters=tuple(
                 dict(counters) for counters in data["thread_counters"]

@@ -82,19 +82,27 @@ class MeasurementRunner:
     def run_sweep(
         self,
         workloads: Sequence,
-        configs: Sequence[MachineConfig] | None = None,
+        configs: Sequence | None = None,
         p_states: Sequence[PState] | None = None,
-    ) -> dict[MachineConfig, list[Measurement]]:
+    ) -> dict:
         """Measure a workload set across a configuration sweep.
 
         Defaults to the paper's 24-configuration CMP-SMT sweep.
         Explicit ``configs`` are measured exactly as given -- including
-        any operating points they carry.  Passing ``p_states`` crosses
+        any operating points they carry -- and may mix
+        :class:`~repro.sim.config.MachineConfig` entries with
+        heterogeneous :class:`~repro.sim.topology.ChipTopology` chips
+        (e.g. a :func:`~repro.sim.topology.topology_ladder` big:little
+        ratio ladder), so one sweep spans homogeneous and
+        cross-architecture scenarios.  Passing ``p_states`` crosses
         the configuration list's CMP-SMT modes with that DVFS ladder
-        instead, p-state-major: the scenario space grows to ``configs x
+        instead, p-state-major (a topology moves *all* its clusters to
+        each swept point): the scenario space grows to ``configs x
         p_states`` (and workloads may be placements, so mixes sweep the
         same way).  Duplicate swept configurations are measured once
-        (the plan deduplicates their cells).
+        (the plan deduplicates their cells); infeasible configurations
+        raise :class:`~repro.errors.PlanValidationError` before
+        anything is measured.
         """
         from repro.exec.plan import ExperimentPlan, sweep_configs
 
@@ -108,8 +116,8 @@ class MeasurementRunner:
         # name, so a same-scale differently-named duplicate could
         # neither be represented in the result nor usefully measured
         # (exactly the pre-engine behaviour, without wasted cells).
-        swept: list[MachineConfig] = []
-        seen: set[MachineConfig] = set()
+        swept: list = []
+        seen: set = set()
         for config in sweep_configs(configs, p_states):
             if config not in seen:
                 seen.add(config)
@@ -123,12 +131,13 @@ class MeasurementRunner:
             for index, config in enumerate(swept)
         }
 
-    def baseline(self, config: MachineConfig | None = None) -> Measurement:
+    def baseline(self, config=None) -> Measurement:
         """Measure workload-independent (idle) power.
 
         Memoized per (configuration, window): idle power does not
         depend on any workload, so repeated baseline requests -- every
         model-fitting step asks for one -- reuse the first measurement.
+        ``config`` may be a :class:`~repro.sim.topology.ChipTopology`.
         """
         resolved = config if config is not None else MachineConfig(1, 1)
         # The label joins the key: config equality ignores the p-state

@@ -9,6 +9,12 @@ metric, and the per-component power breakdown used in Figures 5a and 8.
 """
 
 from repro.power_model.bottom_up import BottomUpModel, BottomUpTrainer
+from repro.power_model.campaign import (
+    CampaignResult,
+    HeterogeneousCampaign,
+    HeterogeneousCampaignResult,
+    ModelingCampaign,
+)
 from repro.power_model.features import POWER_COMPONENTS, component_rates
 from repro.power_model.metrics import paae, prediction_errors
 from repro.power_model.top_down import TopDownModel, TopDownTrainer
@@ -23,6 +29,10 @@ __all__ = [
     "POWER_COMPONENTS",
     "BottomUpModel",
     "BottomUpTrainer",
+    "CampaignResult",
+    "HeterogeneousCampaign",
+    "HeterogeneousCampaignResult",
+    "ModelingCampaign",
     "TopDownModel",
     "TopDownTrainer",
     "TrainingBenchmark",

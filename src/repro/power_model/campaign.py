@@ -113,13 +113,14 @@ class ModelingCampaign:
         # Step 1/2 measurements run with one benchmark copy per thread
         # on all cores: per-event weights are configuration-independent
         # (threads are homogeneous) and the 8x dynamic activity lifts
-        # the unit-power signal well above sensor noise.
+        # the unit-power signal well above sensor noise.  The SMT steps
+        # follow the chip's supported modes -- (1, 2, 4) on POWER7,
+        # (1, 2) on the SMT-2 eco class -- so per-cluster campaigns on
+        # narrower core classes stay feasible (the SMT-effect fit
+        # degrades gracefully with fewer SMT-on points).
         cores = arch.chip.max_cores
-        step_configs = [
-            MachineConfig(cores, 1),
-            MachineConfig(cores, 2),
-            MachineConfig(cores, 4),
-        ]
+        smt_modes = arch.chip.smt_modes()
+        step_configs = [MachineConfig(cores, smt) for smt in smt_modes]
 
         # One plan per gathering stage; the executor batches each
         # configuration through run_many (and, when store-backed,
@@ -130,13 +131,17 @@ class ModelingCampaign:
             ExperimentPlan.cross(suite_kernels, step_configs, duration=self.duration)
         )
         count = len(suite_kernels)
+        by_mode = {
+            smt: by_smt[index * count : (index + 1) * count]
+            for index, smt in enumerate(smt_modes)
+        }
         data = {
             "suite": suite,
             "suite_smt1": list(
-                zip([bench.family for bench in suite], by_smt[:count])
+                zip([bench.family for bench in suite], by_mode.get(1, []))
             ),
-            "suite_smt2": by_smt[count : 2 * count],
-            "suite_smt4": by_smt[2 * count :],
+            "suite_smt2": by_mode.get(2, []),
+            "suite_smt4": by_mode.get(4, []),
             "random_all": self._run_sweep([b.kernel for b in randoms]),
             "micro_all": self._run_sweep([b.kernel for b in micro]),
             "idle": self.machine.run_idle(duration=self.duration),
@@ -211,4 +216,131 @@ class ModelingCampaign:
             configs=self.configs,
             spec_by_config=spec_by_config,
             idle=data["idle"],
+        )
+
+
+# -- heterogeneous chips ---------------------------------------------------------
+
+
+@dataclass
+class HeterogeneousCampaignResult:
+    """Per-core-class fitted models of one heterogeneous topology.
+
+    ``per_class`` maps each distinct cluster core class (``None`` is
+    the base class) to the full :class:`CampaignResult` fitted on that
+    class's silicon -- every cluster of a big.LITTLE chip gets its own
+    bottom-up and top-down models, trained on its own pipeline widths,
+    cache latencies and clock.
+    """
+
+    topology: object
+    per_class: dict
+
+    def predict(self, measurement: Measurement) -> float:
+        """Predict chip power of a topology measurement, watts.
+
+        Each cluster's thread-counter segment is scored by its core
+        class's bottom-up model as if it were a homogeneous chip of
+        that cluster's shape; the chip-wide components (measured idle
+        and the uncore constant) are counted once -- from the first
+        cluster's model -- rather than once per cluster.
+        """
+        topology = measurement.config
+        total = 0.0
+        for index, (cluster, span) in enumerate(
+            topology.cluster_slices()
+        ):
+            sub = Measurement(
+                workload_name=measurement.workload_name,
+                config=MachineConfig(
+                    cluster.cores, cluster.smt, cluster.p_state
+                ),
+                duration=measurement.duration,
+                thread_counters=measurement.thread_counters[span],
+                mean_power=measurement.mean_power,
+                power_std=measurement.power_std,
+                sample_count=measurement.sample_count,
+            )
+            model = self.per_class[cluster.core_class].bottom_up
+            breakdown = model.breakdown(sub)
+            if index > 0:
+                breakdown.pop("Workload_Independent", None)
+                breakdown.pop("Uncore", None)
+            total += sum(breakdown.values())
+        return total
+
+    __call__ = predict
+
+
+class HeterogeneousCampaign:
+    """Fit the section-4 models per core class of a topology.
+
+    Runs one full :class:`ModelingCampaign` per distinct cluster core
+    class -- the big class on the machine's own architecture (sharing
+    its caches and any bootstrap write-backs), the little class on a
+    machine built from its registered definition -- so every cluster
+    of the topology gets models trained on its own silicon.
+
+    ``executor_factory`` (machine -> executor) lets callers attach a
+    store-backed or parallel executor per class machine; the default
+    resolves the usual ``REPRO_PARALLEL``/``REPRO_STORE`` knobs.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        topology,
+        scale: float = 1.0,
+        loop_size: int = 4096,
+        duration: float = 10.0,
+        seed: int = 0,
+        executor_factory=None,
+    ) -> None:
+        self.machine = machine
+        self.topology = topology
+        self.scale = scale
+        self.loop_size = loop_size
+        self.duration = duration
+        self.seed = seed
+        self.executor_factory = (
+            executor_factory
+            if executor_factory is not None
+            else default_executor
+        )
+
+    def run(self, sequential: bool = True) -> HeterogeneousCampaignResult:
+        """Fit every cluster core class; one campaign per class."""
+        per_class: dict = {}
+        for core_class in self.topology.core_classes:
+            key = self.machine._class_key(core_class)
+            if key in per_class:
+                continue
+            if key is None:
+                class_machine = self.machine
+            else:
+                class_machine = Machine(
+                    self.machine.cluster_arch(core_class),
+                    seed=self.seed,
+                    vector=self.machine.vector_enabled,
+                )
+            logger.info(
+                "heterogeneous campaign: fitting core class %s",
+                class_machine.arch.name,
+            )
+            campaign = ModelingCampaign(
+                class_machine,
+                scale=self.scale,
+                loop_size=self.loop_size,
+                duration=self.duration,
+                seed=self.seed,
+                executor=self.executor_factory(class_machine),
+            )
+            result = campaign.run(sequential=sequential)
+            per_class[key] = result
+            if core_class != key:
+                # Alias the raw class spelling (e.g. the base class
+                # written by name) so predict() looks up either form.
+                per_class[core_class] = result
+        return HeterogeneousCampaignResult(
+            topology=self.topology, per_class=per_class
         )

@@ -20,9 +20,18 @@ from repro.sim.machine import Machine
 from repro.sim.pipeline import CorePipelineModel, PipelineBounds
 from repro.sim.placement import Placement
 from repro.sim.pstate import NOMINAL, PState, get_pstate, standard_pstates
+from repro.sim.topology import (
+    ChipTopology,
+    CoreCluster,
+    parse_topology,
+    topology_from_arch,
+    topology_ladder,
+)
 
 __all__ = [
     "CacheHierarchy",
+    "ChipTopology",
+    "CoreCluster",
     "CorePipelineModel",
     "Kernel",
     "KernelInstruction",
@@ -36,7 +45,10 @@ __all__ = [
     "ThreadActivity",
     "get_pstate",
     "parse_config",
+    "parse_topology",
     "simulate_hit_distribution",
     "standard_configurations",
     "standard_pstates",
+    "topology_from_arch",
+    "topology_ladder",
 ]

@@ -84,15 +84,10 @@ class Placement:
             raise ValueError("placement needs a name")
         if not self.core_groups:
             raise ValueError(f"placement {self.name!r} has no cores")
-        width = len(self.core_groups[0])
-        if width < 1:
-            raise ValueError(f"placement {self.name!r} has an empty core")
         for index, group in enumerate(self.core_groups):
-            if len(group) != width:
+            if len(group) < 1:
                 raise ValueError(
-                    f"placement {self.name!r}: core {index} carries "
-                    f"{len(group)} workloads, core 0 carries {width}; "
-                    "the SMT mode is chip-wide"
+                    f"placement {self.name!r}: core {index} is empty"
                 )
 
     # -- shape -----------------------------------------------------------------
@@ -103,8 +98,20 @@ class Placement:
         return len(self.core_groups)
 
     @property
+    def is_uniform(self) -> bool:
+        """Whether every core carries the same SMT slot count.
+
+        Homogeneous-chip placements are always uniform (the SMT mode
+        is a chip-wide switch); placements laid out for a
+        :class:`~repro.sim.topology.ChipTopology` may be ragged, one
+        width per cluster.
+        """
+        width = len(self.core_groups[0])
+        return all(len(group) == width for group in self.core_groups)
+
+    @property
     def smt(self) -> int:
-        """SMT slots per core."""
+        """SMT slots per core (uniform placements)."""
         return len(self.core_groups[0])
 
     @property
@@ -136,8 +143,39 @@ class Placement:
         }
         return len(keys) == 1
 
-    def validate_against(self, config: "MachineConfig") -> None:
-        """Raise ``ValueError`` if the placement does not fit ``config``."""
+    def validate_against(self, config) -> None:
+        """Raise ``ValueError`` if the placement does not fit ``config``.
+
+        ``config`` is either a :class:`~repro.sim.config.MachineConfig`
+        (uniform core groups, chip-wide SMT) or a
+        :class:`~repro.sim.topology.ChipTopology` (cluster-major core
+        groups, each as wide as its cluster's SMT way).
+        """
+        clusters = getattr(config, "clusters", None)
+        if clusters is not None:
+            if self.cores != config.cores:
+                raise ValueError(
+                    f"placement {self.name!r} has {self.cores} cores, "
+                    f"topology {config.label} enables {config.cores}"
+                )
+            core = 0
+            for cluster in clusters:
+                for _ in range(cluster.cores):
+                    width = len(self.core_groups[core])
+                    if width != cluster.smt:
+                        raise ValueError(
+                            f"placement {self.name!r}: core {core} "
+                            f"carries {width} workloads, cluster "
+                            f"{cluster.label!r} of {config.label} runs "
+                            f"SMT-{cluster.smt}"
+                        )
+                    core += 1
+            return
+        if not self.is_uniform:
+            raise ValueError(
+                f"placement {self.name!r} has ragged core groups; "
+                f"configuration {config.label}'s SMT mode is chip-wide"
+            )
         if self.cores != config.cores or self.smt != config.smt:
             raise ValueError(
                 f"placement {self.name!r} is {self.cores} cores x "
@@ -146,6 +184,34 @@ class Placement:
             )
 
     # -- canonical identity -------------------------------------------------------
+
+    def segment_order(self, start: int, stop: int) -> list[tuple[int, int]]:
+        """Canonical ``(core, slot)`` order of cores ``[start, stop)``.
+
+        Slots sort by workload identity within each core, and the
+        segment's cores sort by their sorted identity tuples.  On a
+        heterogeneous topology each cluster is one segment: cores are
+        interchangeable *within* a cluster (identical silicon) but not
+        across clusters, so power and noise salts canonicalize per
+        segment.
+        """
+        per_core = {
+            core: sorted(
+                range(len(self.core_groups[core])),
+                key=lambda slot: workload_key(self.core_groups[core][slot]),
+            )
+            for core in range(start, stop)
+        }
+        core_order = sorted(
+            range(start, stop),
+            key=lambda core: tuple(
+                workload_key(self.core_groups[core][slot])
+                for slot in per_core[core]
+            ),
+        )
+        return [
+            (core, slot) for core in core_order for slot in per_core[core]
+        ]
 
     def canonical_order(self) -> list[tuple[int, int]]:
         """``(core, slot)`` pairs in the placement's canonical order.
@@ -156,23 +222,7 @@ class Placement:
         share one canonical order, which is what makes chip power and
         noise draws exactly permutation-invariant.
         """
-        per_core = [
-            sorted(
-                range(len(group)),
-                key=lambda slot: workload_key(group[slot]),
-            )
-            for group in self.core_groups
-        ]
-        core_order = sorted(
-            range(self.cores),
-            key=lambda core: tuple(
-                workload_key(self.core_groups[core][slot])
-                for slot in per_core[core]
-            ),
-        )
-        return [
-            (core, slot) for core in core_order for slot in per_core[core]
-        ]
+        return self.segment_order(0, self.cores)
 
     def canonical_salt(self) -> int:
         """Noise-seed salt, invariant under co-runner permutation.
@@ -190,6 +240,30 @@ class Placement:
             workload_key(self.core_groups[core][slot])
             for core, slot in self.canonical_order()
         ]
+        return stable_seed(*parts)
+
+    def canonical_salt_for(self, topology) -> int:
+        """Noise salt on a heterogeneous topology, segment-canonical.
+
+        Invariant under co-runner permutation within a core and core
+        permutation within a cluster, but *not* across clusters --
+        moving work from big to little cores is a different physical
+        run.  The homogeneous case returns the plain-run salt, so a
+        homogeneous placement on a topology draws the exact noise of
+        the corresponding ``Machine.run`` deployment.
+        """
+        if self.is_homogeneous:
+            first = self.thread_workloads[0]
+            return first.digest() if isinstance(first, Kernel) else 0
+        parts: list[object] = []
+        offset = 0
+        for index, cluster in enumerate(topology.clusters):
+            parts.append(("cluster", index))
+            for core, slot in self.segment_order(
+                offset, offset + cluster.cores
+            ):
+                parts.append(workload_key(self.core_groups[core][slot]))
+            offset += cluster.cores
         return stable_seed(*parts)
 
     # -- serialization ----------------------------------------------------------
@@ -233,22 +307,36 @@ class Placement:
 
     # -- constructors ---------------------------------------------------------
 
+    @staticmethod
+    def _core_widths(config) -> list[int]:
+        """Per-core SMT slot counts, cluster-major for topologies."""
+        clusters = getattr(config, "clusters", None)
+        if clusters is not None:
+            return [
+                cluster.smt
+                for cluster in clusters
+                for _ in range(cluster.cores)
+            ]
+        return [config.smt] * config.cores
+
     @classmethod
     def homogeneous(
         cls,
         workload: object,
-        config: "MachineConfig",
+        config,
         name: str | None = None,
     ) -> "Placement":
         """One copy of ``workload`` per hardware thread (the paper's
         deployment), named after the workload so measurements and noise
-        draws match ``Machine.run`` exactly."""
+        draws match ``Machine.run`` exactly.  On a
+        :class:`~repro.sim.topology.ChipTopology` the groups are
+        cluster-major, each core as wide as its cluster's SMT way."""
         if name is None:
             name = getattr(workload, "name", type(workload).__name__)
         return cls(
             name=name,
             core_groups=tuple(
-                (workload,) * config.smt for _ in range(config.cores)
+                (workload,) * width for width in cls._core_widths(config)
             ),
         )
 
@@ -256,20 +344,50 @@ class Placement:
     def round_robin(
         cls,
         workloads: Sequence[object],
-        config: "MachineConfig",
+        config,
         name: str,
     ) -> "Placement":
         """Cycle ``workloads`` across the configuration's threads,
         core-major -- every SMT-``n`` core co-schedules ``n``
-        consecutive entries of the cycle."""
+        consecutive entries of the cycle.  Topologies cycle
+        cluster-major over their (possibly ragged) thread grid."""
         if not workloads:
             raise ValueError("round_robin needs at least one workload")
         groups = []
-        for core in range(config.cores):
+        position = 0
+        for width in cls._core_widths(config):
             groups.append(
                 tuple(
-                    workloads[(core * config.smt + slot) % len(workloads)]
-                    for slot in range(config.smt)
+                    workloads[(position + slot) % len(workloads)]
+                    for slot in range(width)
                 )
+            )
+            position += width
+        return cls(name=name, core_groups=tuple(groups))
+
+    @classmethod
+    def cluster_affinity(
+        cls,
+        per_cluster: Sequence[object],
+        topology,
+        name: str,
+    ) -> "Placement":
+        """One workload per *cluster*, replicated across its threads.
+
+        The big.LITTLE affinity layout: ``per_cluster[i]`` runs on
+        every hardware thread of ``topology.clusters[i]`` -- e.g. the
+        compute-hungry kernel pinned to the big cluster while the
+        memory-bound stream rides the little cores.
+        """
+        clusters = topology.clusters
+        if len(per_cluster) != len(clusters):
+            raise ValueError(
+                f"cluster_affinity needs {len(clusters)} workloads "
+                f"for {topology.label}, got {len(per_cluster)}"
+            )
+        groups = []
+        for workload, cluster in zip(per_cluster, clusters):
+            groups.extend(
+                [(workload,) * cluster.smt] * cluster.cores
             )
         return cls(name=name, core_groups=tuple(groups))

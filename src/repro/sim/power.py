@@ -169,6 +169,11 @@ class GroundTruthPowerModel:
     def __init__(self, arch: MicroArchitecture) -> None:
         self.arch = arch
         self._energy_cache: dict[str, float] = {}
+        # Low-power core classes (the eco LITTLE core) declare a
+        # dynamic-energy discount in their definition file; the
+        # reference big core's 1.0 skips the multiplication entirely so
+        # every pre-heterogeneity power is reproduced bit for bit.
+        self.energy_scale = arch.chip.energy_scale
 
     def instruction_energy(self, mnemonic: str) -> float:
         """True energy (nJ) dissipated per dynamic instance.
@@ -211,7 +216,10 @@ class GroundTruthPowerModel:
             for level, rate in activity.level_rates.items()
             if level in LEVEL_ENERGY_NJ
         )
-        return order * data * core_joules + data * level_joules
+        power = order * data * core_joules + data * level_joules
+        if self.energy_scale != 1.0:
+            power *= self.energy_scale
+        return power
 
     def chip_power(
         self,
@@ -250,3 +258,51 @@ class GroundTruthPowerModel:
     def idle_power(self) -> float:
         """True power with no workload running."""
         return IDLE_POWER
+
+
+def topology_power(cluster_parts: Sequence[tuple], total_cores: int) -> float:
+    """True chip power of a heterogeneous multi-cluster chip, watts.
+
+    ``cluster_parts`` is one ``(cluster, power_model, activities)``
+    triple per cluster: the :class:`~repro.sim.topology.CoreCluster`,
+    the cluster core class's :class:`GroundTruthPowerModel`, and the
+    per-thread activity vectors of the cluster (already re-clocked to
+    the cluster's operating point).
+
+    Chip-level semantics generalize :meth:`GroundTruthPowerModel.chip_power`:
+    the idle floor and active-uncore power are chip-wide and counted
+    once; the *concave* part of the CMP effect grows with the total
+    enabled core count (the interconnect is shared) while the *linear*
+    per-core part is paid per cluster, scaled by the core class's
+    energy scale (little cores drive a smaller uncore share); SMT
+    control logic is paid per cluster whose SMT facility is on; and
+    each cluster's dynamic power is evaluated with its own core
+    class's energy model and scaled by its own operating point's
+    ``V^2`` term -- per-cluster DVFS domains.  A single-cluster part
+    list on the base class reproduces the homogeneous
+    :func:`cmp_effect` value (``energy_scale`` is 1.0 there), summed
+    in per-term order.
+    """
+    active = any(
+        activity.instruction_rate > 0
+        for _, _, activities in cluster_parts
+        for activity in activities
+    )
+    power = IDLE_POWER
+    if active:
+        power += UNCORE_ACTIVE
+        power += CMP_CONCAVE * total_cores ** CMP_EXPONENT
+        for cluster, model, _ in cluster_parts:
+            power += CMP_LINEAR * cluster.cores * model.energy_scale
+            if cluster.smt_enabled:
+                power += SMT_LOGIC * cluster.cores
+        for cluster, model, activities in cluster_parts:
+            dynamic = sum(
+                model.thread_dynamic_power(activity)
+                for activity in activities
+            )
+            p_state = cluster.p_state
+            if not p_state.is_nominal:
+                dynamic *= p_state.dynamic_scale
+            power += dynamic
+    return power

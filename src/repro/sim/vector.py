@@ -4,8 +4,9 @@ The scalar walk (:meth:`repro.sim.machine.Machine._measure`) evaluates
 one (kernel, configuration, window) cell at a time through per-mnemonic
 dict arithmetic.  This module compiles the same analytic state into
 dense NumPy arrays and evaluates an entire plan's worth of cells --
-spanning *different* configurations and windows -- in one vectorized
-pass:
+spanning *different* configurations, heterogeneous
+:class:`~repro.sim.topology.ChipTopology` chips and windows -- in one
+vectorized pass:
 
 * a **packed** form of :class:`~repro.sim.summary.KernelSummary` --
   fixed unit/level/counter index spaces derived from the architecture,
@@ -21,6 +22,12 @@ pass:
   ops over those matrices, with per-configuration scalars (SMT share,
   frequency scale, thread count, static power) repeated across each
   configuration's cell span;
+* one :class:`_Lane` of index spaces *per core class*: heterogeneous
+  topology cells evaluate cluster by cluster through each cluster core
+  class's own lane (its own widths, unit mix, cache latencies, clock
+  and energy scale), with per-cluster dynamic power combined over the
+  shared uncore exactly as :func:`~repro.sim.power.topology_power`
+  accumulates it;
 * the batched sensor plane
   (:meth:`~repro.sim.sensors.PowerSensor.measure_batch`), which
   reproduces the per-cell ``stable_seed`` noise draws exactly --
@@ -32,13 +39,14 @@ scalar walk is replayed here with the same operand values in the same
 order (IEEE-754 double arithmetic is deterministic, and NumPy
 elementwise ops round exactly like Python floats), and reductions whose
 accumulation order matters (the per-mnemonic energy sums, the
-per-thread dynamic-power sum) are evaluated as explicit sequential
-column adds rather than ``np.sum`` (whose pairwise blocking would
-re-associate them).  The vectorized path therefore produces
-*bit-identical* Measurements -- counters, powers and sensor noise draws
--- to the scalar reference, which stays in place as the executable
-specification and property-test oracle
-(``tests/sim/test_vector_plane.py``).
+per-thread dynamic-power sum, the per-cluster dynamic accumulation)
+are evaluated as explicit sequential column adds rather than
+``np.sum`` (whose pairwise blocking would re-associate them).  The
+vectorized path therefore produces *bit-identical* Measurements --
+counters, powers and sensor noise draws -- to the scalar reference,
+which stays in place as the executable specification and property-test
+oracle (``tests/sim/test_vector_plane.py``,
+``tests/sim/test_heterogeneous_machine.py``).
 """
 
 from __future__ import annotations
@@ -54,6 +62,9 @@ from repro.sim.config import MachineConfig
 from repro.sim.kernel import Kernel
 from repro.sim.pipeline import MSHRS_PER_THREAD, SMT_OVERHEAD
 from repro.sim.power import (
+    CMP_CONCAVE,
+    CMP_EXPONENT,
+    CMP_LINEAR,
     IDLE_POWER,
     LEVEL_ENERGY_NJ,
     SMT_LOGIC,
@@ -62,10 +73,11 @@ from repro.sim.power import (
     data_multiplier,
     order_multiplier,
 )
+from repro.sim.topology import ChipTopology
 
-#: Packed kernels retained per machine (LRU past this).
+#: Packed kernels retained per lane (LRU past this).
 PACKED_CACHE_LIMIT = 65_536
-#: Stacked batch matrices retained per machine (LRU past this); a
+#: Stacked batch matrices retained per lane (LRU past this); a
 #: configuration sweep re-uses one stack across its whole ladder.
 STACK_CACHE_LIMIT = 256
 #: Below this many kernel cells the scalar walk is faster than the
@@ -203,12 +215,89 @@ def _sequential_row_sum(terms: np.ndarray) -> np.ndarray:
     return total
 
 
+class _Lane:
+    """One core class's index spaces, packs and stacks.
+
+    The homogeneous machine is the single base lane; each additional
+    cluster core class of a heterogeneous topology gets its own lane,
+    so kernels pack against the right unit mix, cache latencies,
+    dispatch width, clock and hidden energy model.
+    """
+
+    __slots__ = (
+        "arch",
+        "pipeline",
+        "power",
+        "width",
+        "frequency",
+        "energy_scale",
+        "unit_names",
+        "counter_names",
+        "counter_level_names",
+        "packed",
+        "stacks",
+    )
+
+    def __init__(self, arch, pipeline, power_model, tag: str) -> None:
+        self.arch = arch
+        self.pipeline = pipeline
+        self.power = power_model
+        self.width = arch.chip.dispatch_width
+        self.frequency = arch.chip.cycles_per_second
+        self.energy_scale = arch.chip.energy_scale
+        self.unit_names = tuple(arch.units)
+        # Fixed counter layout: exactly the key order
+        # ``counters_from_activity`` emits.
+        names = ["PM_RUN_CYC", "PM_RUN_INST_CMPL"]
+        names.extend(unit.counter for unit in arch.units.values())
+        names.extend(["PM_LD_REF_L1", "PM_ST_REF_L1"])
+        names.extend(cache.counter for cache in arch.caches[1:])
+        names.append(arch.memory.counter)
+        self.counter_names = tuple(names)
+        # The hierarchy levels backing the level-derived counters, in
+        # the same column order as the counter tail above.
+        self.counter_level_names = (
+            "_loads",
+            "_stores",
+            *(cache.name for cache in arch.caches[1:]),
+            arch.memory.name,
+        )
+        self.packed: LRUCache[int, PackedKernel] = LRUCache(
+            PACKED_CACHE_LIMIT, f"vector.packed{tag}"
+        )
+        self.stacks: LRUCache[tuple, _KernelStack] = LRUCache(
+            STACK_CACHE_LIMIT, f"vector.stacks{tag}"
+        )
+
+    def pack(self, kernel: Kernel) -> PackedKernel:
+        digest = kernel.digest()
+        pack = self.packed.get(digest)
+        if pack is None:
+            pack = PackedKernel(
+                self.pipeline.summarize(kernel),
+                self.unit_names,
+                self.counter_level_names,
+                self.power,
+            )
+            self.packed.put(digest, pack)
+        return pack
+
+    def stack(self, kernels: Sequence[Kernel]) -> _KernelStack:
+        packs = [self.pack(kernel) for kernel in kernels]
+        key = tuple(pack.digest for pack in packs)
+        stack = self.stacks.get(key)
+        if stack is None:
+            stack = _KernelStack(packs)
+            self.stacks.put(key, stack)
+        return stack
+
+
 class _Group:
     """One (configuration, window) span of a cell batch."""
 
     __slots__ = ("config", "duration", "cells", "seed_mid")
 
-    def __init__(self, config: MachineConfig, duration: float) -> None:
+    def __init__(self, config, duration: float) -> None:
         self.config = config
         self.duration = duration
         self.cells: list[int] = []  # positions in the kernel-cell order
@@ -219,55 +308,39 @@ class VectorPlane:
 
     def __init__(self, machine) -> None:
         self.machine = machine
-        arch = machine.arch
-        self.arch = arch
-        self._width = arch.chip.dispatch_width
-        self._frequency = arch.chip.cycles_per_second
-        self._unit_names = tuple(arch.units)
-        # Fixed counter layout: exactly the key order
-        # ``counters_from_activity`` emits.
-        names = ["PM_RUN_CYC", "PM_RUN_INST_CMPL"]
-        names.extend(unit.counter for unit in arch.units.values())
-        names.extend(["PM_LD_REF_L1", "PM_ST_REF_L1"])
-        names.extend(cache.counter for cache in arch.caches[1:])
-        names.append(arch.memory.counter)
-        self._counter_names = tuple(names)
-        # The hierarchy levels backing the level-derived counters, in
-        # the same column order as the counter tail above.
-        self._counter_level_names = (
-            "_loads",
-            "_stores",
-            *(cache.name for cache in arch.caches[1:]),
-            arch.memory.name,
+        self.arch = machine.arch
+        self._base = _Lane(
+            machine.arch, machine.pipeline, machine._power, ""
         )
-        self._packed: LRUCache[int, PackedKernel] = LRUCache(
-            PACKED_CACHE_LIMIT, "vector.packed"
-        )
-        self._stacks: LRUCache[tuple, _KernelStack] = LRUCache(
-            STACK_CACHE_LIMIT, "vector.stacks"
-        )
+        self._lanes: dict[str | None, _Lane] = {None: self._base}
 
-    # -- packing ---------------------------------------------------------------
-
-    def _pack(self, kernel: Kernel) -> PackedKernel:
-        digest = kernel.digest()
-        pack = self._packed.get(digest)
-        if pack is None:
-            pack = PackedKernel(
-                self.machine.pipeline.summarize(kernel),
-                self._unit_names,
-                self._counter_level_names,
-                self.machine._power,
-            )
-            self._packed.put(digest, pack)
-        return pack
+    def _lane(self, core_class: str | None) -> _Lane:
+        """The lane of one cluster core class (base lane for ``None``)."""
+        key = self.machine._class_key(core_class)
+        lane = self._lanes.get(key)
+        if lane is None:
+            arch, pipeline, power, _ = self.machine._parts(key)
+            lane = _Lane(arch, pipeline, power, f".{key}")
+            self._lanes[key] = lane
+        return lane
 
     def cache_stats(self) -> dict:
-        """Hit/miss/size counters of the plane's memo caches."""
-        return {
-            "packed": self._packed.stats(),
-            "stacks": self._stacks.stats(),
+        """Hit/miss/size counters of the plane's memo caches.
+
+        The base lane reports under the historical ``packed``/``stacks``
+        keys; additional cluster-class lanes report under
+        ``packed:<class>`` / ``stacks:<class>``.
+        """
+        stats = {
+            "packed": self._base.packed.stats(),
+            "stacks": self._base.stacks.stats(),
         }
+        for key, lane in self._lanes.items():
+            if key is None:
+                continue
+            stats[f"packed:{key}"] = lane.packed.stats()
+            stats[f"stacks:{key}"] = lane.stacks.stats()
+        return stats
 
     # -- batch evaluation --------------------------------------------------------
 
@@ -276,21 +349,53 @@ class VectorPlane:
     ) -> list[Measurement] | None:
         """Measure ``(workload, config, duration)`` cells, or decline.
 
-        Kernel cells -- across *all* configurations and windows in the
-        batch -- evaluate as one tensor pass; placements and protocol
-        workloads fall back to the scalar walk cell by cell (order
-        preserved).  Batches with too few kernel cells to amortize the
-        tensor setup are declined entirely: the caller runs the scalar
-        walk, which is bit-identical anyway.
+        Kernel cells -- across *all* configurations, heterogeneous
+        topologies and windows in the batch -- evaluate as tensor
+        passes; placements and protocol workloads fall back to the
+        scalar walk cell by cell (order preserved).  Batches with too
+        few kernel cells to amortize the tensor setup are declined
+        entirely: the caller runs the scalar walk, which is
+        bit-identical anyway.
         """
-        kernel_indices = [
-            index
-            for index, (workload, _, _) in enumerate(cells)
-            if isinstance(workload, Kernel)
+        kernel_indices: list[int] = []
+        topo_indices: list[int] = []
+        for index, (workload, config, _) in enumerate(cells):
+            if isinstance(workload, Kernel):
+                if isinstance(config, ChipTopology):
+                    topo_indices.append(index)
+                else:
+                    kernel_indices.append(index)
+        # The threshold applies per homogeneity span: each span pays
+        # its own tensor setup, so a minority span below the crossover
+        # rides the scalar walk even when the other span vectorizes.
+        spans = [
+            (span, topology)
+            for span, topology in (
+                (kernel_indices, False),
+                (topo_indices, True),
+            )
+            if len(span) >= MIN_VECTOR_BATCH
         ]
-        if len(kernel_indices) < MIN_VECTOR_BATCH:
+        if not spans:
             return None
 
+        results: list[Measurement | None] = [None] * len(cells)
+        for span, topology in spans:
+            for index, measurement in zip(
+                span, self._measure_span(cells, span, topology)
+            ):
+                results[index] = measurement
+        for index, (workload, config, duration) in enumerate(cells):
+            if results[index] is None:
+                results[index] = self.machine._measure(
+                    workload, config, duration
+                )
+        return results  # type: ignore[return-value]
+
+    def _measure_span(
+        self, cells, span: Sequence[int], topology: bool
+    ) -> list[Measurement]:
+        """Group one homogeneity class of kernel cells and evaluate it."""
         # Group kernel cells by (config object, window).  Grouping is
         # purely an evaluation-shape choice -- every cell's result is
         # an independent pure function of its own content -- so
@@ -305,7 +410,7 @@ class VectorPlane:
         unique_of: dict[tuple, int] = {}
         kernels: list[Kernel] = []
         cell_rows: list[int] = []  # kernel-cell -> unique kernel row
-        for index in kernel_indices:
+        for index in span:
             workload, config, duration = cells[index]
             group_key = (id(config), duration)
             group = groups.get(group_key)
@@ -319,20 +424,8 @@ class VectorPlane:
                 kernels.append(workload)
             group.cells.append(len(cell_rows))
             cell_rows.append(row)
-
-        measurements = self._evaluate(
-            kernels, cell_rows, list(groups.values())
-        )
-
-        results: list[Measurement | None] = [None] * len(cells)
-        for position, index in enumerate(kernel_indices):
-            results[index] = measurements[position]
-        for index, (workload, config, duration) in enumerate(cells):
-            if results[index] is None:
-                results[index] = self.machine._measure(
-                    workload, config, duration
-                )
-        return results  # type: ignore[return-value]
+        evaluate = self._evaluate_topology if topology else self._evaluate
+        return evaluate(kernels, cell_rows, list(groups.values()))
 
     def _evaluate(
         self,
@@ -341,12 +434,9 @@ class VectorPlane:
         groups: Sequence[_Group],
     ) -> list[Measurement]:
         """One Measurement per kernel cell, in kernel-cell order."""
-        packs = [self._pack(kernel) for kernel in kernels]
-        stack_key = tuple(pack.digest for pack in packs)
-        stack = self._stacks.get(stack_key)
-        if stack is None:
-            stack = _KernelStack(packs)
-            self._stacks.put(stack_key, stack)
+        lane = self._base
+        packs = [lane.pack(kernel) for kernel in kernels]
+        stack = lane.stack(kernels)
 
         cell_count = len(cell_rows)
         rows = np.asarray(cell_rows, dtype=np.intp)
@@ -397,14 +487,14 @@ class VectorPlane:
         # Steady-state bounds and period (same operand order as
         # bounds_from_summary), gathered per cell.
         size = stack.size[krows]
-        dispatch = (size / self._width) * share
+        dispatch = (size / lane.width) * share
         unit = stack.unit_bound[krows] * share
         memory = (stack.miss_latency[krows] / MSHRS_PER_THREAD) * share
         period = np.maximum(
             np.maximum(dispatch, unit),
             np.maximum(stack.dependency_bound[krows], memory),
         )
-        iterations = self._frequency / period
+        iterations = lane.frequency / period
         ipc = size / period
 
         # Performance counters: a (cells x counters) matrix in the
@@ -420,10 +510,10 @@ class VectorPlane:
         level_block = (
             (stack.counter_levels[krows] * rate_scale) * fs_col
         ) * window_col
-        counters = np.empty((cell_count, len(self._counter_names)))
+        counters = np.empty((cell_count, len(lane.counter_names)))
         counters[:, 0] = freq_eff * window
         counters[:, 1] = (ipc * freq_eff) * window
-        units = len(self._unit_names)
+        units = len(lane.unit_names)
         counters[:, 2 : 2 + units] = unit_block
         counters[:, 2 + units :] = level_block
 
@@ -441,6 +531,12 @@ class VectorPlane:
         thread_dynamic = (
             order_mult * data_mult
         ) * core_joules + data_mult * level_joules
+        # A machine whose *base* class declares a dynamic-energy scale
+        # (running the eco definition directly, as per-cluster
+        # campaigns do) scales here exactly like the scalar walk's
+        # thread_dynamic_power.
+        if lane.energy_scale != 1.0:
+            thread_dynamic = thread_dynamic * lane.energy_scale
         # The scalar walk sums the identical per-thread power once per
         # hardware thread; replay that accumulation exactly rather than
         # multiplying by the thread count (which rounds differently).
@@ -472,35 +568,15 @@ class VectorPlane:
                     crc32(f"{names[row]}{mid}{digests[row]}".encode())
                 )
             position += count
-        # Windows can differ across groups; batch the sensor per
-        # distinct duration (draws are per-cell-seeded, so regrouping
-        # cannot change them).
-        means: list[float] = [0.0] * cell_count
-        stats: list[tuple[float, int]] = [None] * cell_count  # type: ignore[list-item]
-        power_list = power.tolist()
-        position = 0
-        by_duration: dict[float, tuple[list[int], list[float], list[int]]] = {}
-        for group, count in zip(groups, group_sizes):
-            span = range(position, position + count)
-            bucket = by_duration.setdefault(group.duration, ([], [], []))
-            bucket[0].extend(span)
-            bucket[1].extend(power_list[position : position + count])
-            bucket[2].extend(seeds[position : position + count])
-            position += count
-        sensor = self.machine._sensor
-        for duration, (positions, powers, cell_seeds) in by_duration.items():
-            batch_means, power_std, samples = sensor.measure_batch(
-                powers, duration, cell_seeds
-            )
-            for cell, mean in zip(positions, batch_means):
-                means[cell] = mean
-                stats[cell] = (power_std, samples)
+        means, stats = self._sense(
+            groups, group_sizes, power.tolist(), seeds
+        )
 
         # Assemble Measurements through the validation-free fast
         # constructor (the plane guarantees the invariants by
         # construction).
         counter_rows = counters.tolist()
-        counter_names = self._counter_names
+        counter_names = lane.counter_names
         measurements: list[Measurement] = [None] * cell_count  # type: ignore[list-item]
         position = 0
         for group, count in zip(groups, group_sizes):
@@ -524,9 +600,222 @@ class VectorPlane:
                 )
             position += count
 
-        # Scatter back from tensor (group-major) order to the caller's
-        # kernel-cell order.
-        ordered: list[Measurement] = [None] * cell_count  # type: ignore[list-item]
+        return self._scatter_back(measurements, scatter)
+
+    def _evaluate_topology(
+        self,
+        kernels: Sequence[Kernel],
+        cell_rows: Sequence[int],
+        groups: Sequence[_Group],
+    ) -> list[Measurement]:
+        """Heterogeneous topology cells as per-cluster tensor passes.
+
+        Each (topology, window) group evaluates cluster by cluster
+        through the cluster core class's lane, replaying the scalar
+        topology walk exactly: static chip power accumulated in plain
+        Python floats, each cluster's per-thread dynamic power summed
+        by sequential adds and ``V^2``-scaled by its own operating
+        point, counters synthesized at each cluster's effective clock.
+        """
+        machine_seed = self.machine.seed
+        cell_count = len(cell_rows)
+        rows = np.asarray(cell_rows, dtype=np.intp)
+        names = [kernel.name for kernel in kernels]
+        digests = [kernel.digest() for kernel in kernels]
+
+        scatter: list[int] = []
+        group_sizes: list[int] = []
+        powers: list[float] = []
+        seeds: list[int] = []
+        # Per tensor position: list of (readings dict, thread count)
+        # per cluster, topology order.
+        cluster_readings: list[list[tuple[dict, int]]] = []
+
+        for group in groups:
+            topology: ChipTopology = group.config
+            duration = group.duration
+            count = len(group.cells)
+            group_sizes.append(count)
+            scatter.extend(group.cells)
+            krows = rows[np.asarray(group.cells, dtype=np.intp)]
+
+            # Static chip power: plain-float accumulation in the exact
+            # order of power.topology_power (concave CMP part over the
+            # total core count, the linear per-core part per cluster
+            # scaled by its class's energy scale).
+            static = IDLE_POWER
+            static += UNCORE_ACTIVE
+            static += CMP_CONCAVE * topology.cores ** CMP_EXPONENT
+            for cluster in topology.clusters:
+                lane = self._lane(cluster.core_class)
+                static += CMP_LINEAR * cluster.cores * lane.energy_scale
+                if cluster.smt_enabled:
+                    static += SMT_LOGIC * cluster.cores
+
+            power = np.full(count, static)
+            active = None
+            per_cluster: list[tuple[np.ndarray, tuple, int]] = []
+            for cluster in topology.clusters:
+                lane = self._lane(cluster.core_class)
+                stack = lane.stack(kernels)
+                if active is None:
+                    active = stack.active[krows]
+                    all_active = stack.all_active
+                p_state = cluster.p_state
+                share = cluster.smt / (1.0 - SMT_OVERHEAD[cluster.smt])
+                fs = p_state.freq_scale
+                freq_eff = lane.frequency * fs
+
+                size = stack.size[krows]
+                dispatch = (size / lane.width) * share
+                unit = stack.unit_bound[krows] * share
+                memory = (
+                    stack.miss_latency[krows] / MSHRS_PER_THREAD
+                ) * share
+                period = np.maximum(
+                    np.maximum(dispatch, unit),
+                    np.maximum(stack.dependency_bound[krows], memory),
+                )
+                iterations = lane.frequency / period
+                ipc = size / period
+                rate_scale = iterations[:, None]
+
+                # The cluster's counter block at its effective clock.
+                unit_block = (
+                    (stack.unit_ops[krows] * rate_scale) * fs
+                ) * duration
+                level_block = (
+                    (stack.counter_levels[krows] * rate_scale) * fs
+                ) * duration
+                counters = np.empty((count, len(lane.counter_names)))
+                counters[:, 0] = freq_eff * duration
+                counters[:, 1] = (ipc * freq_eff) * duration
+                units = len(lane.unit_names)
+                counters[:, 2 : 2 + units] = unit_block
+                counters[:, 2 + units :] = level_block
+                per_cluster.append(
+                    (counters, lane.counter_names, cluster.threads)
+                )
+
+                # The cluster's dynamic power.
+                insn_terms = stack.insn_e9[krows] * (
+                    (stack.insn_counts[krows] * rate_scale) * fs
+                )
+                core_joules = _sequential_row_sum(insn_terms)
+                level_terms = stack.level_e9[krows] * (
+                    (stack.level_counts[krows] * rate_scale) * fs
+                )
+                level_joules = _sequential_row_sum(level_terms)
+                thread_dynamic = (
+                    stack.order_mult[krows] * stack.data_mult[krows]
+                ) * core_joules + stack.data_mult[krows] * level_joules
+                if lane.energy_scale != 1.0:
+                    thread_dynamic = thread_dynamic * lane.energy_scale
+                dynamic = np.zeros(count)
+                for _ in range(cluster.threads):
+                    dynamic = dynamic + thread_dynamic
+                if not p_state.is_nominal:
+                    dynamic = dynamic * p_state.dynamic_scale
+                power = power + dynamic
+
+            if not all_active:
+                power = np.where(active, power, IDLE_POWER)
+            powers.extend(power.tolist())
+
+            mid = f"|{topology.label}|{duration}|{machine_seed}|"
+            krows_list = krows.tolist()
+            for row in krows_list:
+                seeds.append(
+                    crc32(f"{names[row]}{mid}{digests[row]}".encode())
+                )
+            # Per-cell cluster readings, assembled after the numeric
+            # passes so each cluster's matrix converts to lists once.
+            cluster_rows = [
+                (counters.tolist(), counter_names, thread_count)
+                for counters, counter_names, thread_count in per_cluster
+            ]
+            for offset in range(count):
+                cluster_readings.append(
+                    [
+                        (
+                            dict(zip(counter_names, counter_rows[offset])),
+                            thread_count,
+                        )
+                        for counter_rows, counter_names, thread_count
+                        in cluster_rows
+                    ]
+                )
+
+        means, stats = self._sense(groups, group_sizes, powers, seeds)
+
+        measurements: list[Measurement] = [None] * cell_count  # type: ignore[list-item]
+        position = 0
+        krows_all = rows[np.asarray(scatter, dtype=np.intp)].tolist()
+        for group, count in zip(groups, group_sizes):
+            for offset in range(count):
+                cell = position + offset
+                thread_counters = tuple(
+                    readings
+                    for readings, thread_count in cluster_readings[cell]
+                    for _ in range(thread_count)
+                )
+                power_std, samples = stats[cell]
+                measurements[cell] = Measurement.unchecked(
+                    workload_name=names[krows_all[cell]],
+                    config=group.config,
+                    duration=group.duration,
+                    thread_counters=thread_counters,
+                    mean_power=means[cell],
+                    power_std=power_std,
+                    sample_count=samples,
+                )
+            position += count
+
+        return self._scatter_back(measurements, scatter)
+
+    # -- shared plumbing ---------------------------------------------------------
+
+    def _sense(
+        self,
+        groups: Sequence[_Group],
+        group_sizes: Sequence[int],
+        power_list: Sequence[float],
+        seeds: Sequence[int],
+    ) -> tuple[list[float], list[tuple[float, int]]]:
+        """Batched sensor draws, grouped per distinct window length.
+
+        Windows can differ across groups; the sensor batches per
+        distinct duration (draws are per-cell-seeded, so regrouping
+        cannot change them).
+        """
+        cell_count = len(power_list)
+        means: list[float] = [0.0] * cell_count
+        stats: list[tuple[float, int]] = [None] * cell_count  # type: ignore[list-item]
+        position = 0
+        by_duration: dict[float, tuple[list[int], list[float], list[int]]] = {}
+        for group, count in zip(groups, group_sizes):
+            span = range(position, position + count)
+            bucket = by_duration.setdefault(group.duration, ([], [], []))
+            bucket[0].extend(span)
+            bucket[1].extend(power_list[position : position + count])
+            bucket[2].extend(seeds[position : position + count])
+            position += count
+        sensor = self.machine._sensor
+        for duration, (positions, cell_powers, cell_seeds) in by_duration.items():
+            batch_means, power_std, samples = sensor.measure_batch(
+                cell_powers, duration, cell_seeds
+            )
+            for cell, mean in zip(positions, batch_means):
+                means[cell] = mean
+                stats[cell] = (power_std, samples)
+        return means, stats
+
+    @staticmethod
+    def _scatter_back(
+        measurements: Sequence[Measurement], scatter: Sequence[int]
+    ) -> list[Measurement]:
+        """Tensor (group-major) order back to the caller's cell order."""
+        ordered: list[Measurement] = [None] * len(measurements)  # type: ignore[list-item]
         for tensor_position, cell_index in enumerate(scatter):
             ordered[cell_index] = measurements[tensor_position]
         return ordered

@@ -11,18 +11,28 @@ micro-benchmarks built with the public synthesizer API.
 
 from repro.workloads.daxpy import daxpy_kernels
 from repro.workloads.extreme import extreme_kernels
-from repro.workloads.mixes import MixScenario, get_mix, mix_scenarios
+from repro.workloads.mixes import (
+    AffinityMix,
+    MixScenario,
+    biglittle_mixes,
+    get_biglittle_mix,
+    get_mix,
+    mix_scenarios,
+)
 from repro.workloads.profiles import ActivityProfile, ProfiledWorkload
 from repro.workloads.random_gen import RandomBenchmarkPolicy
 from repro.workloads.spec import spec_cpu2006
 
 __all__ = [
     "ActivityProfile",
+    "AffinityMix",
     "MixScenario",
     "ProfiledWorkload",
     "RandomBenchmarkPolicy",
+    "biglittle_mixes",
     "daxpy_kernels",
     "extreme_kernels",
+    "get_biglittle_mix",
     "get_mix",
     "mix_scenarios",
     "spec_cpu2006",

@@ -1,0 +1,136 @@
+"""Topology DSE: the chip shape as the search variable."""
+
+import pytest
+
+from repro.dse import (
+    CachingEvaluator,
+    ExhaustiveSearch,
+    GeneticSearch,
+    TopologyEvaluator,
+    efficiency_objective,
+    energy_per_instruction_nj,
+    epi_objective,
+    throughput_objective,
+    topology_from_point,
+    topology_space,
+)
+from repro.errors import SearchError
+from repro.sim import MachineConfig
+from repro.workloads.mixes import hi_ilp_kernel, memory_bound_kernel
+
+_DURATION = 2.0
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return topology_space(core_budget=4, step=2, p_states=("nominal", "p2"))
+
+
+class TestSpace:
+    def test_dimensions_and_size(self, small_space):
+        names = [dimension.name for dimension in small_space.dimensions]
+        assert names == ["ratio", "big_pstate", "little_pstate", "smt"]
+        # 3 ratios x 2 p-states x 2 p-states x 1 smt
+        assert small_space.size == 12
+
+    def test_point_to_topology(self):
+        topology = topology_from_point(
+            {
+                "ratio": (2, 2),
+                "big_pstate": "p2",
+                "little_pstate": "nominal",
+                "smt": 2,
+            }
+        )
+        assert topology.label == "2big-2@p2+2little-2"
+
+    def test_empty_clusters_dropped(self):
+        topology = topology_from_point(
+            {
+                "ratio": (4, 0),
+                "big_pstate": "nominal",
+                "little_pstate": "p2",
+                "smt": 1,
+            }
+        )
+        assert topology.label == "4big"
+        with pytest.raises(SearchError):
+            topology_from_point(
+                {
+                    "ratio": (0, 0),
+                    "big_pstate": "nominal",
+                    "little_pstate": "nominal",
+                    "smt": 1,
+                }
+            )
+
+
+class TestObjectives:
+    def test_counter_only_epi(self, machine):
+        measurement = machine.run(
+            hi_ilp_kernel(64), MachineConfig(2, 1), _DURATION
+        )
+        epi = energy_per_instruction_nj(measurement)
+        assert epi > 0
+        assert epi_objective(measurement) == -epi
+        assert efficiency_objective(measurement) > 0
+        assert throughput_objective(measurement) > 0
+
+
+class TestTopologyEvaluator:
+    def test_exhaustive_search_picks_shape_per_workload(
+        self, machine, small_space
+    ):
+        def best_shape(workload):
+            evaluator = CachingEvaluator(
+                TopologyEvaluator(
+                    workload,
+                    machine,
+                    objective=epi_objective,
+                    duration=_DURATION,
+                ),
+                small_space,
+            )
+            result = ExhaustiveSearch(small_space, evaluator).run()
+            return topology_from_point(result.best.point).label
+
+        # The energy-efficiency objective resolves the big-vs-little
+        # question differently per workload class: wide pipes pay off
+        # for compute, the low-power cluster wins once memory stalls
+        # dominate.
+        assert best_shape(hi_ilp_kernel(64)) == "4big"
+        assert best_shape(memory_bound_kernel(64)) == "4little"
+
+    def test_genetic_search_runs(self, machine, small_space):
+        evaluator = CachingEvaluator(
+            TopologyEvaluator(
+                hi_ilp_kernel(64),
+                machine,
+                objective=efficiency_objective,
+                duration=_DURATION,
+            ),
+            small_space,
+        )
+        from repro.dse.genetic import GAParameters
+
+        result = GeneticSearch(
+            small_space,
+            evaluator,
+            parameters=GAParameters(population=6, generations=3),
+            seed=7,
+        ).run()
+        assert result.best.score > 0
+
+    def test_cache_context_distinguishes_workloads(self, machine, small_space):
+        point = next(iter(small_space))
+        scores = []
+        for workload in (hi_ilp_kernel(64), memory_bound_kernel(64)):
+            evaluator = CachingEvaluator(
+                TopologyEvaluator(
+                    workload, machine, objective=epi_objective,
+                    duration=_DURATION,
+                ),
+                small_space,
+            )
+            scores.append(evaluator(point))
+        assert scores[0] != scores[1]

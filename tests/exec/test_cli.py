@@ -82,3 +82,85 @@ class TestSweepCommand:
         assert main(base + ["--parallel", "2"]) == 0
         parallel = capsys.readouterr().out
         assert serial == parallel
+
+
+class TestHeterogeneousSweepCommand:
+    def test_topology_sweep_runs_and_reports(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--workloads",
+                "daxpy",
+                "--topology",
+                "2big,1big+1little,2little",
+                "--loop-size",
+                "96",
+                "--duration",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2big" in out and "1big+1little" in out and "2little" in out
+
+    def test_no_vector_matches_vector(self, capsys):
+        base = [
+            "sweep",
+            "--workloads",
+            "daxpy",
+            "--topology",
+            "2big+2little,4little",
+            "--loop-size",
+            "96",
+            "--duration",
+            "1",
+        ]
+        assert main(base) == 0
+        fast = capsys.readouterr().out
+        assert main(base + ["--no-vector"]) == 0
+        scalar = capsys.readouterr().out
+        # --no-vector pins the scalar reference path; results must be
+        # bit-identical, so the report reads the same.
+        assert fast == scalar
+
+    def test_cache_stats_reported(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--workloads",
+                "daxpy",
+                "--topology",
+                "1big+1little",
+                "--loop-size",
+                "96",
+                "--duration",
+                "1",
+                "--cache-stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "=== cache stats ===" in out
+        assert "summaries" in out
+
+    def test_bad_topology_spec_errors_clearly(self, capsys):
+        with pytest.raises(ValueError) as excinfo:
+            main(
+                [
+                    "sweep",
+                    "--workloads",
+                    "daxpy",
+                    "--topology",
+                    "2mega",
+                    "--duration",
+                    "1",
+                ]
+            )
+        assert "unknown cluster name" in str(excinfo.value)
+
+    def test_new_flags_available_on_every_subcommand(self):
+        for command in ("sweep", "campaign", "stressmark"):
+            args = build_parser().parse_args(
+                [command, "--no-vector", "--cache-stats"]
+            )
+            assert args.no_vector and args.cache_stats

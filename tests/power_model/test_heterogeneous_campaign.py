@@ -1,0 +1,57 @@
+"""Per-cluster model fitting over a heterogeneous topology."""
+
+import pytest
+
+from repro.power_model.campaign import (
+    HeterogeneousCampaign,
+    HeterogeneousCampaignResult,
+)
+from repro.sim import Machine, parse_topology
+from repro.workloads.mixes import hi_ilp_kernel, memory_bound_kernel
+
+_DURATION = 1.0
+
+
+@pytest.fixture(scope="module")
+def report(machine):
+    campaign = HeterogeneousCampaign(
+        machine,
+        parse_topology("2big-2+2little"),
+        scale=0.05,
+        loop_size=128,
+        duration=_DURATION,
+    )
+    return campaign.run()
+
+
+class TestHeterogeneousCampaign:
+    def test_one_campaign_per_core_class(self, report):
+        assert isinstance(report, HeterogeneousCampaignResult)
+        assert set(report.per_class) == {None, "POWER7_ECO"}
+        big = report.per_class[None]
+        little = report.per_class["POWER7_ECO"]
+        assert big.bottom_up is not little.bottom_up
+        # The eco class supports SMT-2 at most; its validation sweep
+        # covers only the modes its chip can run.
+        assert max(c.smt for c in little.configs) == 2
+        assert max(c.smt for c in big.configs) == 4
+
+    def test_predict_combines_cluster_segments(self, report, machine):
+        topology = report.topology
+        for kernel in (hi_ilp_kernel(64), memory_bound_kernel(64)):
+            measurement = machine.run(kernel, topology, _DURATION)
+            predicted = report.predict(measurement)
+            error = abs(predicted - measurement.mean_power)
+            assert error / measurement.mean_power < 0.25
+
+    def test_base_class_reuses_machine_arch(self, machine):
+        campaign = HeterogeneousCampaign(
+            machine,
+            parse_topology("1big+1little"),
+            scale=0.02,
+            loop_size=128,
+            duration=_DURATION,
+        )
+        # The base-class campaign must share the caller's machine so
+        # bootstrap write-backs and warm caches carry over.
+        assert campaign.machine is machine

@@ -269,8 +269,14 @@ class TestMixedContention:
                 Placement.homogeneous(kernel, MachineConfig(2, 2)),
                 MachineConfig(4, 2),
             )
+        # Ragged core groups construct (heterogeneous topologies need
+        # per-cluster widths) but never fit a homogeneous config,
+        # whose SMT mode is chip-wide.
+        ragged = Placement("ragged", ((kernel, kernel), (kernel,)))
         with pytest.raises(ValueError):
-            Placement("ragged", ((kernel, kernel), (kernel,)))
+            ragged.validate_against(MachineConfig(2, 2))
+        with pytest.raises(MeasurementError):
+            machine.run(ragged, MachineConfig(2, 2))
 
 
 class TestPStateIdentity:

@@ -1,0 +1,54 @@
+"""Big.LITTLE affinity mixes: layout shape and lookup."""
+
+import pytest
+
+from repro.sim import parse_topology
+from repro.workloads.mixes import (
+    biglittle_mixes,
+    get_biglittle_mix,
+)
+
+
+class TestAffinityMixes:
+    def test_named_scenarios(self):
+        names = [mix.name for mix in biglittle_mixes()]
+        assert names == [
+            "compute-on-big",
+            "vector-on-big",
+            "inverted-affinity",
+        ]
+        assert get_biglittle_mix("compute-on-big").name == "compute-on-big"
+        with pytest.raises(KeyError):
+            get_biglittle_mix("nope")
+
+    def test_placement_layout(self):
+        topology = parse_topology("2big-2+3little")
+        mix = get_biglittle_mix("compute-on-big", loop_size=64)
+        placement = mix.placement(topology)
+        assert placement.cores == topology.cores
+        # Big cores carry the big workload on both SMT slots.
+        assert placement.core_groups[0] == (mix.big_workload,) * 2
+        assert placement.core_groups[1] == (mix.big_workload,) * 2
+        # Little cores are SMT-1 and carry the little workload.
+        for group in placement.core_groups[2:]:
+            assert group == (mix.little_workload,)
+        placement.validate_against(topology)
+
+    def test_roles_follow_core_class_not_position(self):
+        topology = parse_topology("2little+2big")
+        mix = get_biglittle_mix("compute-on-big", loop_size=64)
+        placement = mix.placement(topology)
+        assert placement.core_groups[0] == (mix.little_workload,)
+        assert placement.core_groups[-1] == (mix.big_workload,)
+
+    def test_explicit_base_class_spelling_counts_as_big(self):
+        # A big cluster written as core_class="POWER7" (instead of the
+        # base-class None) must still receive the big workload.
+        topology = parse_topology(
+            "2big+2little",
+            core_classes={"big": "POWER7", "little": "POWER7_ECO"},
+        )
+        mix = get_biglittle_mix("compute-on-big", loop_size=64)
+        placement = mix.placement(topology)
+        assert placement.core_groups[0] == (mix.big_workload,)
+        assert placement.core_groups[-1] == (mix.little_workload,)
