@@ -13,6 +13,7 @@ Subcommands::
                 or across heterogeneous big.LITTLE topologies
     campaign    the full section-4 modeling campaign + PAAE report
     stressmark  the section-6 max-power stressmark hunt
+    store       audit (verify) or repair/compact (scrub) a result store
 
 Examples::
 
@@ -20,12 +21,14 @@ Examples::
     python -m repro sweep --topology 8big,4big+4little,8little
     python -m repro campaign --scale 0.05 --loop-size 256 --store .store
     python -m repro -v stressmark --loop-size 384 --parallel 4
+    python -m repro store verify --store .store
 """
 
 from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from collections.abc import Sequence
 
@@ -106,6 +109,19 @@ def _report_store(executor) -> None:
             f"store {store.root}: {store.hits} cells warm, "
             f"{store.misses} measured this run, {len(store)} total"
         )
+        stats = store.fault_stats()
+        if stats:
+            print(
+                "store faults: "
+                + ", ".join(
+                    f"{name}={value}" for name, value in sorted(stats.items())
+                )
+            )
+    # Surface any recovery work (retries, respawns, quarantines) the
+    # run needed; a clean run prints nothing extra.
+    report = getattr(executor, "last_report", None)
+    if report is not None and (report.failures or report.fault_counters):
+        print(f"execution: {report.describe()}")
 
 
 def _report_cache_stats(machine: Machine, args: argparse.Namespace) -> None:
@@ -289,6 +305,44 @@ def _cmd_stressmark(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- store ---------------------------------------------------------------------
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.exec.journal import audit_journals
+    from repro.exec.store import ResultStore
+
+    root = args.store or os.environ.get("REPRO_STORE")
+    if not root:
+        print(
+            "store: no store directory (pass --store DIR or set REPRO_STORE)",
+            file=sys.stderr,
+        )
+        return 2
+    store = ResultStore(root)
+    if args.action == "verify":
+        report = store.verify()
+        print(f"store {store.root}: {report.describe()}")
+        journals = audit_journals(store.root)
+        if journals["runs"]:
+            print(
+                f"journals: {journals['runs']} run(s), "
+                f"{journals['complete']} complete, "
+                f"{journals['interrupted']} interrupted"
+            )
+        if not report.ok:
+            print(
+                "store has damaged records; "
+                "run `python -m repro store scrub` to repair",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    report = store.scrub()
+    print(f"store {store.root}: {report.describe()}")
+    return 0
+
+
 # -- entry point ---------------------------------------------------------------
 
 
@@ -374,6 +428,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(stressmark)
     stressmark.set_defaults(handler=_cmd_stressmark)
+
+    store = subparsers.add_parser(
+        "store", help="audit or repair an on-disk result store"
+    )
+    store.add_argument(
+        "action",
+        choices=("verify", "scrub"),
+        help="verify: read-only audit (checksums, torn tails, run "
+        "journals; exit 1 on damage); scrub: repair and compact "
+        "every shard in place",
+    )
+    store.add_argument(
+        "--store",
+        metavar="DIR",
+        help="store directory (default: the REPRO_STORE environment "
+        "variable)",
+    )
+    store.set_defaults(handler=_cmd_store)
     return parser
 
 

@@ -164,9 +164,25 @@ class MeasurementEvaluator:
             self.config.label,
             plan.size,
         )
-        measurements = self.executor.run(plan)
+        report = self.executor.execute(plan)
         self.measurements += len(points)
-        return [self.objective(measurement) for measurement in measurements]
+        if report.failures:
+            # Quarantine-aware scoring: a point whose cell could not be
+            # measured after retries and the degraded fallback scores
+            # -inf -- searches maximize, so the point simply loses and
+            # the campaign (GA generations, sweeps) carries on instead
+            # of aborting on one bad cell.
+            logger.warning(
+                "scoring %d quarantined point(s) at -inf: %s",
+                len(report.failures),
+                report.describe(),
+            )
+        return [
+            self.objective(measurement)
+            if measurement is not None
+            else float("-inf")
+            for measurement in report
+        ]
 
 
 class CachingEvaluator:

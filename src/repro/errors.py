@@ -77,3 +77,38 @@ class PlanValidationError(MicroProbeError):
 
 class ModelingError(MicroProbeError):
     """Power-model training or application failed."""
+
+
+class FaultInjectedError(MicroProbeError):
+    """A deterministic injected fault fired (chaos testing only).
+
+    Raised by the ``poison`` fault site of
+    :mod:`repro.exec.faults`; never raised in production runs.
+    """
+
+
+class ExecutionError(MicroProbeError):
+    """A plan finished executing with quarantined cells.
+
+    Raised by :meth:`~repro.exec.report.ExecutionReport.require_complete`
+    -- the list-returning ``run()`` convenience of the executors -- when
+    retries *and* the degraded in-process fallback could not measure
+    every cell.  Carries the full :class:`~repro.exec.report.ExecutionReport`
+    as :attr:`report`, so callers can still consume the partial results
+    and the structured per-cell failures.
+    """
+
+    def __init__(self, report) -> None:
+        self.report = report
+        failures = report.failures
+        preview = "; ".join(
+            f"{failure.workload_name} on {failure.config_label} "
+            f"({failure.kind} after {failure.attempts} attempts)"
+            for failure in failures[:3]
+        )
+        if len(failures) > 3:
+            preview += f"; ... {len(failures) - 3} more"
+        super().__init__(
+            f"{len(failures)} of {len(report.measurements)} cells "
+            f"quarantined: {preview}"
+        )

@@ -20,21 +20,31 @@ from repro.exec.executors import (
     SerialExecutor,
     default_executor,
 )
+from repro.exec.faults import FaultPlan, parse_faults
+from repro.exec.journal import RunJournal, run_id
 from repro.exec.plan import (
     ExperimentPlan,
     PlanCell,
     sweep_configs,
     workload_fingerprint,
 )
-from repro.exec.store import ResultStore
+from repro.exec.report import CellFailure, ExecutionReport
+from repro.exec.store import ResultStore, StoreReport
 
 __all__ = [
+    "CellFailure",
+    "ExecutionReport",
     "ExperimentPlan",
+    "FaultPlan",
     "ParallelExecutor",
     "PlanCell",
     "ResultStore",
+    "RunJournal",
     "SerialExecutor",
+    "StoreReport",
     "default_executor",
+    "parse_faults",
+    "run_id",
     "sweep_configs",
     "workload_fingerprint",
 ]

@@ -1,0 +1,197 @@
+"""Per-run journals: crash-safe campaign manifests next to the store.
+
+A store-backed execution writes an append-only journal under
+``<store>/journal/<run_id>.jsonl``.  The run id is content-addressed
+from the plan's store keys (which already fold the architecture
+definition digest, machine seed, workload digests, configuration and
+window), so the *same* campaign always journals to the same file --
+a re-run of an interrupted campaign finds its own half-written journal
+and resumes.
+
+The journal is a *manifest*, not a second store: the
+:class:`~repro.exec.store.ResultStore` remains the source of truth for
+which cells are done (every persisted batch is both appended to the
+store and journaled), and resume works by probing the store per key as
+always.  What the journal adds is run-level accounting that the store's
+flat key space cannot express:
+
+* **interruption visibility** -- a header without a matching
+  ``complete`` line is a campaign that died mid-flight (``kill -9``,
+  OOM, power); the executor logs the resume with how many of the run's
+  cells were already journaled done, and ``python -m repro store
+  verify`` reports interrupted runs;
+* **quarantine memory** -- cells quarantined by a previous attempt are
+  recorded with their failure, so operators can distinguish "never
+  ran" from "ran and kept failing";
+* **fault counters per run** -- the ``complete`` line carries the
+  run's recovery counters, a durable chaos-observability record.
+
+Lines are JSON, one object each::
+
+    {"journal": "repro-run-v1", "run": ..., "cells": N, ...}   header
+    {"done": ["<key>", ...]}                                   per batch
+    {"quarantined": [{...CellFailure...}, ...]}                on failure
+    {"complete": true, "measured": N, "counters": {...}}       trailer
+
+Appends use the same ``flock`` discipline as the store shards; a torn
+journal tail is skipped on read (the store still has the batch).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from repro.hashing import content_hex
+
+logger = logging.getLogger("repro.exec.journal")
+
+FORMAT = "repro-run-v1"
+
+
+def run_id(cell_keys: Sequence[str]) -> str:
+    """Content-addressed identity of one plan execution.
+
+    Derived from the plan's store keys in plan order; the keys already
+    fold everything a measurement depends on, so identical campaigns
+    share a run id across processes and machine reboots.
+    """
+    return content_hex("run-v1|" + "|".join(cell_keys), size=12)
+
+
+class RunJournal:
+    """Append-only manifest of one plan execution."""
+
+    def __init__(self, store_root: str | os.PathLike, run: str) -> None:
+        self.run = run
+        self.directory = Path(store_root) / "journal"
+        self.path = self.directory / f"{run}.jsonl"
+        #: Keys journaled done by this or a previous attempt of the run.
+        self.done: set[str] = set()
+        #: CellFailure dicts quarantined by previous attempts.
+        self.prior_failures: list[dict] = []
+        #: Whether a previous attempt finished cleanly.
+        self.completed = False
+        #: Whether this run resumes an interrupted predecessor.
+        self.resumed = False
+        self._load()
+
+    # -- reading ---------------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            logger.warning("cannot read run journal %s: %s", self.path, exc)
+            return
+        header_seen = False
+        for line in data.split(b"\n"):
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                # A torn tail from a kill mid-append: the store still
+                # holds the batch; skip the remnant.
+                logger.warning(
+                    "skipping torn line in run journal %s", self.path
+                )
+                continue
+            if entry.get("journal") == FORMAT:
+                header_seen = True
+            elif "done" in entry:
+                self.done.update(entry["done"])
+            elif "quarantined" in entry:
+                self.prior_failures.extend(entry["quarantined"])
+            elif entry.get("complete"):
+                self.completed = True
+        self.resumed = header_seen and not self.completed
+
+    # -- writing ---------------------------------------------------------------
+
+    def _append(self, entry: dict) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            line = json.dumps(entry, sort_keys=True).encode() + b"\n"
+            with self.path.open("ab") as handle:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    handle.write(line)
+                    handle.flush()
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except OSError as exc:
+            # The journal is observability, never load-bearing for
+            # results: losing a line degrades resume *reporting*, not
+            # resume correctness (the store is the source of truth).
+            logger.warning("cannot append to run journal %s: %s", self.path, exc)
+
+    def start(self, total_cells: int, description: str) -> None:
+        """Journal the run header (once per attempt)."""
+        self._append(
+            {
+                "journal": FORMAT,
+                "run": self.run,
+                "cells": total_cells,
+                "plan": description,
+                "resumed": self.resumed,
+            }
+        )
+        if self.resumed:
+            logger.info(
+                "resuming interrupted run %s: %d of %d cells journaled "
+                "done by the previous attempt",
+                self.run,
+                len(self.done),
+                total_cells,
+            )
+
+    def mark_done(self, keys: Iterable[str]) -> None:
+        """Journal one persisted batch."""
+        fresh = [key for key in keys if key not in self.done]
+        if not fresh:
+            return
+        self.done.update(fresh)
+        self._append({"done": fresh})
+
+    def mark_quarantined(self, failures: Sequence) -> None:
+        """Journal quarantined cells (CellFailure instances)."""
+        if failures:
+            self._append(
+                {"quarantined": [failure.to_dict() for failure in failures]}
+            )
+
+    def complete(self, measured: int, counters: dict) -> None:
+        """Journal the clean end of the run."""
+        self.completed = True
+        self._append(
+            {"complete": True, "measured": measured, "counters": counters}
+        )
+
+
+def audit_journals(store_root: str | os.PathLike) -> dict[str, int]:
+    """Run-journal summary for ``store verify``: total/complete/interrupted."""
+    directory = Path(store_root) / "journal"
+    totals = {"runs": 0, "complete": 0, "interrupted": 0}
+    if not directory.is_dir():
+        return totals
+    for path in sorted(directory.glob("*.jsonl")):
+        journal = RunJournal(store_root, path.stem)
+        totals["runs"] += 1
+        if journal.completed:
+            totals["complete"] += 1
+        else:
+            totals["interrupted"] += 1
+    return totals

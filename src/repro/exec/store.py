@@ -21,6 +21,19 @@ never degrades as the store grows.  Appends take an exclusive
 and write the whole batch with a single ``write`` call.  Re-written
 keys simply append a newer line; readers index the shard last-wins.
 
+Integrity: every record written by this version carries a content
+checksum (``"sum"``, over the key and the canonical measurement JSON).
+Reads verify it, so a torn or bit-flipped record is *quarantined* --
+counted, logged, served as a miss so the executor re-measures and
+overwrites it -- never silently returned and never a crash.  Lines
+written before checksums existed parse fine (they simply skip the
+check).  :meth:`verify` audits the whole store without modifying it;
+:meth:`scrub` compacts each shard to the newest valid record per key,
+dropping corrupt lines and upgrading legacy lines to checksummed ones.
+Swallowed I/O errors are counted too (:meth:`fault_stats`, warn-once
+per shard), so a half-unreadable store is visible instead of quietly
+re-measuring everything.
+
 Reads are served from a lazy per-shard offset index: the first lookup
 touching a shard scans it once, later lookups seek straight to the
 line (verifying the key, so an externally rewritten shard is a miss,
@@ -33,7 +46,9 @@ warm stores keep serving.
 
 Shard locking uses POSIX ``flock``; on platforms without ``fcntl``
 (Windows) appends are lock-free and a store directory should have a
-single writer at a time (readers are always safe).
+single writer at a time (readers are always safe).  :meth:`scrub`
+replaces shard files and must not race concurrent *writers* (readers
+are safe): run it between campaigns.
 """
 
 from __future__ import annotations
@@ -42,6 +57,7 @@ import json
 import logging
 import os
 from collections.abc import Sequence
+from dataclasses import dataclass, field
 from pathlib import Path
 
 try:  # POSIX shard locking; on platforms without fcntl the store
@@ -49,6 +65,8 @@ try:  # POSIX shard locking; on platforms without fcntl the store
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+from repro.exec import faults
+from repro.hashing import content_hex
 from repro.measure.measurement import Measurement
 
 logger = logging.getLogger("repro.exec.store")
@@ -57,10 +75,71 @@ logger = logging.getLogger("repro.exec.store")
 FORMAT = "repro-result-v1"
 
 
+def record_checksum(key: str, measurement_dict: dict) -> str:
+    """Content checksum of one record: key + canonical measurement JSON.
+
+    JSON round-trips floats at shortest-repr precision, so re-dumping a
+    parsed record reproduces the canonical text -- and therefore the
+    checksum -- exactly; any torn or bit-flipped payload that still
+    parses as JSON changes it.
+    """
+    return content_hex(
+        "sum-v1|" + key + "|" + json.dumps(measurement_dict, sort_keys=True),
+        size=8,
+    )
+
+
+def render_record(key: str, measurement_dict: dict) -> bytes:
+    """One checksummed store line (newline-terminated).
+
+    The measurement is serialized exactly once and the record assembled
+    around that canonical text -- byte-identical to dumping the whole
+    record with ``sort_keys=True``, but half the serialization work,
+    and it guarantees the canonical measurement bytes appear verbatim
+    in the line so readers can verify the checksum with a slice and a
+    hash instead of a re-serialization (see :func:`_checksum_matches`).
+    """
+    body = json.dumps(measurement_dict, sort_keys=True)
+    digest = content_hex("sum-v1|" + key + "|" + body, size=8)
+    return (
+        '{"format": "%s", "key": %s, "measurement": %s, "sum": "%s"}\n'
+        % (FORMAT, json.dumps(key), body, digest)
+    ).encode()
+
+
+_MEASUREMENT_FIELD = b'"measurement": '
+_SUM_FIELD = b', "sum": "'
+_KEY_PREFIX = b'{"format": "' + FORMAT.encode() + b'", "key": "'
+
+
+def _checksum_matches(
+    key: str, recorded: str, raw: bytes, measurement_dict: dict
+) -> bool:
+    """Whether a record's checksum verifies, preferring the raw bytes.
+
+    Lines written by :func:`render_record` carry the canonical
+    measurement text verbatim between the ``measurement`` field and the
+    trailing ``sum`` field, so the common case is a slice and a hash.
+    ``rfind`` is safe: nothing after the *real* sum separator but the
+    checksum hex and the closing brace.  Foreign formatting (re-written
+    or hand-edited lines) falls back to the canonical recompute.
+    """
+    start = raw.find(_MEASUREMENT_FIELD)
+    end = raw.rfind(_SUM_FIELD)
+    if start != -1 and end > start:
+        body = raw[start + len(_MEASUREMENT_FIELD) : end]
+        if (
+            content_hex("sum-v1|" + key + "|" + body.decode(), size=8)
+            == recorded
+        ):
+            return True
+    return recorded == record_checksum(key, measurement_dict)
+
+
 class _Shard:
     """Offset index of one shard file."""
 
-    __slots__ = ("path", "offsets", "scanned")
+    __slots__ = ("path", "offsets", "scanned", "handle")
 
     def __init__(self, path: Path) -> None:
         self.path = path
@@ -68,6 +147,99 @@ class _Shard:
         self.offsets: dict[str, tuple[int, int]] = {}
         #: How far into the file the index has scanned.
         self.scanned = 0
+        #: Lazy persistent read handle.  Shards are append-only (a
+        #: handle always sees later appends), so one open serves every
+        #: read; :meth:`ResultStore.scrub` replaces shard files and
+        #: invalidates these.
+        self.handle = None
+
+    def reader(self):
+        if self.handle is None:
+            self.handle = self.path.open("rb")
+        return self.handle
+
+    def invalidate(self) -> None:
+        """Drop the cached handle and index (file was replaced)."""
+        if self.handle is not None:
+            self.handle.close()
+            self.handle = None
+        self.offsets.clear()
+        self.scanned = 0
+
+
+@dataclass
+class StoreReport:
+    """What :meth:`ResultStore.verify`/:meth:`~ResultStore.scrub` found.
+
+    ``records`` counts parsed lines (superseded duplicates included);
+    ``keys`` distinct newest keys.  A store is :attr:`ok` when nothing
+    is corrupt, mismatched or torn.
+    """
+
+    shards: int = 0
+    records: int = 0
+    keys: int = 0
+    checksummed: int = 0
+    legacy_lines: int = 0
+    legacy_files: int = 0
+    corrupt_lines: int = 0
+    checksum_mismatches: int = 0
+    torn_tails: int = 0
+    #: scrub only: invalid lines dropped / superseded duplicates removed.
+    dropped: int = 0
+    compacted: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.corrupt_lines or self.checksum_mismatches or self.torn_tails
+        )
+
+    def describe(self) -> str:
+        text = (
+            f"{self.shards} shard(s), {self.records} record(s), "
+            f"{self.keys} key(s): {self.checksummed} checksummed, "
+            f"{self.legacy_lines} legacy line(s), "
+            f"{self.legacy_files} legacy file(s)"
+        )
+        if not self.ok:
+            text += (
+                f"; CORRUPTION: {self.corrupt_lines} unparseable, "
+                f"{self.checksum_mismatches} checksum mismatch(es), "
+                f"{self.torn_tails} torn tail(s)"
+            )
+        if self.dropped or self.compacted:
+            text += (
+                f"; scrubbed: {self.dropped} invalid line(s) dropped, "
+                f"{self.compacted} superseded line(s) compacted"
+            )
+        return text
+
+
+def _classify_line(line: bytes) -> tuple[str, str | None, dict | None]:
+    """(status, key, payload) of one shard line.
+
+    Status is ``ok`` (checksummed and verified), ``legacy`` (pre-checksum
+    line, parseable), ``mismatch`` (checksum failed) or ``corrupt``
+    (unparseable / wrong shape).
+    """
+    try:
+        payload = json.loads(line)
+        key = str(payload["key"])
+        measurement = payload["measurement"]
+        if payload.get("format") != FORMAT or not isinstance(
+            measurement, dict
+        ):
+            return ("corrupt", None, None)
+    except (ValueError, KeyError, TypeError):
+        return ("corrupt", None, None)
+    recorded = payload.get("sum")
+    if recorded is None:
+        return ("legacy", key, payload)
+    if not _checksum_matches(key, recorded, line, measurement):
+        return ("mismatch", key, payload)
+    return ("ok", key, payload)
 
 
 class ResultStore:
@@ -80,7 +252,53 @@ class ResultStore:
         #: Cells served from disk / missed since construction.
         self.hits = 0
         self.misses = 0
+        #: Fault visibility: swallowed I/O errors, quarantined corrupt
+        #: records, repaired torn tails (see :meth:`fault_stats`).
+        self.io_errors = 0
+        self.checksum_failures = 0
+        self.corrupt_records = 0
+        self.torn_tails_repaired = 0
+        self._io_warned: set[str] = set()
         self._shards: dict[str, _Shard] = {}
+
+    # -- fault accounting ------------------------------------------------------
+
+    def fault_stats(self) -> dict[str, int]:
+        """Non-zero fault counters since construction.
+
+        ``io_errors`` are OSErrors swallowed as misses (a half-unreadable
+        store re-measures loudly, not quietly); ``checksum_failures``
+        and ``corrupt_records`` are quarantined records;
+        ``torn_tails_repaired`` counts crashed-writer remnants appends
+        healed.
+        """
+        counters = {
+            "io_errors": self.io_errors,
+            "checksum_failures": self.checksum_failures,
+            "corrupt_records": self.corrupt_records,
+            "torn_tails_repaired": self.torn_tails_repaired,
+        }
+        return {name: value for name, value in counters.items() if value}
+
+    def _count_io_error(self, path: Path, exc: OSError) -> None:
+        """Count a swallowed OSError, warning once per shard path."""
+        self.io_errors += 1
+        name = str(path)
+        if name not in self._io_warned:
+            self._io_warned.add(name)
+            logger.warning(
+                "store I/O error on %s (treated as a miss; further "
+                "errors on this shard counted silently): %s",
+                path,
+                exc,
+            )
+
+    def close(self) -> None:
+        """Release cached shard read handles (indexes are kept)."""
+        for shard in self._shards.values():
+            if shard.handle is not None:
+                shard.handle.close()
+                shard.handle = None
 
     # -- shard plumbing --------------------------------------------------------
 
@@ -102,33 +320,46 @@ class ResultStore:
         if size <= shard.scanned:
             return
         try:
-            with shard.path.open("rb") as handle:
-                handle.seek(shard.scanned)
-                offset = shard.scanned
-                for line in handle:
-                    if not line.endswith(b"\n"):
-                        # Unterminated tail: a concurrent writer's
-                        # append that is only partially visible (or a
-                        # crashed writer's remnant).  Do not advance
-                        # past it -- the next refresh re-reads from
-                        # here, picking the line up once its remaining
-                        # bytes land.
-                        break
-                    self._index_line(shard, line, offset, len(line))
-                    offset += len(line)
-                shard.scanned = offset
-        except OSError as exc:  # pragma: no cover - foreign permissions
-            logger.warning("cannot scan store shard %s: %s", shard.path, exc)
+            handle = shard.reader()
+            handle.seek(shard.scanned)
+            offset = shard.scanned
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    # Unterminated tail: a concurrent writer's
+                    # append that is only partially visible (or a
+                    # crashed writer's remnant).  Do not advance
+                    # past it -- the next refresh re-reads from
+                    # here, picking the line up once its remaining
+                    # bytes land.
+                    break
+                self._index_line(shard, line, offset, len(line))
+                offset += len(line)
+            shard.scanned = offset
+        except OSError as exc:
+            self._count_io_error(shard.path, exc)
 
     def _index_line(
         self, shard: _Shard, line: bytes, offset: int, length: int
     ) -> None:
         # Only the key is needed for the index; the payload is parsed
-        # on ``get``.  Unparseable lines are skipped (a miss at worst).
+        # on ``get``.  Lines this store wrote (both generations render
+        # with ``sort_keys``) open with a fixed prefix, so the key is a
+        # slice -- no JSON parse per line while scanning a shard.
+        # Foreign formatting falls back to a full parse; unparseable
+        # lines are skipped (a miss at worst).
+        if line.startswith(_KEY_PREFIX):
+            end = line.find(b'"', len(_KEY_PREFIX))
+            if end != -1:
+                shard.offsets[line[len(_KEY_PREFIX) : end].decode()] = (
+                    offset,
+                    length,
+                )
+                return
         try:
             payload = json.loads(line)
             key = payload["key"]
         except (ValueError, KeyError, TypeError):
+            self.corrupt_records += 1
             logger.warning(
                 "skipping unreadable line in store shard %s @%d",
                 shard.path,
@@ -137,10 +368,10 @@ class ResultStore:
             return
         shard.offsets[str(key)] = (offset, length)
 
-    def _read_at(self, shard: _Shard, offset: int, length: int):
-        with shard.path.open("rb") as handle:
-            handle.seek(offset)
-            return json.loads(handle.read(length))
+    def _read_at(self, shard: _Shard, offset: int, length: int) -> bytes:
+        handle = shard.reader()
+        handle.seek(offset)
+        return handle.read(length)
 
     # -- legacy per-cell-file layout -------------------------------------------
 
@@ -158,7 +389,11 @@ class ResultStore:
             return Measurement.from_dict(payload["measurement"])
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, KeyError, TypeError) as exc:
+        except OSError as exc:
+            self._count_io_error(path, exc)
+            return None
+        except (ValueError, KeyError, TypeError) as exc:
+            self.corrupt_records += 1
             logger.warning(
                 "discarding unreadable store entry %s: %s", path, exc
             )
@@ -169,8 +404,10 @@ class ResultStore:
     def get(self, key: str) -> Measurement | None:
         """The stored measurement for ``key``, or ``None`` on a miss.
 
-        Unreadable or format-mismatched entries count as misses (the
-        executor re-measures and overwrites them).
+        Unreadable, corrupt (checksum-mismatched) or format-mismatched
+        entries are quarantined: counted in :meth:`fault_stats`, logged,
+        and served as misses so the executor re-measures and overwrites
+        them.
         """
         shard = self._shard(key)
         location = shard.offsets.get(key)
@@ -186,7 +423,19 @@ class ResultStore:
             self.misses += 1
             return None
         try:
-            payload = self._read_at(shard, *location)
+            fault_plan = faults.active()
+            if fault_plan is not None:
+                fault_plan.maybe_io_error(f"get:{key}")
+            raw = self._read_at(shard, *location)
+        except OSError as exc:
+            self._count_io_error(shard.path, exc)
+            self.misses += 1
+            return None
+        try:
+            # Parsing is inside the quarantine block: the key-slice
+            # index never parsed this line, so it may be a crashed
+            # writer's torn remnant.
+            payload = json.loads(raw)
             if payload.get("format") != FORMAT:
                 raise ValueError(
                     f"unknown store format {payload.get('format')!r}"
@@ -198,8 +447,23 @@ class ResultStore:
                 raise ValueError(
                     f"stale shard index: found {payload.get('key')!r}"
                 )
+            recorded = payload.get("sum")
+            if recorded is not None and not _checksum_matches(
+                key, recorded, raw, payload["measurement"]
+            ):
+                self.checksum_failures += 1
+                logger.warning(
+                    "quarantining corrupt store record %s[%s]: "
+                    "checksum mismatch (re-measuring; run "
+                    "`python -m repro store scrub` to repair the shard)",
+                    shard.path,
+                    key,
+                )
+                self.misses += 1
+                return None
             measurement = Measurement.from_dict(payload["measurement"])
-        except (OSError, ValueError, KeyError, TypeError) as exc:
+        except (ValueError, KeyError, TypeError) as exc:
+            self.corrupt_records += 1
             logger.warning(
                 "discarding unreadable store entry %s[%s]: %s",
                 shard.path,
@@ -220,31 +484,51 @@ class ResultStore:
     ) -> None:
         """Persist a whole batch: one locked append per touched shard.
 
-        The batch groups by shard, each shard's lines are rendered and
-        written with a single ``write`` under an exclusive ``flock``,
-        and the in-memory index is updated from the append position --
-        O(batch) work and O(shards-touched) syscall round trips, no
-        matter how large the store already is.
+        The batch groups by shard, each shard's lines are rendered
+        (checksummed) and written with a single ``write`` under an
+        exclusive ``flock``, and the in-memory index is updated from
+        the append position -- O(batch) work and O(shards-touched)
+        syscall round trips, no matter how large the store already is.
+        Raises ``OSError`` on I/O failure; the executors retry with
+        bounded backoff (results are never lost to a failed append --
+        at worst the cells re-measure next run).
         """
+        fault_plan = faults.active()
         by_shard: dict[str, list[tuple[str, Measurement]]] = {}
         for key, measurement in entries:
             by_shard.setdefault(key[:2], []).append((key, measurement))
         for name, batch in by_shard.items():
             shard = self._shard(batch[0][0])
+            if fault_plan is not None:
+                fault_plan.maybe_io_error(f"put:{name}")
             lines = []
             rendered = []
             for key, measurement in batch:
-                line = (
-                    json.dumps(
-                        {
-                            "format": FORMAT,
-                            "key": key,
-                            "measurement": measurement.to_dict(),
-                        },
-                        sort_keys=True,
-                    ).encode()
-                    + b"\n"
-                )
+                payload_dict = measurement.to_dict()
+                if fault_plan is not None and fault_plan.fire(
+                    "corrupt", f"put:{key}"
+                ):
+                    # Tamper *after* the checksum is computed: the
+                    # written record lies, and only the read-side
+                    # verification can catch it.
+                    digest = record_checksum(key, payload_dict)
+                    payload_dict = dict(
+                        payload_dict, mean_power=payload_dict["mean_power"] + 1.0
+                    )
+                    line = (
+                        json.dumps(
+                            {
+                                "format": FORMAT,
+                                "key": key,
+                                "measurement": payload_dict,
+                                "sum": digest,
+                            },
+                            sort_keys=True,
+                        ).encode()
+                        + b"\n"
+                    )
+                else:
+                    line = render_record(key, payload_dict)
                 lines.append(line)
                 rendered.append((key, len(line)))
             payload = b"".join(lines)
@@ -261,6 +545,21 @@ class ResultStore:
                             if reader.read(1) != b"\n":
                                 handle.write(b"\n")
                                 end += 1
+                                self.torn_tails_repaired += 1
+                                logger.warning(
+                                    "repaired torn tail in store shard %s "
+                                    "(a previous writer crashed mid-append)",
+                                    shard.path,
+                                )
+                    if fault_plan is not None and fault_plan.fire(
+                        "torn", f"put:{name}"
+                    ):  # pragma: no cover - kills the process
+                        # Simulate `kill -9` mid-write: half the payload
+                        # lands, then the process is gone.
+                        handle.write(payload[: max(1, len(payload) // 2)])
+                        handle.flush()
+                        logging.shutdown()
+                        os._exit(109)
                     handle.write(payload)
                     handle.flush()
                 finally:
@@ -272,6 +571,136 @@ class ResultStore:
                 offset += length
             if shard.scanned == end:
                 shard.scanned = offset
+
+    # -- integrity audit / repair ----------------------------------------------
+
+    def _shard_paths(self) -> list[Path]:
+        return sorted(self.shard_dir.glob("??.jsonl"))
+
+    def verify(self) -> StoreReport:
+        """Audit every shard without modifying anything.
+
+        Counts parseable records, checksummed vs legacy lines, corrupt
+        lines, checksum mismatches and torn (unterminated) tails; the
+        report's :attr:`~StoreReport.ok` is the clean-store verdict.
+        """
+        report = StoreReport()
+        keys: set[str] = set()
+        for path in self._shard_paths():
+            report.shards += 1
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                self._count_io_error(path, exc)
+                report.problems.append(f"{path.name}: unreadable ({exc})")
+                continue
+            lines = data.split(b"\n")
+            torn = lines.pop() if lines and lines[-1] else None
+            for number, raw in enumerate(lines):
+                if not raw:
+                    continue
+                status, key, _payload = _classify_line(raw)
+                if status == "corrupt":
+                    report.corrupt_lines += 1
+                    report.problems.append(
+                        f"{path.name}:{number + 1}: unparseable record"
+                    )
+                    continue
+                report.records += 1
+                keys.add(key)
+                if status == "legacy":
+                    report.legacy_lines += 1
+                elif status == "mismatch":
+                    report.checksum_mismatches += 1
+                    report.problems.append(
+                        f"{path.name}:{number + 1}: checksum mismatch "
+                        f"on {key}"
+                    )
+                else:
+                    report.checksummed += 1
+            if torn is not None:
+                report.torn_tails += 1
+                report.problems.append(
+                    f"{path.name}: torn tail ({len(torn)} bytes, no "
+                    "trailing newline)"
+                )
+        report.legacy_files = sum(1 for _ in self.root.glob("??/*.json"))
+        report.keys = len(keys)
+        return report
+
+    def scrub(self) -> StoreReport:
+        """Repair and compact every shard in place.
+
+        Each shard is rewritten -- under its exclusive ``flock``, via an
+        atomic replace -- keeping only the newest *valid* record per
+        key: corrupt lines, checksum mismatches and torn tails are
+        dropped (their cells simply re-measure next run), superseded
+        duplicates are compacted away, and legacy pre-checksum lines
+        are upgraded to checksummed ones.  Concurrent *readers* stay
+        safe throughout (their stale offsets fail the key check and
+        re-scan); do not scrub under concurrent writers.
+        """
+        report = StoreReport()
+        keys: set[str] = set()
+        for path in self._shard_paths():
+            report.shards += 1
+            try:
+                with path.open("r+b") as handle:
+                    if fcntl is not None:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                    try:
+                        data = handle.read()
+                        lines = data.split(b"\n")
+                        torn = lines.pop() if lines and lines[-1] else None
+                        newest: dict[str, bytes] = {}
+                        for raw in lines:
+                            if not raw:
+                                continue
+                            status, key, payload = _classify_line(raw)
+                            if status in ("corrupt", "mismatch"):
+                                report.dropped += 1
+                                if status == "mismatch":
+                                    report.checksum_mismatches += 1
+                                else:
+                                    report.corrupt_lines += 1
+                                continue
+                            report.records += 1
+                            if key in newest:
+                                report.compacted += 1
+                            if status == "legacy":
+                                report.legacy_lines += 1
+                            # Upgrades legacy lines to checksummed form;
+                            # already-checksummed lines re-render to the
+                            # identical bytes.
+                            newest[key] = render_record(
+                                key, payload["measurement"]
+                            )
+                        if torn is not None:
+                            report.torn_tails += 1
+                            report.dropped += 1
+                        replacement = b"".join(newest.values())
+                        temp = path.with_name(path.name + ".scrub")
+                        temp.write_bytes(replacement)
+                        os.replace(temp, path)
+                        keys.update(newest)
+                        report.checksummed += len(newest)
+                    finally:
+                        if fcntl is not None:
+                            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError as exc:
+                self._count_io_error(path, exc)
+                report.problems.append(f"{path.name}: unreadable ({exc})")
+                continue
+            # The rewritten shard invalidates this process's offsets
+            # and cached read handle; the next lookup rescans.
+            stale = self._shards.pop(path.stem, None)
+            if stale is not None:
+                stale.invalidate()
+        report.legacy_files = sum(1 for _ in self.root.glob("??/*.json"))
+        report.keys = len(keys)
+        return report
+
+    # -- enumeration -----------------------------------------------------------
 
     def __contains__(self, key: str) -> bool:
         shard = self._shard(key)

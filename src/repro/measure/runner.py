@@ -61,6 +61,15 @@ class MeasurementRunner:
         # (configuration, window) serves every baseline request.
         self._baselines: dict[tuple[MachineConfig, float], Measurement] = {}
 
+    @property
+    def last_report(self):
+        """The executor's :class:`~repro.exec.report.ExecutionReport`
+        for the most recent campaign (fault counters, quarantined
+        cells), or ``None`` before the first run.  Runner entry points
+        raise :class:`~repro.errors.ExecutionError` on quarantined
+        cells -- the raised error carries the same report."""
+        return self.executor.last_report
+
     def run(self, workload, config: MachineConfig) -> Measurement:
         """Measure one workload on one configuration."""
         from repro.exec.plan import ExperimentPlan

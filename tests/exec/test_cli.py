@@ -164,3 +164,55 @@ class TestHeterogeneousSweepCommand:
                 [command, "--no-vector", "--cache-stats"]
             )
             assert args.no_vector and args.cache_stats
+
+
+class TestStoreCommand:
+    def _populate(self, tmp_path):
+        argv = [
+            "sweep",
+            "--workloads",
+            "daxpy",
+            "--configs",
+            "1-1",
+            "--loop-size",
+            "96",
+            "--duration",
+            "1",
+            "--store",
+            str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+
+    def test_verify_clean_store(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "checksummed" in out
+        assert "journals: 1 run(s), 1 complete, 0 interrupted" in out
+
+    def test_verify_flags_damage_then_scrub_repairs(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        store_dir = tmp_path / "store"
+        shard = next((store_dir / "shards").glob("??.jsonl"))
+        with shard.open("ab") as handle:
+            handle.write(b"{garbage\n")
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", str(store_dir)]) == 1
+        captured = capsys.readouterr()
+        assert "CORRUPTION" in captured.out
+        assert "scrub" in captured.err
+        assert main(["store", "scrub", "--store", str(store_dir)]) == 0
+        assert "dropped" in capsys.readouterr().out
+        assert main(["store", "verify", "--store", str(store_dir)]) == 0
+
+    def test_store_dir_from_environment(self, capsys, tmp_path, monkeypatch):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        assert main(["store", "verify"]) == 0
+
+    def test_missing_store_dir_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert main(["store", "verify"]) == 2
+        assert "no store directory" in capsys.readouterr().err

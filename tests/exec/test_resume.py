@@ -1,0 +1,252 @@
+"""Crash-safe resume: kill -9 a campaign, rerun, measure only the rest.
+
+The journal satellite's acceptance test uses a *real* SIGKILL against a
+real store-backed campaign subprocess -- no cooperative shutdown, no
+mocked signals -- then asserts the rerun serves every already-persisted
+cell from the store and the run journal records the interruption.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.exec import (
+    ExperimentPlan,
+    ResultStore,
+    RunJournal,
+    SerialExecutor,
+    run_id,
+)
+from repro.exec.journal import audit_journals
+from repro.exec.report import CellFailure
+from repro.sim import Machine, MachineConfig
+
+_DURATION = 1.0
+
+
+class TestRunJournalUnit:
+    def test_run_id_content_addressed(self):
+        assert run_id(["a", "b"]) == run_id(["a", "b"])
+        assert run_id(["a", "b"]) != run_id(["b", "a"])
+        assert len(run_id(["a"])) == 24  # hex of 12 bytes
+
+    def test_fresh_journal_lifecycle(self, tmp_path):
+        journal = RunJournal(tmp_path, "deadbeef")
+        assert not journal.resumed and not journal.completed
+        journal.start(4, "test plan")
+        journal.mark_done(["k1", "k2"])
+        journal.mark_done(["k2", "k3"])  # k2 deduplicated
+        journal.complete(3, {"retries": 1})
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "journal" / "deadbeef.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        assert lines[0]["journal"] == "repro-run-v1"
+        assert lines[1]["done"] == ["k1", "k2"]
+        assert lines[2]["done"] == ["k3"]
+        assert lines[3] == {
+            "complete": True,
+            "counters": {"retries": 1},
+            "measured": 3,
+        }
+
+    def test_interrupted_journal_resumes(self, tmp_path):
+        first = RunJournal(tmp_path, "cafe")
+        first.start(4, "plan")
+        first.mark_done(["k1", "k2"])
+        # No complete line: the campaign died here.
+        second = RunJournal(tmp_path, "cafe")
+        assert second.resumed
+        assert second.done == {"k1", "k2"}
+        second.start(4, "plan")
+        second.mark_done(["k3", "k4"])
+        second.complete(2, {})
+        third = RunJournal(tmp_path, "cafe")
+        assert third.completed and not third.resumed
+        assert third.done == {"k1", "k2", "k3", "k4"}
+
+    def test_torn_journal_line_is_skipped(self, tmp_path):
+        journal = RunJournal(tmp_path, "beef")
+        journal.start(2, "plan")
+        journal.mark_done(["k1"])
+        path = tmp_path / "journal" / "beef.jsonl"
+        with path.open("ab") as handle:
+            handle.write(b'{"done": ["k2"')  # kill -9 mid-append
+        reloaded = RunJournal(tmp_path, "beef")
+        assert reloaded.done == {"k1"}
+        assert reloaded.resumed
+
+    def test_quarantine_memory(self, tmp_path):
+        journal = RunJournal(tmp_path, "f00d")
+        journal.start(1, "plan")
+        failure = CellFailure(
+            workload_name="bad",
+            config_label="1-1",
+            duration=1.0,
+            attempts=3,
+            kind="FaultInjectedError",
+            message="poisoned",
+        )
+        journal.mark_quarantined([failure])
+        reloaded = RunJournal(tmp_path, "f00d")
+        assert [
+            CellFailure.from_dict(entry) for entry in reloaded.prior_failures
+        ] == [failure]
+
+    def test_audit_counts_complete_and_interrupted(self, tmp_path):
+        done = RunJournal(tmp_path, "aaaa")
+        done.start(1, "plan")
+        done.complete(1, {})
+        RunJournal(tmp_path, "bbbb").start(1, "plan")
+        assert audit_journals(tmp_path) == {
+            "runs": 2,
+            "complete": 1,
+            "interrupted": 1,
+        }
+        assert audit_journals(tmp_path / "missing") == {
+            "runs": 0,
+            "complete": 0,
+            "interrupted": 0,
+        }
+
+    def test_unwritable_journal_never_breaks_execution(
+        self, power7_arch, small_kernel_factory, tmp_path, monkeypatch
+    ):
+        """The journal is observability, not a second store: losing it
+        must not fail the campaign."""
+        store = ResultStore(tmp_path / "store")
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+        )
+        import pathlib
+
+        original_open = pathlib.Path.open
+
+        def journal_volume_unwritable(self, *args, **kwargs):
+            if self.parent.name == "journal":
+                raise OSError("injected: journal volume unwritable")
+            return original_open(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "open", journal_volume_unwritable)
+        measurements = SerialExecutor(
+            Machine(power7_arch), store=store
+        ).run(plan)
+        assert len(measurements) == 1 and len(store) == 1
+
+
+def _campaign_script(store_dir: str) -> str:
+    """A store-backed serial sweep, paced so it can be killed mid-run."""
+    return textwrap.dedent(
+        f"""
+        from repro.exec import ExperimentPlan, ResultStore, SerialExecutor
+        from repro.march import get_architecture
+        from repro.sim import Machine, MachineConfig
+        from repro.workloads import daxpy_kernels
+
+        arch = get_architecture("POWER7")
+        machine = Machine(arch)
+        plan = ExperimentPlan.cross(
+            [daxpy_kernels(arch, loop_size=96)[0]],
+            [
+                MachineConfig(1, 1), MachineConfig(2, 1), MachineConfig(2, 2),
+                MachineConfig(4, 1), MachineConfig(4, 2), MachineConfig(4, 4),
+            ],
+            duration=1.0,
+        )
+        SerialExecutor(machine, store=ResultStore({store_dir!r})).run(plan)
+        print("COMPLETED")
+        """
+    )
+
+
+def _subprocess_env(fault_spec: str | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p
+    )
+    env.pop("REPRO_FAULTS", None)
+    if fault_spec:
+        env["REPRO_FAULTS"] = fault_spec
+    return env
+
+
+class TestKillNineResume:
+    def test_sigkilled_campaign_resumes_from_store(self, tmp_path):
+        store_dir = tmp_path / "store"
+        # Each configuration batch sleeps 0.5 s before measuring, so
+        # the campaign is killable between durable batches.
+        process = subprocess.Popen(
+            [sys.executable, "-c", _campaign_script(str(store_dir))],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=_subprocess_env("slow:1,slow_s:0.5"),
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while len(ResultStore(store_dir)) < 2:
+                assert time.monotonic() < deadline, "no progress to kill"
+                if process.poll() is not None:  # pragma: no cover
+                    pytest.fail(
+                        "campaign finished before it could be killed: "
+                        + process.communicate()[1]
+                    )
+                time.sleep(0.05)
+            os.kill(process.pid, signal.SIGKILL)
+            process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.communicate()
+        assert process.returncode == -signal.SIGKILL
+
+        persisted = len(ResultStore(store_dir))
+        assert 2 <= persisted < 6
+
+        # The journal knows the run died mid-flight.
+        audit = audit_journals(store_dir)
+        assert audit == {"runs": 1, "complete": 0, "interrupted": 1}
+        (journal_path,) = (store_dir / "journal").glob("*.jsonl")
+        interrupted = RunJournal(store_dir, journal_path.stem)
+        assert interrupted.resumed
+        assert 1 <= len(interrupted.done) <= persisted
+
+        # The rerun (same plan, same store) measures only the rest.
+        from repro.march import get_architecture
+        from repro.workloads import daxpy_kernels
+
+        arch = get_architecture("POWER7")
+        machine = Machine(arch)
+        plan = ExperimentPlan.cross(
+            [daxpy_kernels(arch, loop_size=96)[0]],
+            [
+                MachineConfig(1, 1), MachineConfig(2, 1), MachineConfig(2, 2),
+                MachineConfig(4, 1), MachineConfig(4, 2), MachineConfig(4, 4),
+            ],
+            duration=_DURATION,
+        )
+        store = ResultStore(store_dir)
+        executor = SerialExecutor(machine, store=store)
+        report = executor.execute(plan)
+        assert report.ok
+        assert store.hits == persisted
+        assert store.misses == 6 - persisted
+
+        # Same run id as the killed attempt; now journaled complete.
+        assert audit_journals(store_dir) == {
+            "runs": 1,
+            "complete": 1,
+            "interrupted": 0,
+        }
+
+        # And the measurements are bit-identical to a fault-free run.
+        clean = SerialExecutor(Machine(get_architecture("POWER7"))).run(plan)
+        assert list(report) == clean
