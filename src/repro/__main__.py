@@ -14,6 +14,14 @@ Subcommands::
     campaign    the full section-4 modeling campaign + PAAE report
     stressmark  the section-6 max-power stressmark hunt
     store       audit (verify) or repair/compact (scrub) a result store
+    serve       run the campaign service: a resident, multi-tenant
+                measurement server over HTTP/JSON
+
+Any measuring subcommand accepts ``--server URL`` to execute its plan
+on a running campaign service instead of in-process -- results are
+bit-identical either way, but the service keeps machines, caches, the
+worker pool and the store resident across clients and dedupes
+overlapping in-flight plans.
 
 Examples::
 
@@ -22,6 +30,8 @@ Examples::
     python -m repro campaign --scale 0.05 --loop-size 256 --store .store
     python -m repro -v stressmark --loop-size 384 --parallel 4
     python -m repro store verify --store .store
+    python -m repro serve --store .store --parallel 4 --port 8787
+    python -m repro sweep --workloads daxpy --server http://127.0.0.1:8787
 """
 
 from __future__ import annotations
@@ -86,6 +96,14 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="print the machine's memo-cache hit/miss counters "
         "at the end of the run",
     )
+    parser.add_argument(
+        "--server",
+        metavar="URL",
+        help="execute the plan on a running campaign service "
+        "(python -m repro serve) instead of in-process; bit-identical "
+        "results (default: the REPRO_SERVER environment variable, "
+        "else local execution)",
+    )
 
 
 def _build_machine(arch, args: argparse.Namespace) -> Machine:
@@ -98,7 +116,17 @@ def _build_machine(arch, args: argparse.Namespace) -> Machine:
 
 def _build_executor(machine: Machine, args: argparse.Namespace):
     # Explicit flags win; unset flags fall back to the documented
-    # REPRO_PARALLEL / REPRO_STORE environment knobs.
+    # REPRO_PARALLEL / REPRO_STORE / REPRO_SERVER environment knobs.
+    server = getattr(args, "server", None) or os.environ.get("REPRO_SERVER")
+    if server:
+        from repro.exec.client import RemoteExecutor
+
+        return RemoteExecutor(
+            server,
+            arch=args.arch,
+            seed=args.seed,
+            vector=False if args.no_vector else None,
+        )
     return default_executor(machine, parallel=args.parallel, store=args.store)
 
 
@@ -308,8 +336,46 @@ def _cmd_stressmark(args: argparse.Namespace) -> int:
 # -- store ---------------------------------------------------------------------
 
 
+# -- serve ---------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exec.service import MeasurementService, build_server
+
+    parallel = args.parallel
+    if parallel is None:
+        raw = os.environ.get("REPRO_PARALLEL", "")
+        parallel = int(raw) if raw.strip() else None
+    store = args.store or os.environ.get("REPRO_STORE")
+    port = args.port
+    if port is None:
+        port = int(os.environ.get("REPRO_SERVE_PORT", "8787"))
+
+    service = MeasurementService(store=store, parallel=parallel)
+    server = build_server(service, host=args.host, port=port)
+    bound = f"http://{args.host}:{server.server_port}"
+    print(
+        f"campaign service on {bound} "
+        f"(store: {store or 'none'}, "
+        f"workers: {parallel or 'serial'})",
+        flush=True,
+    )
+    logger.info("endpoints: POST /plans, GET /runs/<id>, GET /stats, GET /health")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("campaign service shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+# -- store ---------------------------------------------------------------------
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
-    from repro.exec.journal import audit_journals
+    from repro.exec.journal import audit_journals, gc_journals
     from repro.exec.store import ResultStore
 
     root = args.store or os.environ.get("REPRO_STORE")
@@ -340,6 +406,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0
     report = store.scrub()
     print(f"store {store.root}: {report.describe()}")
+    # Scrub is also the retention pass: journals of completed runs
+    # whose cells are durable carry nothing the store does not.
+    removed = gc_journals(store)
+    if removed:
+        print(f"journals: {removed} completed run journal(s) reclaimed")
     return 0
 
 
@@ -446,6 +517,40 @@ def build_parser() -> argparse.ArgumentParser:
         "variable)",
     )
     store.set_defaults(handler=_cmd_store)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the campaign service: a resident multi-tenant "
+        "measurement server over HTTP/JSON",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="port to bind; 0 picks an ephemeral port (default: the "
+        "REPRO_SERVE_PORT environment variable, else 8787)",
+    )
+    serve.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard each plan across N resident worker processes "
+        "(default: REPRO_PARALLEL, else serial)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        help="result store backing the service; warm cells are served "
+        "from disk with zero measurements (default: REPRO_STORE, "
+        "else no store)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -65,6 +65,19 @@ class MeasurementError(MicroProbeError):
     """The measurement harness was used incorrectly."""
 
 
+class ServiceError(MicroProbeError):
+    """A campaign-service request cannot be served.
+
+    Carries the HTTP status the service handler should answer with;
+    raised before any response bytes stream, so clients always get a
+    clean error document rather than a truncated result stream.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        self.status = status
+        super().__init__(message)
+
+
 class PlanValidationError(MicroProbeError):
     """An experiment plan asks for configurations the chip cannot run.
 

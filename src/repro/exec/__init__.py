@@ -13,15 +13,20 @@ The automation layer behind every measurement campaign::
 All measurement consumers (the runner, the section-4 modeling
 campaign, the DSE evaluators, the stressmark search, the figure
 benchmarks and the ``python -m repro`` CLI) route through this engine.
+The campaign service (``python -m repro serve`` /
+:mod:`repro.exec.service`) keeps the whole engine resident behind an
+HTTP/JSON API; :class:`~repro.exec.client.RemoteExecutor` is the
+executor-shaped client for it.
 """
 
+from repro.exec.client import RemoteExecutor, ServiceClient
 from repro.exec.executors import (
     ParallelExecutor,
     SerialExecutor,
     default_executor,
 )
 from repro.exec.faults import FaultPlan, parse_faults
-from repro.exec.journal import RunJournal, run_id
+from repro.exec.journal import RunJournal, gc_journals, run_id
 from repro.exec.plan import (
     ExperimentPlan,
     PlanCell,
@@ -29,6 +34,8 @@ from repro.exec.plan import (
     workload_fingerprint,
 )
 from repro.exec.report import CellFailure, ExecutionReport
+from repro.exec.serialize import cell_from_dict, cell_to_dict, plan_from_dict, plan_to_dict
+from repro.exec.service import MeasurementService, build_server
 from repro.exec.store import ResultStore, StoreReport
 
 __all__ = [
@@ -36,14 +43,23 @@ __all__ = [
     "ExecutionReport",
     "ExperimentPlan",
     "FaultPlan",
+    "MeasurementService",
     "ParallelExecutor",
     "PlanCell",
+    "RemoteExecutor",
     "ResultStore",
     "RunJournal",
     "SerialExecutor",
+    "ServiceClient",
     "StoreReport",
+    "build_server",
+    "cell_from_dict",
+    "cell_to_dict",
     "default_executor",
+    "gc_journals",
     "parse_faults",
+    "plan_from_dict",
+    "plan_to_dict",
     "run_id",
     "sweep_configs",
     "workload_fingerprint",

@@ -1,0 +1,252 @@
+"""Client side of the campaign service: talk to ``python -m repro serve``.
+
+Two layers:
+
+* :class:`ServiceClient` -- a thin stdlib (:mod:`http.client`) wrapper
+  over the service's HTTP/JSON endpoints.  Streams ``POST /plans``
+  responses line by line as the server completes cells.
+* :class:`RemoteExecutor` -- the executor-shaped adapter: it exposes
+  the same ``execute(plan)`` / ``run(plan)`` / ``last_report`` surface
+  as :class:`~repro.exec.executors.SerialExecutor`, so
+  ``python -m repro sweep --server URL`` and
+  :class:`~repro.measure.runner.MeasurementRunner` route through the
+  service without any caller changes.  Because the service's responses
+  are bit-identical to local execution, swapping executors never
+  changes a result byte.
+
+Wire notes: responses are chunked JSON Lines; ``http.client`` decodes
+the chunked framing transparently and its response object supports
+``readline()``, so streaming consumption is just a loop.  Errors
+surface as :class:`~repro.errors.ServiceError` -- connection refusals,
+HTTP error documents and mid-stream ``{"error": ...}`` lines alike.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import logging
+from collections.abc import Iterator
+from urllib.parse import urlsplit
+
+from repro.errors import ServiceError
+from repro.exec.plan import ExperimentPlan
+from repro.exec.report import CellFailure, ExecutionReport
+from repro.exec.serialize import plan_to_dict
+from repro.measure.measurement import Measurement
+
+logger = logging.getLogger("repro.exec.client")
+
+
+class ServiceClient:
+    """HTTP client for one campaign-service endpoint.
+
+    ``url`` is the server base, e.g. ``http://127.0.0.1:8787``.  One
+    connection per request (the service closes streamed connections),
+    so a client object is cheap and thread-compatible as long as each
+    thread drives its own calls to completion.
+    """
+
+    def __init__(self, url: str, timeout: float | None = None) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ServiceError(
+                f"unsupported service URL scheme {parts.scheme!r} "
+                "(the campaign service speaks plain http)"
+            )
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self.url = f"http://{self.host}:{self.port}"
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[http.client.HTTPConnection, http.client.HTTPResponse]:
+        connection = self._connect()
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+        except (OSError, http.client.HTTPException) as exc:
+            connection.close()
+            raise ServiceError(
+                f"cannot reach campaign service at {self.url}: {exc}",
+                status=503,
+            ) from None
+        return connection, response
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+        connection, response = self._request(method, path, body)
+        try:
+            data = response.read()
+        finally:
+            connection.close()
+        document = self._decode(response, data)
+        if response.status >= 400:
+            raise ServiceError(
+                document.get("error", f"HTTP {response.status} on {path}"),
+                status=response.status,
+            )
+        return document
+
+    @staticmethod
+    def _decode(response: http.client.HTTPResponse, data: bytes) -> dict:
+        try:
+            document = json.loads(data) if data else {}
+        except ValueError:
+            raise ServiceError(
+                f"campaign service answered HTTP {response.status} with "
+                "a non-JSON body"
+            ) from None
+        if not isinstance(document, dict):
+            raise ServiceError("campaign service answered a non-object body")
+        return document
+
+    def _stream(
+        self, method: str, path: str, body: dict | None = None
+    ) -> Iterator[dict]:
+        connection, response = self._request(method, path, body)
+        try:
+            if response.status >= 400:
+                document = self._decode(response, response.read())
+                raise ServiceError(
+                    document.get("error", f"HTTP {response.status} on {path}"),
+                    status=response.status,
+                )
+            while True:
+                raw = response.readline()
+                if not raw:
+                    break
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    line = json.loads(raw)
+                except ValueError:
+                    raise ServiceError(
+                        "campaign service streamed a torn line; the "
+                        "connection likely dropped mid-response"
+                    ) from None
+                if "error" in line:
+                    raise ServiceError(str(line["error"]))
+                yield line
+        finally:
+            connection.close()
+
+    # -- endpoints -------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/stats")
+
+    def runs(self) -> dict:
+        return self._json("GET", "/runs")
+
+    def run_status(self, run: str) -> Iterator[dict]:
+        """Stream the journal status and stored cells of one run."""
+        return self._stream("GET", f"/runs/{run}")
+
+    def submit(
+        self,
+        plan: ExperimentPlan,
+        arch: str = "POWER7",
+        seed: int = 0,
+        vector: bool | None = None,
+    ) -> Iterator[dict]:
+        """Submit a plan; yield response lines as the server streams them.
+
+        The first line is the run header, then one line per unique
+        cell ordered by completion, then the trailer
+        (``{"complete": true, ...}``).
+        """
+        request = plan_to_dict(plan)
+        request["arch"] = arch
+        request["seed"] = seed
+        if vector is not None:
+            request["vector"] = vector
+        return self._stream("POST", "/plans", request)
+
+
+class RemoteExecutor:
+    """Executor-shaped adapter running plans on a campaign service.
+
+    Drop-in for the local executors: ``execute`` returns the same
+    :class:`~repro.exec.report.ExecutionReport` (expanded measurements,
+    structured failures) it would locally, built from the service's
+    streamed lines.  ``store`` is ``None`` -- the store lives on the
+    server.  On a run with quarantined cells the report's
+    ``fault_counters`` carry the service-side accounting under
+    ``service.*`` keys; clean runs keep them empty, matching the local
+    executors (and keeping CLI output byte-identical either way).
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient | str,
+        arch: str = "POWER7",
+        seed: int = 0,
+        vector: bool | None = None,
+    ) -> None:
+        self.client = (
+            client if isinstance(client, ServiceClient) else ServiceClient(client)
+        )
+        self.arch = arch
+        self.seed = seed
+        self.vector = vector
+        self.store = None
+        self.last_report: ExecutionReport | None = None
+
+    def execute(self, plan: ExperimentPlan, progress=None) -> ExecutionReport:
+        unique: list[Measurement | None] = [None] * len(plan.cells)
+        failures: list[CellFailure] = []
+        counters: dict[str, int] = {}
+        for line in self.client.submit(
+            plan, arch=self.arch, seed=self.seed, vector=self.vector
+        ):
+            if "measurement" in line and "cell" in line:
+                index = line["cell"]
+                measurement = Measurement.from_dict(line["measurement"])
+                unique[index] = measurement
+                source = line.get("source", "measured")
+                counters[f"service.{source}"] = (
+                    counters.get(f"service.{source}", 0) + 1
+                )
+                if progress is not None:
+                    progress(
+                        [plan.cells[index]], [measurement], source == "store"
+                    )
+            elif "failure" in line:
+                failures.append(CellFailure.from_dict(line["failure"]))
+            elif line.get("complete"):
+                counters["service.measured"] = line.get("measured", 0)
+        missing = sum(1 for entry in unique if entry is None)
+        if missing and len(failures) < missing:
+            raise ServiceError(
+                f"campaign service stream ended with {missing} of "
+                f"{len(unique)} cells unaccounted for"
+            )
+        report = ExecutionReport(
+            measurements=tuple(plan.expand(unique)),
+            failures=tuple(failures),
+            fault_counters=counters if failures else {},
+        )
+        self.last_report = report
+        return report
+
+    def run(self, plan: ExperimentPlan) -> list[Measurement]:
+        """Measurements in request order; raises if any cell failed."""
+        return self.execute(plan).require_complete()
+
+    def close(self) -> None:  # executor-surface parity; nothing resident
+        return None

@@ -296,6 +296,17 @@ class _ExecutorBase:
             cluster_digests,
         )
 
+    def key_of(self, cell: PlanCell) -> str:
+        """The content-addressed store key of ``cell`` on this machine.
+
+        The public spelling of the key the executor persists and the
+        store serves -- the campaign service uses it for its
+        single-flight dedup registry, so service-side identity can
+        never drift from store identity.
+        """
+        self._refresh_arch_digest()
+        return self._key(cell)
+
     def run(self, plan: ExperimentPlan) -> list[Measurement]:
         """Execute the plan; measurements in requested order.
 
@@ -307,7 +318,7 @@ class _ExecutorBase:
         """
         return self.execute(plan).require_complete()
 
-    def execute(self, plan: ExperimentPlan) -> ExecutionReport:
+    def execute(self, plan: ExperimentPlan, progress=None) -> ExecutionReport:
         """Execute the plan; the full structured outcome.
 
         The plan's configurations are validated against the machine
@@ -317,6 +328,16 @@ class _ExecutorBase:
         attached, a per-run journal is written next to it; re-running
         an interrupted campaign resumes measuring only the cells the
         store does not already hold.
+
+        ``progress``, if given, is called as ``progress(cells,
+        measurements, warm)`` whenever a batch of unique cells lands:
+        once with ``warm=True`` for the store-served cells (if any),
+        then per measured batch with ``warm=False`` as results arrive
+        -- the streaming hook the campaign service fans results out on.
+        Quarantined cells never reach ``progress``; they surface in the
+        returned report's failures.  Note that a ``progress`` callback
+        forces per-batch evaluation on store-less plans (the same
+        granularity a store's persistence cadence imposes anyway).
         """
         plan.validate_against(self.machine)
         cells = plan.cells
@@ -353,6 +374,23 @@ class _ExecutorBase:
 
             def persist(batch_cells, batch_measurements):
                 self._persist(batch_cells, batch_measurements, journal, builder)
+
+        if progress is not None:
+            warm_indices = [
+                index for index in range(len(cells)) if index not in set(misses)
+            ]
+            if warm_indices:
+                progress(
+                    [cells[index] for index in warm_indices],
+                    [results[index] for index in warm_indices],
+                    True,
+                )
+            store_persist = persist
+
+            def persist(batch_cells, batch_measurements):
+                if store_persist is not None:
+                    store_persist(batch_cells, batch_measurements)
+                progress(batch_cells, batch_measurements, False)
 
         if misses:
             # Persistence happens inside _measure_cells (per batch /

@@ -181,6 +181,51 @@ class RunJournal:
         )
 
 
+def gc_journals(store) -> int:
+    """Drop journals of completed runs whose cells are durable; count them.
+
+    A long-lived process (the campaign service foremost) completes
+    thousands of runs against one store, and every run leaves a
+    ``<store>/journal/<run_id>.jsonl`` manifest behind -- without
+    retention the journal directory grows forever.  A journal is
+    reclaimable exactly when it has stopped carrying information the
+    store does not: the run completed cleanly, every cell it journaled
+    done is still present in the store (an abandoned append or an
+    external compaction would otherwise lose the resume record with
+    the journal), and nothing was quarantined (quarantine memory is
+    the journal's whole point -- operators must still be able to
+    distinguish "never ran" from "ran and kept failing").
+
+    Interrupted journals are always kept: they are the crash-resume
+    record.  ``store`` is a :class:`~repro.exec.store.ResultStore`;
+    unlinking failures are logged and skipped, never raised.
+    """
+    directory = Path(store.root) / "journal"
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for path in sorted(directory.glob("*.jsonl")):
+        journal = RunJournal(store.root, path.stem)
+        if not journal.completed or journal.prior_failures:
+            continue
+        if any(key not in store for key in journal.done):
+            continue
+        try:
+            path.unlink()
+        except OSError as exc:
+            logger.warning("cannot drop run journal %s: %s", path, exc)
+            continue
+        removed += 1
+    if removed:
+        logger.info(
+            "journal gc: dropped %d completed run journal(s) whose "
+            "cells are durable in %s",
+            removed,
+            store.root,
+        )
+    return removed
+
+
 def audit_journals(store_root: str | os.PathLike) -> dict[str, int]:
     """Run-journal summary for ``store verify``: total/complete/interrupted."""
     directory = Path(store_root) / "journal"

@@ -1,0 +1,156 @@
+"""JSON wire forms for experiment plans: cells, workloads, configs.
+
+The campaign service (:mod:`repro.exec.service`) accepts
+:class:`~repro.exec.plan.ExperimentPlan`s over HTTP, so every plan
+ingredient needs a JSON round trip that preserves *content identity*
+exactly: a cell rebuilt from its wire form must produce the same
+workload fingerprint, the same store key, the same noise salt and
+therefore the same measurement bytes as the original.  Kernels and
+placements already round-trip through their own ``to_dict``/``from_dict``
+(digest-exact by design); this module adds the workload/config
+discriminators and the profiled-workload form on top.
+
+Profiled workloads (the SPEC CPU2006 proxies) serialize their full
+:class:`~repro.workloads.profiles.ActivityProfile`.  Their plan
+fingerprint hashes ``repr(profile)``, which embeds dict iteration
+order -- so the wire form preserves insertion order (JSON objects keep
+key order through ``json`` both ways) and restores the integer keys of
+``smt_scaling`` that JSON stringifies.  A round-tripped profile is
+``repr``-identical to the original, so fingerprints, dedup slots and
+store keys all agree between client and server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.errors import MeasurementError
+from repro.exec.plan import ExperimentPlan, PlanCell
+from repro.sim.config import MachineConfig
+from repro.sim.kernel import Kernel
+from repro.sim.placement import Placement
+from repro.sim.topology import ChipTopology
+from repro.workloads.profiles import ActivityProfile, ProfiledWorkload
+
+
+# -- activity profiles ---------------------------------------------------------
+
+
+def profile_to_dict(profile: ActivityProfile) -> dict:
+    """JSON-able form of one activity profile, field order preserved."""
+    data = {}
+    for spec in fields(profile):
+        value = getattr(profile, spec.name)
+        if spec.name == "smt_scaling":
+            # JSON object keys are strings; stringify here, restore in
+            # :func:`profile_from_dict`.  Insertion order is preserved.
+            value = {str(way): scale for way, scale in value.items()}
+        elif isinstance(value, dict):
+            value = dict(value)
+        data[spec.name] = value
+    return data
+
+
+def profile_from_dict(data: dict) -> ActivityProfile:
+    """Rebuild a profile serialized by :func:`profile_to_dict`."""
+    kwargs = dict(data)
+    kwargs["smt_scaling"] = {
+        int(way): scale for way, scale in data["smt_scaling"].items()
+    }
+    return ActivityProfile(**kwargs)
+
+
+# -- workloads -----------------------------------------------------------------
+
+
+def workload_to_dict(workload: object) -> dict:
+    """Wire form of one plan workload, tagged by kind.
+
+    Kernels and kernel placements carry their full content; profiled
+    workloads carry their activity profile.  Anything else (an opaque
+    protocol workload) cannot cross a process boundary faithfully and
+    raises :class:`~repro.errors.MeasurementError`.
+    """
+    if isinstance(workload, Kernel):
+        return {"kind": "kernel", "kernel": workload.to_dict()}
+    if isinstance(workload, Placement):
+        return {"kind": "placement", "placement": workload.to_dict()}
+    if isinstance(workload, ProfiledWorkload):
+        return {"kind": "profile", "profile": profile_to_dict(workload.profile)}
+    raise MeasurementError(
+        f"workload {getattr(workload, 'name', workload)!r} of type "
+        f"{type(workload).__name__} has no JSON wire form; only kernels, "
+        "kernel placements and profiled workloads can be submitted to a "
+        "campaign service"
+    )
+
+
+def workload_from_dict(data: dict) -> object:
+    """Rebuild a workload serialized by :func:`workload_to_dict`."""
+    kind = data.get("kind")
+    if kind == "kernel":
+        return Kernel.from_dict(data["kernel"])
+    if kind == "placement":
+        return Placement.from_dict(data["placement"])
+    if kind == "profile":
+        return ProfiledWorkload(profile_from_dict(data["profile"]))
+    raise MeasurementError(f"unknown workload kind {kind!r} in plan request")
+
+
+# -- configurations ------------------------------------------------------------
+
+
+def config_to_dict(config: MachineConfig | ChipTopology) -> dict:
+    """Wire form of a configuration; topologies marked by ``clusters``."""
+    return config.to_dict()
+
+
+def config_from_dict(data: dict) -> MachineConfig | ChipTopology:
+    """Rebuild a configuration, dispatching on shape like
+    :meth:`~repro.measure.measurement.Measurement.from_dict` does."""
+    if "clusters" in data:
+        return ChipTopology.from_dict(data)
+    return MachineConfig.from_dict(data)
+
+
+# -- cells and plans -----------------------------------------------------------
+
+
+def cell_to_dict(cell: PlanCell) -> dict:
+    """Wire form of one plan cell."""
+    return {
+        "workload": workload_to_dict(cell.workload),
+        "config": config_to_dict(cell.config),
+        "duration": cell.duration,
+    }
+
+
+def cell_from_dict(data: dict) -> PlanCell:
+    """Rebuild a cell serialized by :func:`cell_to_dict`."""
+    try:
+        return PlanCell(
+            workload=workload_from_dict(data["workload"]),
+            config=config_from_dict(data["config"]),
+            duration=float(data["duration"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MeasurementError(f"malformed plan cell: {exc}") from None
+
+
+def plan_to_dict(plan: ExperimentPlan) -> dict:
+    """Wire form of a plan: its *unique* cells, construction order.
+
+    Duplicate requested cells are a client-side concern (the client
+    keeps its plan and fans unique results back out with
+    :meth:`~repro.exec.plan.ExperimentPlan.expand`), so only the
+    deduplicated cells travel.
+    """
+    return {"cells": [cell_to_dict(cell) for cell in plan.cells]}
+
+
+def plan_from_dict(data: dict) -> ExperimentPlan:
+    """Rebuild a plan serialized by :func:`plan_to_dict`."""
+    cells = data.get("cells")
+    if not isinstance(cells, list):
+        raise MeasurementError("plan request carries no 'cells' list")
+    return ExperimentPlan(cell_from_dict(cell) for cell in cells)

@@ -1,0 +1,761 @@
+"""Campaign service: a resident, multi-tenant measurement server.
+
+``python -m repro serve`` turns the execution engine into a
+long-running HTTP service.  Where every CLI invocation rebuilds hot
+machines, packed-kernel caches and worker pools from scratch, the
+service keeps them *resident*: one :class:`~repro.sim.machine.Machine`
+per (architecture, seed, plane) with its summary/stack memos warm, one
+shared :class:`~repro.exec.executors.ParallelExecutor` worker pool, and
+one :class:`~repro.exec.store.ResultStore` that every client request
+reads and feeds.  Because measurements are pure functions of content,
+the service can dedupe and cache aggressively without changing a
+single bit of output: a response is always bit-identical to a one-shot
+``SerialExecutor.run`` of the same plan.
+
+Endpoints (all JSON; streamed bodies are chunked JSON Lines):
+
+``POST /plans``
+    Submit a plan (:func:`~repro.exec.serialize.plan_from_dict` wire
+    form plus ``arch``/``seed``/``vector``).  The response streams one
+    header line, then one line per unique cell *ordered by
+    completion* -- warm cells first, measured batches as they land --
+    and a trailer with the run's accounting.  Each cell line carries
+    the cell's index in the submitted plan, its store key, its
+    ``source`` (``store``/``measured``/``dedup``) and the full
+    measurement.
+``GET /runs/<id>``
+    Resume/status endpoint backed by the per-run
+    :class:`~repro.exec.journal.RunJournal`: streams the journal's
+    status and the stored measurement of every cell journaled done.
+    Completed runs whose journals were garbage-collected report
+    ``found: false`` -- resubmitting the plan *is* the resume path
+    then (every cell is warm).
+``GET /stats``
+    Cache / store / fault / dedup counters of the whole service.
+``GET /health``
+    Liveness probe.
+
+Multi-tenant contracts:
+
+* **warm serve** -- a cell already in the store is served straight
+  from disk; a fully warm plan performs zero ``Machine.run`` calls.
+* **single-flight** -- concurrent clients submitting overlapping plans
+  trigger each distinct in-flight cell at most once: the first client
+  to claim a cell's content-addressed key measures it (the *leader*),
+  every other client waits on the same flight and receives the
+  leader's bytes.  A follower whose leader fails rescues the cell
+  itself, so one client's disconnect never loses another's results.
+* **journal retention** -- every request journals under its
+  content-addressed run id; once a run completes with all cells
+  durable in the store, :func:`~repro.exec.journal.gc_journals`
+  reclaims the journal (interrupted and quarantined runs are kept).
+
+Executions serialize on one engine lock (plans queue; cells within a
+plan still shard across the worker pool), which keeps the resident
+machine's caches and the parallel pool single-writer.  Everything is
+stdlib -- :class:`http.server.ThreadingHTTPServer`, one thread per
+connected client -- so the service adds no dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro.errors import (
+    MicroProbeError,
+    PlanValidationError,
+    ServiceError,
+    UnknownArchitectureError,
+)
+from repro.exec.executors import ParallelExecutor, SerialExecutor
+from repro.exec.journal import RunJournal, audit_journals, gc_journals, run_id
+from repro.exec.plan import ExperimentPlan
+from repro.exec.serialize import plan_from_dict
+from repro.exec.store import ResultStore
+from repro.measure.measurement import Measurement
+from repro.sim.machine import Machine, _vector_enabled_by_default
+
+logger = logging.getLogger("repro.exec.service")
+
+FORMAT = "repro-serve-v1"
+
+#: How long a follower waits on another client's in-flight cell before
+#: rescuing it (re-probing the store, then measuring it itself).
+DEFAULT_FLIGHT_TIMEOUT_S = 600.0
+
+
+# -- single-flight registry ----------------------------------------------------
+
+
+class _Flight:
+    """One in-flight cell: the leader resolves, followers wait."""
+
+    __slots__ = ("event", "measurement", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.measurement: Measurement | None = None
+        self.error: str | None = None
+
+
+class _FlightRegistry:
+    """Single-flight map: content-addressed cell key -> in-flight cell.
+
+    ``claim`` either registers a new flight (the caller becomes the
+    leader and *must* eventually resolve or fail it) or returns the
+    existing one (the caller is a follower).  Resolution removes the
+    flight, so later requests fall through to the store.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+
+    def claim(self, key: str) -> tuple[_Flight, bool]:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                return flight, False
+            flight = _Flight()
+            self._flights[key] = flight
+            return flight, True
+
+    def resolve(self, key: str, measurement: Measurement) -> None:
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.measurement = measurement
+            flight.event.set()
+
+    def fail(self, key: str, error: str) -> None:
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.error = error
+            flight.event.set()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+
+# -- the service ---------------------------------------------------------------
+
+
+class _Engine:
+    """One resident measurement substrate: machine + executor."""
+
+    __slots__ = ("machine", "executor")
+
+    def __init__(self, machine: Machine, executor) -> None:
+        self.machine = machine
+        self.executor = executor
+
+
+class MeasurementService:
+    """The resident measurement plane behind the HTTP handler.
+
+    Holds machines/executors per (architecture, seed, plane), the
+    shared store, the single-flight registry and the service counters.
+    Usable directly (tests drive :meth:`submit` without a socket) or
+    through :func:`build_server`.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | str | None = None,
+        parallel: int | None = None,
+        retries: int | None = None,
+        timeout: float | None = None,
+        flight_timeout: float = DEFAULT_FLIGHT_TIMEOUT_S,
+        journal_gc: bool = True,
+    ) -> None:
+        self.store = (
+            ResultStore(store)
+            if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__")
+            else store
+        )
+        self.parallel = parallel
+        self.retries = retries
+        self.timeout = timeout
+        self.flight_timeout = flight_timeout
+        self.journal_gc = journal_gc
+        self._engines: dict[tuple, _Engine] = {}
+        #: Serializes executor.execute calls: the resident machines'
+        #: caches and the parallel worker pool are single-writer.
+        #: Classification (store probes, flight claims) stays
+        #: concurrent, so overlapping clients dedupe while a plan runs.
+        self._engine_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._flights = _FlightRegistry()
+        self._counters = {
+            "requests": 0,
+            "cells_requested": 0,
+            "warm_cells": 0,
+            "leader_cells": 0,
+            "measured_cells": 0,
+            "dedup_waits": 0,
+            "follower_rescues": 0,
+            "quarantined_cells": 0,
+            "journals_gcd": 0,
+        }
+
+    # -- counters --------------------------------------------------------------
+
+    def _count(self, name: str, value: int = 1) -> None:
+        with self._state_lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    # -- engines ---------------------------------------------------------------
+
+    def _engine(self, arch_name: str, seed: int, vector) -> _Engine:
+        resolved = (
+            _vector_enabled_by_default() if vector is None else bool(vector)
+        )
+        key = (arch_name.upper(), seed, resolved)
+        with self._state_lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                return engine
+            from repro.march.definition import get_architecture
+
+            machine = Machine(
+                get_architecture(arch_name), seed=seed, vector=resolved
+            )
+            if self.parallel and self.parallel > 1:
+                executor = ParallelExecutor(
+                    machine,
+                    workers=self.parallel,
+                    store=self.store,
+                    retries=self.retries,
+                    timeout=self.timeout,
+                )
+            else:
+                executor = SerialExecutor(
+                    machine,
+                    store=self.store,
+                    retries=self.retries,
+                    timeout=self.timeout,
+                )
+            engine = _Engine(machine, executor)
+            self._engines[key] = engine
+            logger.info(
+                "engine up: %s seed=%d plane=%s executor=%s",
+                arch_name,
+                seed,
+                "vector" if resolved else "scalar",
+                type(executor).__name__,
+            )
+            return engine
+
+    def close(self) -> None:
+        """Release worker pools and store handles."""
+        with self._state_lock:
+            engines = list(self._engines.values())
+        for engine in engines:
+            close = getattr(engine.executor, "close", None)
+            if close is not None:
+                close()
+        if self.store is not None:
+            self.store.close()
+
+    # -- request handling ------------------------------------------------------
+
+    def submit(self, request: dict, start) -> dict:
+        """Serve one ``POST /plans`` request.
+
+        ``request`` is the parsed JSON body; ``start`` is a callable
+        returning the line-emit function -- it is only invoked once the
+        request has validated, so malformed plans surface as a clean
+        HTTP error instead of a half-streamed response.  Returns the
+        trailer summary (also emitted as the final line).
+        """
+        arch_name = str(request.get("arch", "POWER7"))
+        try:
+            seed = int(request.get("seed", 0))
+        except (TypeError, ValueError):
+            raise ServiceError("plan request carries a non-integer seed")
+        vector = request.get("vector")
+        try:
+            plan = plan_from_dict(request)
+            engine = self._engine(arch_name, seed, vector)
+            plan.validate_against(engine.machine)
+        except UnknownArchitectureError as exc:
+            raise ServiceError(str(exc), status=404) from None
+        except (PlanValidationError, MicroProbeError) as exc:
+            raise ServiceError(str(exc)) from None
+        executor = engine.executor
+        keys = [executor.key_of(cell) for cell in plan.cells]
+        run = run_id(keys)
+        self._count("requests")
+        self._count("cells_requested", len(keys))
+        logger.info(
+            "request: %s on %s seed=%d (run %s)",
+            plan.describe(),
+            arch_name,
+            seed,
+            run,
+        )
+
+        emit = start()
+        emit(
+            {
+                "service": FORMAT,
+                "run": run,
+                "cells": len(keys),
+                "arch": arch_name,
+                "seed": seed,
+            }
+        )
+        journal: RunJournal | None = None
+        if self.store is not None:
+            journal = RunJournal(self.store.root, run)
+            journal.start(len(keys), plan.describe())
+
+        # Classification: warm cells stream immediately; cold cells are
+        # either claimed (this request leads their measurement) or
+        # followed (another request is already measuring them).
+        warm_keys: list[str] = []
+        leaders: list[int] = []
+        followers: list[tuple[int, str, _Flight]] = []
+        for index, (cell, key) in enumerate(zip(plan.cells, keys)):
+            found = self.store.get(key) if self.store is not None else None
+            if found is not None:
+                warm_keys.append(key)
+                emit(
+                    {
+                        "cell": index,
+                        "key": key,
+                        "source": "store",
+                        "measurement": found.to_dict(),
+                    }
+                )
+                continue
+            flight, leading = self._flights.claim(key)
+            if leading:
+                leaders.append(index)
+            else:
+                followers.append((index, key, flight))
+        self._count("warm_cells", len(warm_keys))
+        self._count("leader_cells", len(leaders))
+        self._count("dedup_waits", len(followers))
+        if journal is not None and warm_keys:
+            journal.mark_done(warm_keys)
+
+        measured = 0
+        rescued = 0
+        failures: list[dict] = []
+        if leaders:
+            measured, leader_failures = self._lead(
+                plan, keys, leaders, executor, journal, emit
+            )
+            failures.extend(leader_failures)
+        for index, key, flight in followers:
+            outcome = self._follow(
+                plan.cells[index], index, key, flight, executor, journal, emit
+            )
+            if outcome == "rescued":
+                rescued += 1
+                measured += 1
+            elif isinstance(outcome, dict):
+                failures.append(outcome)
+
+        if journal is not None:
+            journal.complete(measured, {})
+            if self.journal_gc:
+                self._count("journals_gcd", gc_journals(self.store))
+        self._count("measured_cells", measured)
+        self._count("follower_rescues", rescued)
+        self._count("quarantined_cells", len(failures))
+        trailer = {
+            "complete": True,
+            "run": run,
+            "cells": len(keys),
+            "warm": len(warm_keys),
+            "measured": measured,
+            "deduped": len(followers),
+            "failures": failures,
+        }
+        emit(trailer)
+        return trailer
+
+    def _lead(
+        self,
+        plan: ExperimentPlan,
+        keys: list[str],
+        leaders: list[int],
+        executor,
+        journal: RunJournal | None,
+        emit,
+    ) -> tuple[int, list[dict]]:
+        """Measure the cells this request claimed; resolve their flights.
+
+        The sub-plan executes under the engine lock; the executor's
+        ``progress`` hook publishes every landed batch to the flight
+        registry *before* it is written to this client's stream, so
+        followers receive results even if this client's connection
+        breaks mid-response.
+        """
+        owned = {
+            id(plan.cells[index]): (index, keys[index]) for index in leaders
+        }
+        resolved: set[str] = set()
+        measured = 0
+
+        def publish(batch_cells, batch_measurements, warm: bool) -> None:
+            nonlocal measured
+            batch_keys = []
+            for cell, measurement in zip(batch_cells, batch_measurements):
+                index, key = owned[id(cell)]
+                self._flights.resolve(key, measurement)
+                resolved.add(key)
+                batch_keys.append(key)
+                if not warm:
+                    measured += 1
+                emit(
+                    {
+                        "cell": index,
+                        "key": key,
+                        "source": "store" if warm else "measured",
+                        "measurement": measurement.to_dict(),
+                    }
+                )
+            if journal is not None:
+                journal.mark_done(batch_keys)
+
+        subplan = ExperimentPlan(plan.cells[index] for index in leaders)
+        failures: list[dict] = []
+        try:
+            with self._engine_lock:
+                report = executor.execute(subplan, progress=publish)
+        finally:
+            # Whatever this leader could not resolve -- a quarantined
+            # cell, or an unexpected abort -- must not strand followers.
+            for index, key in owned.values():
+                if key not in resolved:
+                    self._flights.fail(key, "leader did not produce the cell")
+
+        if not report.ok:
+            failures_by_key = {
+                failure.key: failure
+                for failure in report.failures
+                if failure.key
+            }
+            unmatched = [
+                failure for failure in report.failures if not failure.key
+            ]
+            for position, measurement in enumerate(report.measurements):
+                if measurement is not None:
+                    continue
+                index, key = owned[id(subplan.cells[position])]
+                failure = failures_by_key.get(key)
+                if failure is None and unmatched:
+                    failure = unmatched.pop(0)
+                record = failure.to_dict() if failure is not None else {}
+                failures.append(record)
+                emit({"cell": index, "key": key, "failure": record})
+            if journal is not None:
+                journal.mark_quarantined(report.failures)
+        return measured, failures
+
+    def _follow(
+        self,
+        cell,
+        index: int,
+        key: str,
+        flight: _Flight,
+        executor,
+        journal: RunJournal | None,
+        emit,
+    ):
+        """Wait on another request's flight; rescue the cell if it fails.
+
+        Returns ``"dedup"``, ``"rescued"`` or a failure dict.
+        """
+        landed = flight.event.wait(self.flight_timeout)
+        if landed and flight.measurement is not None:
+            if journal is not None:
+                journal.mark_done([key])
+            emit(
+                {
+                    "cell": index,
+                    "key": key,
+                    "source": "dedup",
+                    "measurement": flight.measurement.to_dict(),
+                }
+            )
+            return "dedup"
+        # The leader failed or timed out: the store may still have the
+        # cell (leader persisted, then died); otherwise measure it
+        # ourselves -- one client's death never loses another's cells.
+        found = self.store.get(key) if self.store is not None else None
+        if found is not None:
+            if journal is not None:
+                journal.mark_done([key])
+            emit(
+                {
+                    "cell": index,
+                    "key": key,
+                    "source": "store",
+                    "measurement": found.to_dict(),
+                }
+            )
+            return "dedup"
+        logger.warning(
+            "rescuing cell %s: its leader %s", key,
+            "timed out" if not landed else "failed",
+        )
+        with self._engine_lock:
+            report = executor.execute(ExperimentPlan([cell]))
+        measurement = report.measurements[0]
+        if measurement is not None:
+            if journal is not None:
+                journal.mark_done([key])
+            emit(
+                {
+                    "cell": index,
+                    "key": key,
+                    "source": "measured",
+                    "measurement": measurement.to_dict(),
+                }
+            )
+            return "rescued"
+        record = report.failures[0].to_dict() if report.failures else {}
+        if journal is not None:
+            journal.mark_quarantined(report.failures)
+        emit({"cell": index, "key": key, "failure": record})
+        return record
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Cache / store / fault / dedup counters, JSON-able."""
+        with self._state_lock:
+            counters = dict(self._counters)
+            engines = dict(self._engines)
+        payload: dict = {
+            "service": counters,
+            "inflight_cells": len(self._flights),
+            "store": None,
+            "engines": [],
+        }
+        if self.store is not None:
+            payload["store"] = {
+                "root": str(self.store.root),
+                "cells": len(self.store),
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "faults": self.store.fault_stats(),
+                "journals": audit_journals(self.store.root),
+            }
+        for (arch_name, seed, resolved), engine in engines.items():
+            report = engine.executor.last_report
+            payload["engines"].append(
+                {
+                    "arch": arch_name,
+                    "seed": seed,
+                    "plane": "vector" if resolved else "scalar",
+                    "executor": type(engine.executor).__name__,
+                    "caches": engine.machine.cache_stats(),
+                    "last_report": (
+                        report.describe() if report is not None else None
+                    ),
+                }
+            )
+        return payload
+
+    def run_status(self, run: str) -> tuple[dict, list[tuple[str, dict | None]]]:
+        """Status + stored results of one run, for ``GET /runs/<id>``."""
+        if self.store is None:
+            raise ServiceError(
+                "the service has no result store attached; resume needs "
+                "--store", status=404,
+            )
+        journal = RunJournal(self.store.root, run)
+        if not journal.path.exists():
+            return (
+                {
+                    "run": run,
+                    "found": False,
+                    "note": "unknown run (completed journals are "
+                    "garbage-collected once every cell is durable; "
+                    "resubmit the plan -- warm cells serve from the "
+                    "store with zero measurements)",
+                },
+                [],
+            )
+        status = {
+            "run": run,
+            "found": True,
+            "completed": journal.completed,
+            "resumed": journal.resumed,
+            "done": len(journal.done),
+            "quarantined": journal.prior_failures,
+        }
+        results = []
+        for key in sorted(journal.done):
+            found = self.store.get(key)
+            results.append((key, found.to_dict() if found else None))
+        return status, results
+
+
+# -- HTTP plumbing -------------------------------------------------------------
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Thin HTTP adapter over :class:`MeasurementService`.
+
+    Streamed responses use chunked transfer encoding, one JSON line
+    per chunk, flushed as results land -- ``http.client`` (and any
+    HTTP/1.1 client) reassembles them transparently.
+    """
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> MeasurementService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        logger.info("%s %s", self.address_string(), format % args)
+
+    # -- response helpers ------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _start_stream(self):
+        """Send stream headers; the returned emit never raises.
+
+        A client that disconnects mid-stream must not abort the
+        server-side execution (followers may be waiting on the cells
+        this request leads), so write failures flip a flag and further
+        lines are dropped.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        self.close_connection = True
+        state = {"broken": False}
+
+        def emit(line: dict) -> None:
+            if state["broken"]:
+                return
+            data = json.dumps(line).encode() + b"\n"
+            try:
+                self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+                self.wfile.flush()
+            except OSError:
+                state["broken"] = True
+                logger.warning(
+                    "client %s went away mid-stream; continuing the run "
+                    "for its followers and the store",
+                    self.address_string(),
+                )
+
+        state["emit"] = emit
+        return emit, state
+
+    def _end_stream(self, state) -> None:
+        if not state["broken"]:
+            try:
+                self.wfile.write(b"0\r\n\r\n")
+                self.wfile.flush()
+            except OSError:
+                pass
+
+    # -- verbs -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        if path == "/health":
+            self._send_json(200, {"ok": True, "service": FORMAT})
+        elif path == "/stats":
+            self._send_json(200, self.service.stats())
+        elif path == "/runs":
+            if self.service.store is None:
+                self._send_json(404, {"error": "no result store attached"})
+            else:
+                self._send_json(
+                    200, audit_journals(self.service.store.root)
+                )
+        elif path.startswith("/runs/"):
+            self._get_run(path[len("/runs/") :])
+        else:
+            self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+
+    def _get_run(self, run: str) -> None:
+        try:
+            status, results = self.service.run_status(run)
+        except ServiceError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+            return
+        emit, state = self._start_stream()
+        emit(status)
+        for key, measurement in results:
+            emit({"key": key, "measurement": measurement})
+        self._end_stream(state)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        path = urlsplit(self.path).path.rstrip("/")
+        if path != "/plans":
+            self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = json.loads(self.rfile.read(length))
+            if not isinstance(request, dict):
+                raise ValueError("plan request must be a JSON object")
+        except (ValueError, TypeError) as exc:
+            self._send_json(400, {"error": f"malformed request body: {exc}"})
+            return
+
+        state = None
+
+        def start():
+            nonlocal state
+            emit, state = self._start_stream()
+            return emit
+
+        try:
+            self.service.submit(request, start)
+        except ServiceError as exc:
+            if state is None:
+                self._send_json(exc.status, {"error": str(exc)})
+                return
+            state["emit"]({"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("request failed")
+            if state is None:
+                self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+                return
+            state["emit"]({"error": f"{type(exc).__name__}: {exc}"})
+        if state is not None:
+            self._end_stream(state)
+
+
+def build_server(
+    service: MeasurementService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-serve threading HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (``server.server_port`` has the
+    real one -- the test-suite idiom).  One thread per connected
+    client; threads are daemonic so a hard exit never hangs on a
+    straggler.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server

@@ -56,6 +56,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -260,6 +261,13 @@ class ResultStore:
         self.torn_tails_repaired = 0
         self._io_warned: set[str] = set()
         self._shards: dict[str, _Shard] = {}
+        # One store instance may be shared by many threads (the
+        # campaign service probes and persists from concurrent client
+        # handlers).  The lock guards the shard index/handle state and
+        # serializes reads on the shared per-shard file handles; disk
+        # appends already serialize under the shard flock, which covers
+        # concurrent *processes* as before.
+        self._lock = threading.RLock()
 
     # -- fault accounting ------------------------------------------------------
 
@@ -295,10 +303,11 @@ class ResultStore:
 
     def close(self) -> None:
         """Release cached shard read handles (indexes are kept)."""
-        for shard in self._shards.values():
-            if shard.handle is not None:
-                shard.handle.close()
-                shard.handle = None
+        with self._lock:
+            for shard in self._shards.values():
+                if shard.handle is not None:
+                    shard.handle.close()
+                    shard.handle = None
 
     # -- shard plumbing --------------------------------------------------------
 
@@ -407,8 +416,13 @@ class ResultStore:
         Unreadable, corrupt (checksum-mismatched) or format-mismatched
         entries are quarantined: counted in :meth:`fault_stats`, logged,
         and served as misses so the executor re-measures and overwrites
-        them.
+        them.  Thread-safe: concurrent readers serialize on the store
+        lock (they share per-shard file handles).
         """
+        with self._lock:
+            return self._get(key)
+
+    def _get(self, key: str) -> Measurement | None:
         shard = self._shard(key)
         location = shard.offsets.get(key)
         if location is None:
@@ -493,6 +507,12 @@ class ResultStore:
         bounded backoff (results are never lost to a failed append --
         at worst the cells re-measure next run).
         """
+        with self._lock:
+            self._put_many(entries)
+
+    def _put_many(
+        self, entries: Sequence[tuple[str, Measurement]]
+    ) -> None:
         fault_plan = faults.active()
         by_shard: dict[str, list[tuple[str, Measurement]]] = {}
         for key, measurement in entries:
@@ -693,9 +713,10 @@ class ResultStore:
                 continue
             # The rewritten shard invalidates this process's offsets
             # and cached read handle; the next lookup rescans.
-            stale = self._shards.pop(path.stem, None)
-            if stale is not None:
-                stale.invalidate()
+            with self._lock:
+                stale = self._shards.pop(path.stem, None)
+                if stale is not None:
+                    stale.invalidate()
         report.legacy_files = sum(1 for _ in self.root.glob("??/*.json"))
         report.keys = len(keys)
         return report
@@ -703,22 +724,24 @@ class ResultStore:
     # -- enumeration -----------------------------------------------------------
 
     def __contains__(self, key: str) -> bool:
-        shard = self._shard(key)
-        if key not in shard.offsets:
-            self._refresh(shard)
-        return key in shard.offsets or self._legacy_path(key).exists()
+        with self._lock:
+            shard = self._shard(key)
+            if key not in shard.offsets:
+                self._refresh(shard)
+            return key in shard.offsets or self._legacy_path(key).exists()
 
     def _all_keys(self) -> set[str]:
-        for path in self.shard_dir.glob("??.jsonl"):
-            shard = self._shard(path.stem + "00")
-            self._refresh(shard)
-        keys = {
-            key
-            for shard in self._shards.values()
-            for key in shard.offsets
-        }
-        keys.update(path.stem for path in self.root.glob("??/*.json"))
-        return keys
+        with self._lock:
+            for path in self.shard_dir.glob("??.jsonl"):
+                shard = self._shard(path.stem + "00")
+                self._refresh(shard)
+            keys = {
+                key
+                for shard in self._shards.values()
+                for key in shard.offsets
+            }
+            keys.update(path.stem for path in self.root.glob("??/*.json"))
+            return keys
 
     def __len__(self) -> int:
         return len(self._all_keys())

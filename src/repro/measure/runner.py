@@ -38,14 +38,17 @@ class MeasurementRunner:
     :class:`~repro.exec.executors.SerialExecutor` when neither is
     set); pass a :class:`~repro.exec.executors.ParallelExecutor` or a
     store-backed executor explicitly to shard or persist every
-    campaign this runner drives.
+    campaign this runner drives.  A service URL string (or a
+    :class:`~repro.exec.client.RemoteExecutor`) routes every campaign
+    to a running ``python -m repro serve`` instead -- bit-identical
+    results, resident caches and cross-client dedup on the server.
     """
 
     def __init__(
         self,
         machine: "Machine",
         duration: float = DEFAULT_DURATION_S,
-        executor: "_ExecutorBase | None" = None,
+        executor: "_ExecutorBase | str | None" = None,
     ) -> None:
         # Imported here, not at module level: repro.exec consumes
         # Measurement (and therefore this package), so the runner binds
@@ -54,6 +57,15 @@ class MeasurementRunner:
 
         self.machine = machine
         self.duration = duration
+        if isinstance(executor, str):
+            from repro.exec.client import RemoteExecutor
+
+            executor = RemoteExecutor(
+                executor,
+                arch=machine.arch.name,
+                seed=machine.seed,
+                vector=machine.vector_enabled,
+            )
         self.executor = (
             executor if executor is not None else default_executor(machine)
         )

@@ -23,7 +23,7 @@ from repro.exec import (
     SerialExecutor,
     run_id,
 )
-from repro.exec.journal import audit_journals
+from repro.exec.journal import audit_journals, gc_journals
 from repro.exec.report import CellFailure
 from repro.sim import Machine, MachineConfig
 
@@ -140,6 +140,129 @@ class TestRunJournalUnit:
             Machine(power7_arch), store=store
         ).run(plan)
         assert len(measurements) == 1 and len(store) == 1
+
+
+class TestJournalGC:
+    """Retention: completed-run journals must not accumulate forever.
+
+    The original engine never reclaimed journals -- a long-lived
+    process (the campaign service) completing thousands of runs against
+    one store grew ``<store>/journal/`` without bound.  The fix:
+    :func:`gc_journals` drops exactly the journals that carry nothing
+    the store does not -- completed, nothing quarantined, every done
+    cell durable -- and keeps everything else (the crash-resume and
+    quarantine records).
+    """
+
+    def _store_with(self, tmp_path, keys):
+        """A real store holding one durable record per key."""
+        from repro.measure.measurement import Measurement
+
+        store = ResultStore(tmp_path / "store")
+        measurement = Measurement(
+            workload_name="w",
+            config=MachineConfig(1, 1),
+            duration=_DURATION,
+            thread_counters=({"instructions": 1.0},),
+            mean_power=1.0,
+            power_std=0.1,
+            sample_count=1000,
+        )
+        store.put_many((key, measurement) for key in keys)
+        return store
+
+    def test_completed_durable_journal_is_reclaimed(self, tmp_path):
+        store = self._store_with(tmp_path, ["k1", "k2"])
+        journal = RunJournal(store.root, "aaaa")
+        journal.start(2, "plan")
+        journal.mark_done(["k1", "k2"])
+        journal.complete(2, {})
+        assert gc_journals(store) == 1
+        assert not journal.path.exists()
+        # Idempotent: nothing left to reclaim.
+        assert gc_journals(store) == 0
+
+    def test_interrupted_journal_is_kept(self, tmp_path):
+        store = self._store_with(tmp_path, ["k1"])
+        journal = RunJournal(store.root, "bbbb")
+        journal.start(2, "plan")
+        journal.mark_done(["k1"])  # no complete line: crashed here
+        assert gc_journals(store) == 0
+        assert journal.path.exists()
+
+    def test_completed_journal_with_missing_cell_is_kept(self, tmp_path):
+        """A completed run whose store record vanished (external
+        compaction, disk loss) keeps its journal: it is now the only
+        resume record."""
+        store = self._store_with(tmp_path, ["k1"])
+        journal = RunJournal(store.root, "cccc")
+        journal.start(2, "plan")
+        journal.mark_done(["k1", "k-gone"])
+        journal.complete(2, {})
+        assert gc_journals(store) == 0
+        assert journal.path.exists()
+
+    def test_quarantined_journal_is_kept(self, tmp_path):
+        store = self._store_with(tmp_path, ["k1"])
+        journal = RunJournal(store.root, "dddd")
+        journal.start(1, "plan")
+        journal.mark_done(["k1"])
+        journal.mark_quarantined(
+            [
+                CellFailure(
+                    workload_name="bad",
+                    config_label="1-1",
+                    duration=_DURATION,
+                    attempts=3,
+                    kind="FaultInjectedError",
+                    message="poisoned",
+                )
+            ]
+        )
+        journal.complete(0, {})
+        assert gc_journals(store) == 0
+        assert journal.path.exists()
+
+    def test_real_campaign_journal_is_reclaimable(
+        self, power7_arch, small_kernel_factory, tmp_path
+    ):
+        """End to end: the journal a store-backed run writes satisfies
+        the retention rule and is reclaimed; the store still serves
+        the cells warm afterwards."""
+        store = ResultStore(tmp_path / "store")
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=24),
+            MachineConfig(1, 1),
+            _DURATION,
+        )
+        executor = SerialExecutor(Machine(power7_arch), store=store)
+        first = executor.run(plan)
+        assert audit_journals(store.root)["complete"] == 1
+        assert gc_journals(store) == 1
+        assert audit_journals(store.root)["runs"] == 0
+        # Resume-by-store still works without the journal.
+        again = SerialExecutor(Machine(power7_arch), store=store).run(plan)
+        assert again == first
+        assert store.hits == 1
+
+    def test_store_scrub_cli_reclaims_journals(
+        self, power7_arch, small_kernel_factory, tmp_path, capsys
+    ):
+        from repro.__main__ import main
+
+        store = ResultStore(tmp_path / "store")
+        SerialExecutor(Machine(power7_arch), store=store).run(
+            ExperimentPlan.single(
+                small_kernel_factory("add", count=24),
+                MachineConfig(1, 1),
+                _DURATION,
+            )
+        )
+        store.close()
+        assert main(["store", "scrub", "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "1 completed run journal(s) reclaimed" in out
+        assert audit_journals(tmp_path / "store")["runs"] == 0
 
 
 def _campaign_script(store_dir: str) -> str:

@@ -1,0 +1,474 @@
+"""Campaign service: equivalence, single-flight dedup, warm serving, chaos.
+
+The acceptance properties of ``python -m repro serve``:
+
+* **equivalence** -- a plan submitted over HTTP streams back
+  bit-identical measurements (same bytes, same noise draws, same store
+  keys) to a one-shot in-process ``SerialExecutor.run``, on both the
+  vectorized and the scalar measurement plane, across randomized
+  topology/placement/p-state plans;
+* **at-most-once** -- concurrent clients submitting overlapping plans
+  trigger each distinct cell's measurement exactly once (single-flight
+  dedup), every client still receives complete results;
+* **warm serving** -- a re-submitted plan is answered entirely from
+  the result store with *zero* ``Machine`` measurement calls;
+* **chaos** -- a faulted campaign through the server completes with
+  zero quarantined cells and byte-identical results.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.exec import (
+    ExperimentPlan,
+    MeasurementService,
+    PlanCell,
+    RemoteExecutor,
+    SerialExecutor,
+    ServiceClient,
+    build_server,
+)
+from repro.exec import faults
+from repro.exec.faults import FaultPlan
+from repro.exec.plan import workload_fingerprint
+from repro.exec.serialize import plan_to_dict
+from repro.sim import Machine, MachineConfig, Placement, get_pstate
+from repro.sim.topology import parse_topology
+from repro.workloads import spec_cpu2006
+
+_DURATION = 1.0
+
+
+# -- plumbing ------------------------------------------------------------------
+
+
+def _start(service):
+    """Serve ``service`` on an ephemeral port; return (server, url)."""
+    server = build_server(service)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, f"http://127.0.0.1:{server.server_port}"
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A store-backed serial service listening on localhost."""
+    service = MeasurementService(store=tmp_path / "store", flight_timeout=60.0)
+    server, url = _start(service)
+    yield service, url
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _instrument(machine):
+    """Count every measurement entering ``machine``, by cell identity.
+
+    ``run_many`` and ``run_cells`` are the only executor entry points
+    and are independent (neither calls the other), so wrapping both
+    observes every physical measurement the service performs.
+    """
+    measured: list[tuple] = []
+    lock = threading.Lock()
+    original_many, original_cells = machine.run_many, machine.run_cells
+
+    def counting_many(workloads, config, duration=10.0):
+        workloads = list(workloads)
+        with lock:
+            measured.extend(
+                (workload_fingerprint(w), config.label, duration)
+                for w in workloads
+            )
+        return original_many(workloads, config, duration)
+
+    def counting_cells(cells):
+        cells = list(cells)
+        with lock:
+            measured.extend(
+                (workload_fingerprint(w), config.label, duration)
+                for w, config, duration in cells
+            )
+        return original_cells(cells)
+
+    machine.run_many = counting_many
+    machine.run_cells = counting_cells
+    return measured
+
+
+def _random_plan(rng, make_kernel) -> ExperimentPlan:
+    """One randomized plan: workload kinds x configs/topologies x DVFS."""
+    kernels = [
+        make_kernel("add", count=24),
+        make_kernel("mulld", count=24, dep=4),
+        make_kernel("lxvw4x", count=24, level="L1"),
+        make_kernel("ld", count=24, level="MEM"),
+    ]
+    workloads = rng.sample(kernels, rng.randint(1, 3))
+    if rng.random() < 0.5:
+        workloads.append(spec_cpu2006()[rng.randrange(6)])
+    configs = rng.sample(
+        [
+            MachineConfig(1, 1),
+            MachineConfig(2, 2),
+            MachineConfig(4, 1),
+            parse_topology("2big+2little"),
+            parse_topology("2big-2@p2+2little"),
+        ],
+        rng.randint(1, 2),
+    )
+    p_states = (
+        [get_pstate(name) for name in rng.sample(["turbo", "nominal", "p3"], 2)]
+        if rng.random() < 0.5
+        else None
+    )
+    plan = ExperimentPlan.cross(
+        workloads, configs, p_states=p_states, duration=_DURATION
+    )
+    if rng.random() < 0.5:
+        # A placement cell must match its configuration's geometry
+        # exactly, so it rides along on its own 2x1 scenario.
+        mix = Placement("mix", ((kernels[0],), (kernels[3],)))
+        extra = PlanCell(mix, MachineConfig(2, 1), _DURATION)
+        plan = ExperimentPlan(list(plan.cells) + [extra])
+    return plan
+
+
+# -- equivalence ---------------------------------------------------------------
+
+
+class TestServedEquivalence:
+    def test_randomized_plans_bit_identical_both_planes(
+        self, served, power7_arch, small_kernel_factory
+    ):
+        """Property: for random plans, server responses equal one-shot
+        serial execution exactly, with the vector plane on and off."""
+        service, url = served
+        rng = random.Random(20120212)
+        for round_number in range(4):
+            plan = _random_plan(rng, small_kernel_factory)
+            vector = round_number % 2 == 0
+            local = SerialExecutor(
+                Machine(power7_arch, vector=vector)
+            ).run(plan)
+            remote = RemoteExecutor(url, vector=vector).run(plan)
+            assert remote == local, f"round {round_number} diverged"
+
+    def test_streamed_lines_carry_store_keys(
+        self, served, machine, small_kernel_factory
+    ):
+        """Response lines carry the same content-addressed keys the
+        local engine computes, in a complete header/cells/trailer
+        stream."""
+        service, url = served
+        plan = ExperimentPlan.cross(
+            [small_kernel_factory("add", count=24)],
+            [MachineConfig(1, 1), MachineConfig(2, 2)],
+            duration=_DURATION,
+        )
+        local = SerialExecutor(machine)
+        expected = {local.key_of(cell) for cell in plan.cells}
+        lines = list(ServiceClient(url).submit(plan))
+        header, cells, trailer = lines[0], lines[1:-1], lines[-1]
+        assert header["cells"] == plan.size
+        assert {line["key"] for line in cells} == expected
+        assert trailer["complete"] and trailer["measured"] == plan.size
+
+    def test_seeded_machines_are_distinct_tenants(
+        self, served, power7_arch, small_kernel_factory
+    ):
+        service, url = served
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=24),
+            MachineConfig(2, 2),
+            _DURATION,
+        )
+        seed0 = RemoteExecutor(url, seed=0).run(plan)[0]
+        seed7 = RemoteExecutor(url, seed=7).run(plan)[0]
+        assert seed0 == SerialExecutor(Machine(power7_arch, seed=0)).run(plan)[0]
+        assert seed7 == SerialExecutor(Machine(power7_arch, seed=7)).run(plan)[0]
+        assert seed0 != seed7
+
+
+# -- warm serving and dedup ----------------------------------------------------
+
+
+class TestWarmAndSingleFlight:
+    def test_warm_requery_performs_zero_measurements(
+        self, served, small_kernel_factory
+    ):
+        service, url = served
+        plan = ExperimentPlan.cross(
+            [
+                small_kernel_factory("add", count=24),
+                small_kernel_factory("mulld", count=24),
+            ],
+            [MachineConfig(1, 1), MachineConfig(2, 2)],
+            duration=_DURATION,
+        )
+        remote = RemoteExecutor(url)
+        cold = remote.run(plan)
+        engine = next(iter(service._engines.values()))
+        measured = _instrument(engine.machine)
+        warm = remote.run(plan)
+        assert warm == cold
+        assert measured == []  # served entirely from the store
+        counters = ServiceClient(url).stats()["service"]
+        assert counters["measured_cells"] == plan.size
+        assert counters["warm_cells"] == plan.size
+
+    def test_concurrent_overlapping_clients_measure_each_cell_once(
+        self, served, power7_arch, small_kernel_factory
+    ):
+        """N clients, overlapping plans: every client gets complete,
+        bit-identical results; each distinct cell is measured at most
+        once across the whole service."""
+        service, url = served
+        kernels = [
+            small_kernel_factory(mnemonic, count=24)
+            for mnemonic in ("add", "mulld", "addic", "ld")
+        ]
+        shared = [MachineConfig(1, 1), MachineConfig(2, 2)]
+        plans = [
+            ExperimentPlan.cross(
+                [kernels[number], kernels[(number + 1) % 4]],
+                shared,
+                duration=_DURATION,
+            )
+            for number in range(4)
+        ]
+        # Pre-create the engine so the measurement instrumentation is
+        # in place before any client arrives.
+        engine = service._engine("POWER7", 0, None)
+        measured = _instrument(engine.machine)
+
+        results: dict[int, list] = {}
+        errors: list[Exception] = []
+        barrier = threading.Barrier(len(plans))
+
+        def client(number: int) -> None:
+            try:
+                barrier.wait()
+                results[number] = RemoteExecutor(url).run(plans[number])
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(number,))
+            for number in range(len(plans))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        # Complete, bit-identical results for every client.
+        reference = SerialExecutor(Machine(power7_arch))
+        for number, plan in enumerate(plans):
+            assert results[number] == reference.run(plan)
+        # Each distinct cell measured exactly once service-wide.
+        distinct = {
+            cell.identity() for plan in plans for cell in plan.cells
+        }
+        assert len(measured) == len(set(measured)) == len(distinct)
+        counters = ServiceClient(url).stats()["service"]
+        assert counters["measured_cells"] == len(distinct)
+        assert (
+            counters["warm_cells"]
+            + counters["measured_cells"]
+            + counters["dedup_waits"]
+            >= sum(plan.size for plan in plans)
+        )
+
+    def test_single_flight_followers_reuse_the_leaders_bytes(
+        self, tmp_path, small_kernel_factory
+    ):
+        """Deterministic dedup: while a leader measures, a second
+        identical submission classifies every cell as in-flight and
+        receives the leader's measurements without measuring."""
+        service = MeasurementService(
+            store=tmp_path / "store", flight_timeout=60.0
+        )
+        try:
+            plan = ExperimentPlan.cross(
+                [small_kernel_factory("add", count=24)],
+                [MachineConfig(1, 1), MachineConfig(2, 2)],
+                duration=_DURATION,
+            )
+            engine = service._engine("POWER7", 0, None)
+            entered, release = threading.Event(), threading.Event()
+            original = engine.machine.run_many
+
+            def gated(workloads, config, duration=10.0):
+                entered.set()
+                assert release.wait(30)
+                return original(workloads, config, duration)
+
+            engine.machine.run_many = gated
+            outputs: dict[str, list] = {"leader": [], "follower": []}
+
+            def submit(label: str) -> None:
+                service.submit(plan_to_dict(plan), lambda: outputs[label].append)
+
+            leader = threading.Thread(target=submit, args=("leader",))
+            leader.start()
+            assert entered.wait(30)  # leader is inside the measurement
+            follower = threading.Thread(target=submit, args=("follower",))
+            follower.start()
+            # Give the follower time to classify against the in-flight
+            # cells, then let the leader's measurement finish.
+            deadline = threading.Event()
+            deadline.wait(0.3)
+            release.set()
+            leader.join(timeout=60)
+            follower.join(timeout=60)
+            counters = service.stats()["service"]
+            assert counters["measured_cells"] == plan.size
+            assert counters["dedup_waits"] >= 1
+            leader_cells = {
+                line["key"]: line["measurement"]
+                for line in outputs["leader"]
+                if "measurement" in line
+            }
+            follower_cells = {
+                line["key"]: line["measurement"]
+                for line in outputs["follower"]
+                if "measurement" in line
+            }
+            assert follower_cells == leader_cells
+        finally:
+            service.close()
+
+
+# -- chaos ---------------------------------------------------------------------
+
+
+class TestServedChaos:
+    def test_faulted_campaign_completes_bit_identical(
+        self, tmp_path, power7_arch, small_kernel_factory
+    ):
+        """Worker crashes under the server: the run completes with
+        zero quarantines and byte-identical measurements."""
+        plan = ExperimentPlan.cross(
+            [
+                small_kernel_factory("add", count=24),
+                small_kernel_factory("mulld", count=24),
+                small_kernel_factory("lxvw4x", count=24, level="L1"),
+            ],
+            [MachineConfig(1, 1), MachineConfig(2, 2), MachineConfig(4, 2)],
+            duration=_DURATION,
+        )
+        baseline = SerialExecutor(Machine(power7_arch)).run(plan)
+        with faults.injected(FaultPlan(seed=7).arm("crash")):
+            service = MeasurementService(
+                store=tmp_path / "store", parallel=2, flight_timeout=60.0
+            )
+            server, url = _start(service)
+            try:
+                report = RemoteExecutor(url).execute(plan)
+            finally:
+                server.shutdown()
+                server.server_close()
+                service.close()
+        assert report.ok  # zero quarantined cells
+        assert list(report.measurements) == baseline
+
+    def test_transient_store_io_is_survived(
+        self, tmp_path, power7_arch, small_kernel_factory
+    ):
+        plan = ExperimentPlan.cross(
+            [small_kernel_factory("add", count=24)],
+            [MachineConfig(1, 1), MachineConfig(2, 2)],
+            duration=_DURATION,
+        )
+        baseline = SerialExecutor(Machine(power7_arch)).run(plan)
+        with faults.injected(FaultPlan(seed=5).arm("io")):
+            service = MeasurementService(store=tmp_path / "store")
+            server, url = _start(service)
+            try:
+                report = RemoteExecutor(url).execute(plan)
+            finally:
+                server.shutdown()
+                server.server_close()
+                service.close()
+        assert report.ok
+        assert list(report.measurements) == baseline
+
+
+# -- endpoints and error paths -------------------------------------------------
+
+
+class TestEndpoints:
+    def test_health_stats_and_runs(self, served, small_kernel_factory):
+        service, url = served
+        client = ServiceClient(url)
+        assert client.health()["ok"] is True
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=24),
+            MachineConfig(1, 1),
+            _DURATION,
+        )
+        lines = list(client.submit(plan))
+        run = lines[0]["run"]
+        stats = client.stats()
+        assert stats["service"]["requests"] == 1
+        assert stats["store"]["cells"] == 1
+        # The run completed with its cells durable, so its journal was
+        # garbage-collected; the resume endpoint says so explicitly.
+        status = next(iter(client.run_status(run)))
+        assert status["found"] is False
+        assert stats["service"]["journals_gcd"] == 1
+
+    def test_interrupted_run_is_resumable(self, served, small_kernel_factory):
+        """A journal without a completion trailer survives GC and
+        serves its done cells through ``GET /runs/<id>``."""
+        service, url = served
+        client = ServiceClient(url)
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=24),
+            MachineConfig(1, 1),
+            _DURATION,
+        )
+        lines = list(client.submit(plan))
+        run, key = lines[0]["run"], lines[1]["key"]
+        # Reconstruct an interrupted attempt: header + done, no trailer.
+        from repro.exec.journal import RunJournal
+
+        journal = RunJournal(service.store.root, run)
+        journal.start(1, plan.describe())
+        journal.mark_done([key])
+        status, *cells = list(client.run_status(run))
+        assert status["found"] is True and status["completed"] is False
+        assert cells[0]["key"] == key
+        assert cells[0]["measurement"] is not None
+
+    def test_malformed_and_unknown_requests_are_clean_errors(self, served):
+        service, url = served
+        client = ServiceClient(url)
+        with pytest.raises(ServiceError):
+            list(client._stream("POST", "/plans", {"cells": None}))
+        with pytest.raises(ServiceError) as excinfo:
+            client._json("GET", "/nowhere")
+        assert excinfo.value.status == 404
+
+    def test_unknown_architecture_is_404(self, served, small_kernel_factory):
+        service, url = served
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=24),
+            MachineConfig(1, 1),
+            _DURATION,
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            RemoteExecutor(url, arch="VAX").run(plan)
+        assert excinfo.value.status == 404
+
+    def test_unreachable_service_is_a_clean_error(self, small_kernel_factory):
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=24),
+            MachineConfig(1, 1),
+            _DURATION,
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            RemoteExecutor(ServiceClient("http://127.0.0.1:9", timeout=2)).run(plan)
+        assert excinfo.value.status == 503
