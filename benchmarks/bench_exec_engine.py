@@ -5,7 +5,7 @@ how many *measurement cells* (workload x configuration x window) the
 plan/executor/store pipeline completes per second, and how much a warm
 result store accelerates a re-run of the same campaign.
 
-Four numbers are reported (and recorded in ``BENCH_results.json``):
+The headline numbers (recorded in ``BENCH_results.json``):
 
 * serial cells/sec over a Figure-9-shaped plan (stressmark kernels
   across the full 24-configuration sweep), asserted above a floor;
@@ -13,15 +13,28 @@ Four numbers are reported (and recorded in ``BENCH_results.json``):
   plan: the same cells measured through the tensor measurement plane
   (``sim/vector.py``) and through the retained scalar reference walk
   (``Machine(vector=False)`` -- the PR-3 evaluation path), asserted
-  bit-identical and >= 4x faster (typically 5-6x; the residual floor
-  is the bit-exact per-cell sensor draws);
+  bit-identical, plus the *fused steady-state* rate -- a resident
+  executor replaying the plan-cached fused program -- gated at
+  >= 500k cells/sec;
+* the warm sensor-batch crossover: with the draw-constant cache warm,
+  the batch size at which ``measure_batch`` beats the scalar
+  ``measure`` loop, gated at <= 2 (it was ~800 before the per-seed
+  draws were cached);
 * cold-vs-warm store speedup on the identical plan (the warm pass
   performs zero machine invocations), asserted >= 2x;
+* two-replica shard scheduler scaling: the same plan through
+  :class:`~repro.exec.shards.ShardedExecutor` against one and two
+  ``repro serve`` subprocesses, asserted bit-identical to serial and
+  (on multi-core hosts) >= 1.7x faster with the second replica;
 * parallel-executor wall time on the same plan, reported for context.
 """
 
 from __future__ import annotations
 
+import os
+import re
+import subprocess
+import sys
 import time
 
 from benchmarks.conftest import LOOP_SIZE, record_result
@@ -30,6 +43,7 @@ from repro.exec import (
     ParallelExecutor,
     ResultStore,
     SerialExecutor,
+    ShardedExecutor,
 )
 from repro.sim import Machine
 from repro.sim.config import standard_configurations
@@ -108,27 +122,108 @@ def test_vector_plan_throughput(arch):
     vector_rate = _best_rate(plan, arch, vector=True)
     scalar_rate = _best_rate(plan, arch, vector=False)
     speedup = vector_rate / scalar_rate
+
+    # Steady state: a resident executor re-running the plan replays the
+    # plan-cached fused program (compilation fully amortized) -- the
+    # campaign-loop regime, where the same plan object is re-executed
+    # against a warm machine.  Best-of-8 absorbs scheduler noise.
+    resident = SerialExecutor(Machine(arch, vector=True))
+    assert resident.run(plan) == reference  # compile + cache the program
+    fused_elapsed = float("inf")
+    for _ in range(8):
+        start = time.perf_counter()
+        resident.run(plan)
+        fused_elapsed = min(fused_elapsed, time.perf_counter() - start)
+    fused_rate = plan.size / fused_elapsed
+
     print(
         f"\n=== Vector plane: {plan.size} cells "
         f"({_PLAN_KERNELS} kernels x 24 configurations, loop {LOOP_SIZE}) ===\n"
-        f"vectorized: {vector_rate:,.0f} cells/sec, "
+        f"vectorized (cold): {vector_rate:,.0f} cells/sec, "
         f"scalar reference: {scalar_rate:,.0f} cells/sec -> "
-        f"{speedup:.1f}x speedup"
+        f"{speedup:.1f}x speedup\n"
+        f"fused steady state (plan-cached program): "
+        f"{fused_rate:,.0f} cells/sec"
     )
     record_result(
         "exec_engine",
         vector_cells_per_sec=round(vector_rate),
         scalar_cells_per_sec=round(scalar_rate),
         vector_speedup=round(speedup, 2),
+        fused_cells_per_sec=round(fused_rate),
     )
-    # The pinned perf-smoke floor for the batched path (CI runs this
-    # on shared runners, so the absolute floor is conservative; local
-    # hardware typically measures 90-120k cells/sec).
-    assert vector_rate > 20_000
+    # The pinned perf-smoke floors (CI runs this on shared runners, so
+    # the absolute floors are conservative; local hardware typically
+    # measures 80-120k cold and 600-800k fused steady state).
+    assert vector_rate > 30_000
     # Like-for-like: the tensor plane must stay well ahead of the
-    # scalar walk (typically 5-6x; the floor below absorbs runner
+    # scalar walk (typically 5-7x; the floor below absorbs runner
     # noise, the recorded number tracks the real trajectory).
     assert speedup >= 4.0
+    # The headline fused-program gate: half a million measurement
+    # cells per second once compilation is amortized.
+    assert fused_rate >= 500_000
+
+
+def test_sensor_batch_crossover(arch):
+    """Warm sensor-batch crossover: the batch size where batching wins.
+
+    ``measure_batch`` historically needed ~800 cells to amortize its
+    MT19937 seeding against the scalar ``measure`` loop.  With the
+    per-seed draw constants cached (two-generation draw cache), the
+    warm batch path wins at any size -- the crossover pinned here is
+    the smallest batch size whose warm batched rate beats the scalar
+    loop.
+    """
+    from repro.sim.sensors import PowerSensor
+
+    sensor = PowerSensor()
+    duration = 1.0
+    powers = [40.0 + 0.125 * index for index in range(4096)]
+    seeds = [7_000_000 + index for index in range(4096)]
+
+    # Warm both paths: the scalar loop's rate is draw-cache-free by
+    # construction (measure() recomputes its draws every call).
+    sensor.measure_batch(powers, duration, seeds)
+    start = time.perf_counter()
+    for power, seed in zip(powers, seeds):
+        sensor.measure(power, duration, seed)
+    scalar_elapsed = time.perf_counter() - start
+
+    crossover = None
+    rates = {}
+    for size in (1, 2, 4, 8, 64, 512):
+        chunks = [
+            (powers[base : base + size], seeds[base : base + size])
+            for base in range(0, len(powers), size)
+        ]
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for chunk_powers, chunk_seeds in chunks:
+                sensor.measure_batch(chunk_powers, duration, chunk_seeds)
+            best = min(best, time.perf_counter() - start)
+        rates[size] = len(powers) / best
+        if crossover is None and best <= scalar_elapsed:
+            crossover = size
+    scalar_rate = len(powers) / scalar_elapsed
+    print(
+        f"\n=== Sensor crossover: scalar {scalar_rate:,.0f} draws/sec ===\n"
+        + "\n".join(
+            f"batch {size:>4}: {rate:,.0f} draws/sec"
+            for size, rate in rates.items()
+        )
+        + f"\nwarm crossover: {crossover}"
+    )
+    record_result(
+        "exec_engine",
+        sensor_scalar_draws_per_sec=round(scalar_rate),
+        sensor_batch1_draws_per_sec=round(rates[1]),
+        sensor_warm_crossover=crossover,
+    )
+    # The gate: warm batching must win from (near) the first cell.
+    # Before the draw cache the crossover sat around 800.
+    assert crossover is not None and crossover <= 2
 
 
 def test_warm_store_speedup(arch, tmp_path):
@@ -181,3 +276,88 @@ def test_parallel_executor_wall_time(arch):
         f"parallel (4 workers, cold caches): {parallel_elapsed * 1e3:.0f} ms "
         f"({plan.size} cells)"
     )
+
+
+def _spawn_replica() -> tuple[subprocess.Popen, str]:
+    """One ``repro serve`` subprocess on an ephemeral port."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=os.environ.copy(),
+    )
+    banner = process.stdout.readline()
+    match = re.search(r"http://[\d.]+:\d+", banner)
+    if match is None:  # pragma: no cover - startup failure path
+        process.kill()
+        raise RuntimeError(f"repro serve failed to start: {banner!r}")
+    return process, match.group(0)
+
+
+def _shard_elapsed(machine, plan, endpoints: list[str], rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        executor = ShardedExecutor(machine, endpoints, local=False)
+        try:
+            start = time.perf_counter()
+            executor.run(plan)
+            best = min(best, time.perf_counter() - start)
+        finally:
+            executor.close()
+    return best
+
+
+def test_sharded_replica_scaling(arch):
+    """Two serve replicas vs one: near-linear scaling, identical bytes.
+
+    Two real ``python -m repro serve`` subprocesses (separate
+    interpreters, so real CPU parallelism); the shard scheduler
+    partitions the plan by cell-key prefix across them.  Bit-identity
+    against one-shot serial execution is asserted unconditionally; the
+    >= 1.7x scaling gate only applies on multi-core hosts (on a single
+    core two replicas timeshare and scaling is physically impossible).
+    """
+    plan = _plan(arch, kernels=96)
+    machine = Machine(arch)
+    serial = SerialExecutor(Machine(arch)).run(plan)
+
+    replicas = [_spawn_replica() for _ in range(2)]
+    endpoints = [url for _, url in replicas]
+    try:
+        # Warm both replicas' resident machine caches (kernel packing,
+        # stacks) so the timed passes compare routing, not compilation.
+        warm = ShardedExecutor(machine, endpoints, local=False)
+        try:
+            assert warm.run(plan) == serial
+        finally:
+            warm.close()
+
+        one = _shard_elapsed(machine, plan, endpoints[:1])
+        two = _shard_elapsed(machine, plan, endpoints)
+        executor = ShardedExecutor(machine, endpoints, local=False)
+        try:
+            assert executor.run(plan) == serial  # bytes after timing too
+        finally:
+            executor.close()
+    finally:
+        for process, _ in replicas:
+            process.kill()
+            process.wait()
+
+    scaling = one / two
+    cores = os.cpu_count() or 1
+    print(
+        f"\n=== Shard scheduler: {plan.size} cells, 2 serve replicas ===\n"
+        f"1 replica: {one * 1e3:.0f} ms, 2 replicas: {two * 1e3:.0f} ms "
+        f"-> {scaling:.2f}x scaling ({cores} host cores)"
+    )
+    record_result(
+        "exec_engine",
+        shard_one_replica_ms=round(one * 1e3, 1),
+        shard_two_replica_ms=round(two * 1e3, 1),
+        shard_two_replica_scaling=round(scaling, 2),
+        shard_host_cores=cores,
+    )
+    if cores >= 2:
+        assert scaling >= 1.7

@@ -104,6 +104,15 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "results (default: the REPRO_SERVER environment variable, "
         "else local execution)",
     )
+    parser.add_argument(
+        "--shards",
+        metavar="URL[,URL...]",
+        help="shard the plan by content-addressed cell key across "
+        "several campaign-service endpoints plus this process "
+        "(python -m repro serve replicas); results are bit-identical "
+        "to local execution, merged through --store when given "
+        "(default: the REPRO_SHARDS environment variable)",
+    )
 
 
 def _build_machine(arch, args: argparse.Namespace) -> Machine:
@@ -116,7 +125,21 @@ def _build_machine(arch, args: argparse.Namespace) -> Machine:
 
 def _build_executor(machine: Machine, args: argparse.Namespace):
     # Explicit flags win; unset flags fall back to the documented
-    # REPRO_PARALLEL / REPRO_STORE / REPRO_SERVER environment knobs.
+    # REPRO_PARALLEL / REPRO_STORE / REPRO_SERVER / REPRO_SHARDS
+    # environment knobs.
+    shards = getattr(args, "shards", None) or os.environ.get("REPRO_SHARDS")
+    if shards:
+        from repro.exec.shards import ShardedExecutor
+        from repro.exec.store import ResultStore
+
+        store_dir = getattr(args, "store", None) or os.environ.get(
+            "REPRO_STORE"
+        )
+        return ShardedExecutor(
+            machine,
+            shards,
+            store=ResultStore(store_dir) if store_dir else None,
+        )
     server = getattr(args, "server", None) or os.environ.get("REPRO_SERVER")
     if server:
         from repro.exec.client import RemoteExecutor

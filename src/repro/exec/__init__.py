@@ -36,6 +36,7 @@ from repro.exec.plan import (
 from repro.exec.report import CellFailure, ExecutionReport
 from repro.exec.serialize import cell_from_dict, cell_to_dict, plan_from_dict, plan_to_dict
 from repro.exec.service import MeasurementService, build_server
+from repro.exec.shards import ShardedExecutor, parse_shard_endpoints
 from repro.exec.store import ResultStore, StoreReport
 
 __all__ = [
@@ -51,6 +52,7 @@ __all__ = [
     "RunJournal",
     "SerialExecutor",
     "ServiceClient",
+    "ShardedExecutor",
     "StoreReport",
     "build_server",
     "cell_from_dict",
@@ -58,6 +60,7 @@ __all__ = [
     "default_executor",
     "gc_journals",
     "parse_faults",
+    "parse_shard_endpoints",
     "plan_from_dict",
     "plan_to_dict",
     "run_id",

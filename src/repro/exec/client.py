@@ -123,7 +123,19 @@ class ServiceClient:
                     status=response.status,
                 )
             while True:
-                raw = response.readline()
+                try:
+                    raw = response.readline()
+                except (OSError, http.client.HTTPException) as exc:
+                    # A mid-stream transport death (server killed, torn
+                    # chunk framing) surfaces as the same error class
+                    # as every other service failure, so callers (the
+                    # shard scheduler's failover above all) handle one
+                    # exception type.
+                    raise ServiceError(
+                        f"campaign service stream from {self.url} died "
+                        f"mid-response: {exc}",
+                        status=503,
+                    ) from None
                 if not raw:
                     break
                 raw = raw.strip()
@@ -152,6 +164,22 @@ class ServiceClient:
 
     def runs(self) -> dict:
         return self._json("GET", "/runs")
+
+    def probe(
+        self, arch: str, digest, classes: dict | None = None
+    ) -> dict:
+        """Ask the server whether it rebuilds these exact definitions.
+
+        ``digest`` is the base architecture's content digest and
+        ``classes`` maps cluster core class names to theirs; the reply
+        carries ``ok`` (every digest reproduces on the server) plus
+        per-name verdicts.  The shard scheduler probes every endpoint
+        with this before routing any cell to it.
+        """
+        request: dict = {"arch": arch, "digest": digest}
+        if classes:
+            request["classes"] = classes
+        return self._json("POST", "/probe", request)
 
     def run_status(self, run: str) -> Iterator[dict]:
         """Stream the journal status and stored cells of one run."""

@@ -59,7 +59,7 @@ import time
 import weakref
 from collections.abc import Sequence
 
-from repro.errors import UnknownArchitectureError
+from repro.errors import MicroProbeError, UnknownArchitectureError
 from repro.exec import faults
 from repro.exec.journal import RunJournal, run_id
 from repro.exec.plan import ExperimentPlan, PlanCell
@@ -128,24 +128,28 @@ def _measure_on(
     machine: Machine,
     cells: Sequence[PlanCell],
     persist=None,
+    plan: ExperimentPlan | None = None,
 ) -> list[Measurement]:
     """Measure ``cells`` on ``machine``, grouped by configuration.
 
     Without a ``persist`` callback the whole shard evaluates as one
     :meth:`Machine.run_cells` batch, so the vectorized measurement
     plane sees every configuration of the shard in a single tensor
-    pass.  With ``persist(cells, measurements)`` -- called after each
-    configuration group so progress stays durable mid-campaign -- the
-    shard evaluates group by group through ``run_many``; grouping
-    preserves first-seen configuration order either way, and the
-    output list is in ``cells`` order.
+    pass; with ``plan`` given (the whole plan is being measured cold,
+    in plan-cell order), the plane additionally compiles and caches a
+    fused tensor program under the plan, so re-executions skip
+    compilation entirely.  With ``persist(cells, measurements)`` --
+    called after each configuration group so progress stays durable
+    mid-campaign -- the shard evaluates group by group through
+    ``run_many``; grouping preserves first-seen configuration order
+    either way, and the output list is in ``cells`` order.
     """
     fault_plan = faults.active()
     if fault_plan is not None and fault_plan.wants("poison"):
         for cell in cells:
             fault_plan.maybe_poison(faults.cell_key(cell))
     if persist is None:
-        return machine.run_cells(cells)
+        return machine.run_cells(cells, plan=plan)
     out: list[Measurement | None] = [None] * len(cells)
     for (config, label, duration), indices in _group_cells(cells).items():
         if fault_plan is not None and fault_plan.wants("slow"):
@@ -398,9 +402,17 @@ class _ExecutorBase:
             # measured so far; re-runs resume from the store.  Without
             # a store there is nothing to persist, and passing no
             # callback lets the measurement plane evaluate the whole
-            # miss set as one tensor pass.
+            # miss set as one tensor pass.  A fully cold store-less
+            # run measures the plan's own cell list verbatim, so the
+            # plan rides along as the vector plane's program-cache
+            # key: repeated executions of the same plan object jump
+            # straight to the compiled fused program.
+            plan_hint = (
+                plan if persist is None and len(misses) == len(cells) else None
+            )
             measured = self._measure_cells(
-                [cells[index] for index in misses], persist, builder
+                [cells[index] for index in misses], persist, builder,
+                plan=plan_hint,
             )
             for index, measurement in zip(misses, measured):
                 results[index] = measurement
@@ -481,11 +493,15 @@ class _ExecutorBase:
         return self._key if self.store is not None else None
 
     def _measure_inprocess(
-        self, cells: Sequence[PlanCell], persist, builder: ReportBuilder
+        self,
+        cells: Sequence[PlanCell],
+        persist,
+        builder: ReportBuilder,
+        plan: ExperimentPlan | None = None,
     ) -> list[Measurement | None]:
         """In-process measurement with per-cell degraded fallback."""
         try:
-            return _measure_on(self.machine, cells, persist)
+            return _measure_on(self.machine, cells, persist, plan=plan)
         except Exception as exc:
             builder.count("batch_failures")
             logger.warning(
@@ -509,6 +525,7 @@ class _ExecutorBase:
         cells: Sequence[PlanCell],
         persist,
         builder: ReportBuilder,
+        plan: ExperimentPlan | None = None,
     ) -> list[Measurement | None]:
         raise NotImplementedError
 
@@ -517,10 +534,14 @@ class SerialExecutor(_ExecutorBase):
     """In-process execution, batched per configuration."""
 
     def _measure_cells(
-        self, cells: Sequence[PlanCell], persist, builder: ReportBuilder
+        self,
+        cells: Sequence[PlanCell],
+        persist,
+        builder: ReportBuilder,
+        plan: ExperimentPlan | None = None,
     ) -> list[Measurement | None]:
         logger.info("serial: measuring %d cells", len(cells))
-        return self._measure_inprocess(cells, persist, builder)
+        return self._measure_inprocess(cells, persist, builder, plan=plan)
 
 
 # -- worker-process plumbing ---------------------------------------------------
@@ -630,6 +651,8 @@ class ParallelExecutor(_ExecutorBase):
         self._worker_pids: set[int] = set()
         # (parent arch digest, verdict) of the last rebuild probe.
         self._rebuild_probe: tuple[int, bool] | None = None
+        # Per-cluster-class rebuild verdicts (topology plans).
+        self._cluster_probe: dict[str, bool] = {}
 
     def _resolve_start_method(self) -> str:
         if self.start_method is not None:
@@ -658,6 +681,52 @@ class ParallelExecutor(_ExecutorBase):
             sound = False
         self._rebuild_probe = (mine, sound)
         return sound
+
+    def _workers_can_rebuild_clusters(self, cells: Sequence[PlanCell]) -> bool:
+        """Whether workers can rebuild every cluster class ``cells`` use.
+
+        Workers resolve topology cluster classes lazily through the
+        architecture registry, so a user-supplied class the registry
+        cannot reproduce -- unregistered, or resolved then mutated in
+        place on this machine -- would only surface *inside* a worker,
+        as chunk failures degrading to in-process retries.  Probing the
+        digests up front turns that silent degradation into one clear
+        fallback decision (and a log line naming the class).  Verdicts
+        memoize per class name: cluster classes resolve through the
+        registry and are never sanctioned for in-place mutation, so one
+        probe per executor lifetime is sound.
+        """
+        from repro.march.definition import get_architecture
+
+        for cell in cells:
+            if not isinstance(cell.config, ChipTopology):
+                continue
+            for cluster in cell.config.clusters:
+                core_class = cluster.core_class
+                if self.machine._class_key(core_class) is None:
+                    continue  # the base class rides _workers_can_rebuild
+                sound = self._cluster_probe.get(core_class)
+                if sound is None:
+                    try:
+                        sound = (
+                            get_architecture(core_class).content_digest()
+                            == self.machine.cluster_arch(
+                                core_class
+                            ).content_digest()
+                        )
+                    except MicroProbeError:
+                        sound = False
+                    self._cluster_probe[core_class] = sound
+                if not sound:
+                    logger.warning(
+                        "cluster core class %r cannot be rebuilt from "
+                        "the registry (unregistered, or customized away "
+                        "from the bundled definition); falling back to "
+                        "in-process execution to preserve bit-identity",
+                        core_class,
+                    )
+                    return False
+        return True
 
     # -- pool lifecycle -------------------------------------------------------
 
@@ -722,7 +791,11 @@ class ParallelExecutor(_ExecutorBase):
     # -- execution ------------------------------------------------------------
 
     def _measure_cells(
-        self, cells: Sequence[PlanCell], persist, builder: ReportBuilder
+        self,
+        cells: Sequence[PlanCell],
+        persist,
+        builder: ReportBuilder,
+        plan: ExperimentPlan | None = None,
     ) -> list[Measurement | None]:
         workers = min(self.workers, len(cells))
         if workers <= 1:
@@ -730,7 +803,7 @@ class ParallelExecutor(_ExecutorBase):
                 "parallel: shard too small, measuring %d cells in-process",
                 len(cells),
             )
-            return self._measure_inprocess(cells, persist, builder)
+            return self._measure_inprocess(cells, persist, builder, plan=plan)
         if not self._workers_can_rebuild():
             logger.warning(
                 "architecture %r cannot be rebuilt from the registry "
@@ -739,7 +812,10 @@ class ParallelExecutor(_ExecutorBase):
                 "preserve bit-identity",
                 self.machine.arch.name,
             )
-            return self._measure_inprocess(cells, persist, builder)
+            return self._measure_inprocess(cells, persist, builder, plan=plan)
+        if not self._workers_can_rebuild_clusters(cells):
+            # _workers_can_rebuild_clusters already logged which class.
+            return self._measure_inprocess(cells, persist, builder, plan=plan)
 
         # Configuration-major ordering keeps each chunk's run_many
         # batches large; the index map restores cell order afterwards.

@@ -568,6 +568,43 @@ class MeasurementService:
             )
         return payload
 
+    def probe(self, request: dict) -> dict:
+        """Serve one ``POST /probe`` request: can this replica rebuild?
+
+        The shard scheduler (and any remote client with a customized
+        architecture) sends the content digests its plan's measurements
+        depend on -- the base architecture's and, for topology plans,
+        each cluster core class's.  The reply says, per name, whether
+        this replica's registry reproduces that exact definition; the
+        scheduler only routes cells to replicas that answer ``ok``, so
+        digest drift surfaces as an up-front routing decision instead
+        of silently diverging measurements.
+        """
+        from repro.march.definition import get_architecture
+
+        def rebuilds(name: str, digest) -> bool:
+            try:
+                return get_architecture(str(name)).content_digest() == digest
+            except MicroProbeError:
+                return False
+
+        arch_name = str(request.get("arch", "POWER7"))
+        arch_ok = rebuilds(arch_name, request.get("digest"))
+        classes = request.get("classes") or {}
+        if not isinstance(classes, dict):
+            raise ServiceError("probe 'classes' must be an object")
+        class_ok = {
+            str(name): rebuilds(name, digest)
+            for name, digest in classes.items()
+        }
+        return {
+            "service": FORMAT,
+            "arch": arch_name,
+            "ok": arch_ok and all(class_ok.values()),
+            "arch_ok": arch_ok,
+            "classes": class_ok,
+        }
+
     def run_status(self, run: str) -> tuple[dict, list[tuple[str, dict | None]]]:
         """Status + stored results of one run, for ``GET /runs/<id>``."""
         if self.store is None:
@@ -709,7 +746,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
         path = urlsplit(self.path).path.rstrip("/")
-        if path != "/plans":
+        if path not in ("/plans", "/probe"):
             self._send_json(404, {"error": f"unknown endpoint {path!r}"})
             return
         try:
@@ -719,6 +756,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 raise ValueError("plan request must be a JSON object")
         except (ValueError, TypeError) as exc:
             self._send_json(400, {"error": f"malformed request body: {exc}"})
+            return
+
+        if path == "/probe":
+            try:
+                self._send_json(200, self.service.probe(request))
+            except ServiceError as exc:
+                self._send_json(exc.status, {"error": str(exc)})
             return
 
         state = None

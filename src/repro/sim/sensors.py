@@ -81,11 +81,14 @@ _MT_M = 397
 _MT_UPPER = np.uint32(0x8000_0000)
 _MT_LOWER = np.uint32(0x7FFF_FFFF)
 _MT_MATRIX_A = np.uint32(0x9908_B0DF)
-#: Minimum batch size for the vectorized seeding; the 1247 sequential
-#: mixing steps are vector ops whose fixed dispatch overhead needs a
-#: wide batch to amortize.  Below this the exact per-cell loop wins
-#: (measured crossover ~800 cells).
-MT_BATCH_MIN = 768
+#: Minimum *cache-miss* count for the vectorized seeding; the 1247
+#: sequential mixing steps are vector ops whose fixed dispatch
+#: overhead needs a wide batch to amortize.  Below this the exact
+#: per-cell C loop wins (measured crossover ~500 fresh seeds).  Note
+#: this threshold only applies to seeds the draw cache has never seen:
+#: re-measured cells skip seeding entirely at any batch size, which is
+#: what pushes the *effective* crossover to 1 for warm campaigns.
+MT_BATCH_MIN = 512
 
 
 def _mt_base_state() -> np.ndarray:
@@ -176,6 +179,150 @@ def _mt_first_uniform_pairs(seeds: Sequence[int]) -> tuple[np.ndarray, np.ndarra
     return first, second
 
 
+# -- draw-constant cache ------------------------------------------------------
+#
+# The two Gaussian draws of a cell factor into per-seed *constants*:
+# ``random.gauss(0.0, RUN_OFFSET_FRACTION)`` is ``0.0 +
+# (cos(x2pi) * g2rad) * RUN_OFFSET_FRACTION`` (independent of power and
+# window), and the second draw is ``0.0 + z2 * sigma`` with ``z2 =
+# sin(x2pi) * g2rad`` cached by the generator itself.  Both constants
+# are pure functions of the seed, so they memoize like every other
+# content-keyed value in the system: once a cell's seed has been seen,
+# *no* MT19937 seeding happens on a re-measure -- at any batch size.
+# That is what moves the practical vectorization crossover from ~800
+# cells to 1.  The cache is two plain-dict generations (cheaper per
+# hit than an ordered LRU) swapped at capacity, so memory stays
+# bounded without per-access bookkeeping.
+
+#: Seeds retained per generation (two generations resident).
+DRAW_CACHE_GENERATION = 1 << 18
+
+_TWO_PI = 2.0 * math.pi
+
+
+class _DrawCache:
+    """Two-generation seed -> (offset-draw, residual-z) memo."""
+
+    __slots__ = ("current", "previous", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.current: dict[int, tuple[float, float]] = {}
+        self.previous: dict[int, tuple[float, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def rotate_if_full(self) -> None:
+        if len(self.current) >= DRAW_CACHE_GENERATION:
+            self.previous = self.current
+            self.current = {}
+
+    def clear(self) -> None:
+        self.current = {}
+        self.previous = {}
+
+    def stats(self) -> dict:
+        return {
+            "name": "sensor.draws",
+            "size": len(self.current) + len(self.previous),
+            "capacity": 2 * DRAW_CACHE_GENERATION,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+_DRAWS = _DrawCache()
+
+
+def draw_cache_stats() -> dict:
+    """Hit/miss/size counters of the sensor draw-constant cache."""
+    return _DRAWS.stats()
+
+
+def _scalar_draw_constants(seed: int, rng: random.Random) -> tuple[float, float]:
+    """One seed's draw constants via the exact ``random.gauss`` arithmetic.
+
+    ``Random.seed`` resets the cached gauss pair, so a reused generator
+    draws exactly like a freshly constructed one.
+    """
+    rng.seed(seed)
+    u1 = rng.random()
+    u2 = rng.random()
+    x2pi = u1 * _TWO_PI  # random.gauss's TWOPI
+    g2rad = math.sqrt(-2.0 * math.log(1.0 - u2))
+    zo1 = 0.0 + (math.cos(x2pi) * g2rad) * RUN_OFFSET_FRACTION
+    z2 = math.sin(x2pi) * g2rad
+    return zo1, z2
+
+
+def draw_constants(seeds: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+    """Per-seed draw constants ``(zo1, z2)`` for a whole batch.
+
+    ``zo1[i]`` is the first ``gauss(0.0, RUN_OFFSET_FRACTION)`` value of
+    ``random.Random(seeds[i])`` and ``z2[i]`` the generator's cached
+    second normal (to be scaled by the caller's sigma), both bit-exact.
+    Cached seeds resolve with no seeding at all; fresh seeds batch
+    through the vectorized MT19937 replay when there are enough of them
+    to amortize its fixed dispatch cost, and fall back to the exact
+    per-seed C loop otherwise.
+    """
+    count = len(seeds)
+    zo1 = np.empty(count)
+    z2 = np.empty(count)
+    cache = _DRAWS
+    current = cache.current
+    previous = cache.previous
+    miss_positions: list[int] = []
+    miss_seeds: list[int] = []
+    get_current = current.get
+    get_previous = previous.get
+    hits = 0
+    for position, seed in enumerate(seeds):
+        pair = get_current(seed)
+        if pair is None:
+            pair = get_previous(seed)
+            if pair is None:
+                miss_positions.append(position)
+                miss_seeds.append(seed)
+                continue
+            current[seed] = pair  # promote across the generation swap
+        hits += 1
+        zo1[position] = pair[0]
+        z2[position] = pair[1]
+    cache.hits += hits
+    cache.misses += len(miss_seeds)
+    if miss_seeds:
+        cache.rotate_if_full()
+        current = cache.current
+        if len(miss_seeds) >= MT_BATCH_MIN:
+            # Wide miss batches vectorize the seeding; the Gaussian
+            # trig stays per cell with ``math``'s functions (numpy's
+            # SIMD trig may differ in the last ulp, and the draw
+            # contract is pinned to ``random.gauss``'s arithmetic).
+            first, second = _mt_first_uniform_pairs(miss_seeds)
+            cos, sin = math.cos, math.sin
+            log, sqrt = math.log, math.sqrt
+            for position, seed, u1, u2 in zip(
+                miss_positions, miss_seeds, first.tolist(), second.tolist()
+            ):
+                x2pi = u1 * _TWO_PI
+                g2rad = sqrt(-2.0 * log(1.0 - u2))
+                pair = (
+                    0.0 + (cos(x2pi) * g2rad) * RUN_OFFSET_FRACTION,
+                    sin(x2pi) * g2rad,
+                )
+                zo1[position] = pair[0]
+                z2[position] = pair[1]
+                current[seed] = pair
+        else:
+            rng = random.Random()
+            for position, seed in zip(miss_positions, miss_seeds):
+                pair = _scalar_draw_constants(seed, rng)
+                zo1[position] = pair[0]
+                z2[position] = pair[1]
+                current[seed] = pair
+    return zo1, z2
+
+
 class PowerSensor:
     """Samples a constant true power over a measurement window."""
 
@@ -228,45 +375,31 @@ class PowerSensor:
         The noise contract is irreducibly per-cell -- every window's
         draws come from its own ``stable_seed``-seeded generator, so a
         measurement can never depend on batch composition or order --
-        but the *seeding* is where the time goes, and wide batches
-        replay CPython's MT19937 initialization for all cells at once
-        (see :func:`_mt_first_uniform_pairs`); the Gaussian transform
-        then runs per cell with the exact ``random.gauss`` arithmetic.
-        Narrow batches reuse one generator object and re-seed it, which
-        is draw-for-draw identical to constructing a fresh one.
+        but the draws factor into per-seed constants served by the
+        draw cache (:func:`draw_constants`), leaving only the
+        power/sigma application per call: pure Python for narrow
+        batches, one elementwise pass for wide ones.  Both replay
+        ``random.gauss``'s arithmetic operation for operation.
         """
         sample_count = max(1, int(duration / SAMPLE_INTERVAL_S))
         sigma = SAMPLE_NOISE_W / sample_count ** 0.5
-        means: list[float] = []
-        if len(true_powers) >= MT_BATCH_MIN:
-            first, second = _mt_first_uniform_pairs(seeds)
-            cos, sin = math.cos, math.sin
-            log, sqrt = math.log, math.sqrt
-            twopi = 2.0 * math.pi  # random.gauss's TWOPI
-            for power, u1, u2 in zip(
-                true_powers, first.tolist(), second.tolist()
-            ):
-                # Exactly random.gauss: z1 = cos(x2pi)*g2rad drawn for
-                # the run offset, the cached z2 = sin(x2pi)*g2rad for
-                # the residual mean.
-                x2pi = u1 * twopi
-                g2rad = sqrt(-2.0 * log(1.0 - u2))
-                offset = (
-                    0.0 + (cos(x2pi) * g2rad) * RUN_OFFSET_FRACTION
-                ) * power
-                residual_mean = 0.0 + (sin(x2pi) * g2rad) * sigma
-                mean = power + offset + residual_mean
+        count = len(true_powers)
+        if count < 8:
+            zo1, z2 = draw_constants(seeds)
+            zo1_list = zo1.tolist()
+            z2_list = z2.tolist()
+            means = []
+            for power, o, z in zip(true_powers, zo1_list, z2_list):
+                # Exactly the scalar walk: mean = power + gauss1*power
+                # + gauss2, with gauss1 = 0.0 + z1*RUN_OFFSET_FRACTION
+                # (folded into o) and gauss2 = 0.0 + z2*sigma.
+                mean = power + o * power + (0.0 + z * sigma)
                 means.append(round(mean / QUANTUM_W) * QUANTUM_W)
             return means, SAMPLE_NOISE_W, sample_count
-        rng = random.Random()
-        for power, seed in zip(true_powers, seeds):
-            # Random.seed resets the cached gauss pair, so a reused
-            # generator draws exactly like a freshly constructed one.
-            rng.seed(seed)
-            offset = rng.gauss(0.0, RUN_OFFSET_FRACTION) * power
-            residual_mean = rng.gauss(0.0, sigma)
-            mean = power + offset + residual_mean
-            means.append(round(mean / QUANTUM_W) * QUANTUM_W)
+        zo1, z2 = draw_constants(seeds)
+        power = np.asarray(true_powers, dtype=np.float64)
+        mean = (power + zo1 * power) + (0.0 + z2 * sigma)
+        means = (np.round(mean / QUANTUM_W) * QUANTUM_W).tolist()
         return means, SAMPLE_NOISE_W, sample_count
 
     def synthesize_trace(

@@ -52,9 +52,9 @@ class TestSerialExecutor:
         calls = []
         original = machine.run_cells
 
-        def counting(cells):
+        def counting(cells, plan=None):
             calls.append(len(list(cells)))
-            return original(cells)
+            return original(cells, plan=plan)
 
         machine.run_cells = counting
         kernel = small_kernel_factory("add", count=24)

@@ -1,0 +1,324 @@
+"""Shard scheduler: determinism, failover, probing, store merge.
+
+The acceptance property of :class:`~repro.exec.shards.ShardedExecutor`
+is *bit-identity under any partition*: a plan sharded by cell-key
+prefix across 1/2/4 serve replicas (plus the local lane) must
+reproduce one-shot serial execution byte for byte -- on both
+measurement planes, across randomized topology/placement/p-state
+plans, and even when a replica is killed mid-run (its cells fail over
+to the local plane, which is invisible in the bytes because
+measurements are pure functions of content).
+"""
+
+import json
+import random
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.exec import (
+    ExperimentPlan,
+    MeasurementService,
+    PlanCell,
+    ResultStore,
+    SerialExecutor,
+    ShardedExecutor,
+    build_server,
+)
+from repro.exec.shards import parse_shard_endpoints
+from repro.sim import Machine, MachineConfig, Placement, get_pstate
+from repro.sim.topology import parse_topology
+
+_DURATION = 1.0
+
+
+def _start(service):
+    server = build_server(service)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, f"http://127.0.0.1:{server.server_port}"
+
+
+@pytest.fixture()
+def replicas():
+    """Four store-less serial serve replicas on ephemeral ports."""
+    servers = []
+    urls = []
+    services = []
+    for _ in range(4):
+        service = MeasurementService(store=None)
+        server, url = _start(service)
+        servers.append(server)
+        urls.append(url)
+        services.append(service)
+    yield urls
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+    for service in services:
+        service.close()
+
+
+def _random_plan(rng, make_kernel) -> ExperimentPlan:
+    """Randomized kernel/topology/p-state plans (placement rides along)."""
+    kernels = [
+        make_kernel("add", count=24),
+        make_kernel("mulld", count=24, dep=4),
+        make_kernel("lxvw4x", count=24, level="L1"),
+        make_kernel("ld", count=24, level="MEM"),
+    ]
+    workloads = rng.sample(kernels, rng.randint(2, 4))
+    configs = rng.sample(
+        [
+            MachineConfig(1, 1),
+            MachineConfig(2, 2),
+            MachineConfig(4, 1),
+            parse_topology("2big+2little"),
+            parse_topology("2big-2@p2+2little"),
+        ],
+        rng.randint(1, 3),
+    )
+    p_states = (
+        [get_pstate(name) for name in rng.sample(["turbo", "nominal", "p3"], 2)]
+        if rng.random() < 0.5
+        else None
+    )
+    plan = ExperimentPlan.cross(
+        workloads, configs, p_states=p_states, duration=_DURATION
+    )
+    if rng.random() < 0.5:
+        mix = Placement("mix", ((kernels[0],), (kernels[3],)))
+        extra = PlanCell(mix, MachineConfig(2, 1), _DURATION)
+        plan = ExperimentPlan(list(plan.cells) + [extra])
+    return plan
+
+
+def _bytes_of(measurements) -> str:
+    return json.dumps(
+        [m.to_dict() for m in measurements], sort_keys=True
+    )
+
+
+class TestShardDeterminism:
+    @pytest.mark.parametrize("vector", [True, False])
+    def test_randomized_plans_bit_identical_across_shard_counts(
+        self, replicas, power7_arch, small_kernel_factory, vector
+    ):
+        """1/2/4-replica sharded execution == one-shot serial, bytes."""
+        rng = random.Random(20120808)
+        serial_machine = Machine(power7_arch, vector=vector)
+        for round_number in range(3):
+            plan = _random_plan(rng, small_kernel_factory)
+            expected = _bytes_of(SerialExecutor(serial_machine).run(plan))
+            for count in (1, 2, 4):
+                executor = ShardedExecutor(
+                    Machine(power7_arch, vector=vector), replicas[:count]
+                )
+                try:
+                    got = _bytes_of(executor.run(plan))
+                finally:
+                    executor.close()
+                assert got == expected, (
+                    f"round {round_number}: {count}-shard run diverged "
+                    "from serial"
+                )
+
+    def test_remote_only_routing_matches_serial(
+        self, replicas, power7_arch, small_kernel_factory
+    ):
+        """local=False routes every cell remotely, same bytes."""
+        plan = _random_plan(random.Random(7), small_kernel_factory)
+        machine = Machine(power7_arch)
+        expected = _bytes_of(SerialExecutor(machine).run(plan))
+        executor = ShardedExecutor(machine, replicas[:2], local=False)
+        try:
+            report = executor.execute(plan)
+        finally:
+            executor.close()
+        assert report.ok
+        assert _bytes_of(report.measurements) == expected
+
+
+class _DyingHandler(BaseHTTPRequestHandler):
+    """A replica that probes healthy, then dies mid-plan-stream.
+
+    ``POST /probe`` answers honestly (it *can* rebuild the bundled
+    definitions), so the scheduler routes cells to it; ``POST /plans``
+    streams the run header and then tears the connection down -- the
+    footprint of a replica killed mid-run.
+    """
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args) -> None:  # noqa: A003 - silence
+        pass
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        length = int(self.headers.get("Content-Length", "0"))
+        body = json.loads(self.rfile.read(length))
+        if self.path.rstrip("/") == "/probe":
+            from repro.exec.service import MeasurementService
+
+            payload = json.dumps(
+                MeasurementService(store=None).probe(body)
+            ).encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            return
+        # /plans: start streaming, then die before any cell lands.
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        header = json.dumps(
+            {"service": "repro-serve-v1", "run": "dead", "cells": 0}
+        ).encode() + b"\n"
+        self.wfile.write(b"%x\r\n" % len(header) + header + b"\r\n")
+        self.wfile.flush()
+        # shutdown (not just close) forces the FIN out even though
+        # rfile/wfile still hold references to the socket -- the
+        # client must observe a torn stream, not a stuck one.
+        self.connection.shutdown(socket.SHUT_RDWR)
+        self.close_connection = True
+
+
+@pytest.fixture()
+def dying_replica():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _DyingHandler)
+    server.daemon_threads = True
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    yield f"http://127.0.0.1:{server.server_port}"
+    server.shutdown()
+    server.server_close()
+
+
+class TestShardFailover:
+    @pytest.mark.parametrize("vector", [True, False])
+    def test_killed_shard_mid_run_bit_identical(
+        self, replicas, dying_replica, power7_arch, small_kernel_factory,
+        vector,
+    ):
+        """A replica dying mid-run costs time, never bytes."""
+        plan = _random_plan(random.Random(99), small_kernel_factory)
+        machine = Machine(power7_arch, vector=vector)
+        expected = _bytes_of(SerialExecutor(machine).run(plan))
+        executor = ShardedExecutor(
+            machine, [replicas[0], dying_replica]
+        )
+        try:
+            report = executor.execute(plan)
+        finally:
+            executor.close()
+        assert report.ok
+        assert _bytes_of(report.measurements) == expected
+        assert report.fault_counters.get("shard_failovers", 0) >= 1
+
+    def test_dead_endpoint_excluded_up_front(
+        self, power7_arch, small_kernel_factory
+    ):
+        """An unreachable endpoint is excluded; the run completes."""
+        plan = _random_plan(random.Random(3), small_kernel_factory)
+        machine = Machine(power7_arch)
+        expected = _bytes_of(SerialExecutor(machine).run(plan))
+        executor = ShardedExecutor(
+            machine, ["http://127.0.0.1:1"]  # nothing listens there
+        )
+        try:
+            got = _bytes_of(executor.run(plan))
+        finally:
+            executor.close()
+        assert got == expected
+
+    def test_digest_unsound_replica_excluded(
+        self, replicas, power7_arch, small_kernel_factory, monkeypatch
+    ):
+        """A replica that cannot rebuild the definitions takes no cells."""
+        from repro.exec.client import ServiceClient
+
+        plan = _random_plan(random.Random(4), small_kernel_factory)
+        machine = Machine(power7_arch)
+        expected = _bytes_of(SerialExecutor(machine).run(plan))
+        monkeypatch.setattr(
+            ServiceClient,
+            "probe",
+            lambda self, arch, digest, classes=None: {"ok": False},
+        )
+        executor = ShardedExecutor(machine, replicas[:2])
+        try:
+            got = _bytes_of(executor.run(plan))
+        finally:
+            executor.close()
+        assert got == expected
+
+
+class TestShardStoreMerge:
+    def test_results_merge_into_local_store_and_serve_warm(
+        self, replicas, power7_arch, small_kernel_factory, tmp_path
+    ):
+        """Remote-measured cells persist locally; re-runs are warm."""
+        plan = _random_plan(random.Random(12), small_kernel_factory)
+        machine = Machine(power7_arch)
+        expected = _bytes_of(SerialExecutor(machine).run(plan))
+
+        store = ResultStore(tmp_path / "store")
+        executor = ShardedExecutor(machine, replicas[:2], store=store)
+        try:
+            got = _bytes_of(executor.run(plan))
+        finally:
+            executor.close()
+        assert got == expected
+
+        # Warm re-run: every cell serves from the merged store with
+        # zero measurement calls on a machine that forbids them.
+        cold_machine = Machine(power7_arch)
+
+        def forbid(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("measurement invoked on a warm run")
+
+        cold_machine.run = cold_machine.run_many = forbid
+        cold_machine.run_cells = forbid
+        warm_executor = ShardedExecutor(
+            cold_machine,
+            replicas[:2],
+            store=ResultStore(tmp_path / "store"),
+        )
+        try:
+            warm = _bytes_of(warm_executor.run(plan))
+        finally:
+            warm_executor.close()
+        assert warm == expected
+
+
+class TestShardPlumbing:
+    def test_parse_shard_endpoints(self):
+        assert parse_shard_endpoints(
+            " http://a:1 ,http://b:2,, "
+        ) == ["http://a:1", "http://b:2"]
+
+    def test_needs_an_endpoint_or_local(self, power7_arch):
+        with pytest.raises(ValueError):
+            ShardedExecutor(Machine(power7_arch), [], local=False)
+
+    def test_probe_endpoint_verdicts(self, power7_arch):
+        """The service-side probe compares content digests exactly."""
+        service = MeasurementService(store=None)
+        digest = power7_arch.content_digest()
+        good = service.probe({"arch": "POWER7", "digest": digest})
+        assert good["ok"] and good["arch_ok"]
+        bad = service.probe({"arch": "POWER7", "digest": digest ^ 1})
+        assert not bad["ok"]
+        unknown = service.probe({"arch": "NOPE", "digest": 0})
+        assert not unknown["ok"]
+        classes = service.probe(
+            {
+                "arch": "POWER7",
+                "digest": digest,
+                "classes": {"POWER7_ECO": 0},
+            }
+        )
+        assert classes["arch_ok"] and not classes["ok"]
+        assert classes["classes"] == {"POWER7_ECO": False}

@@ -533,11 +533,11 @@ class TestRunnerBaselineMemoization:
         batches = []
         original = machine.run_cells
 
-        def counting(cells):
+        def counting(cells, plan=None):
             batches.extend(
                 sorted({cell.config.label for cell in cells})
             )
-            return original(cells)
+            return original(cells, plan=plan)
 
         machine.run_cells = counting
         sweep = runner.run_sweep(

@@ -298,3 +298,69 @@ class TestCacheAccounting:
         assert 3 not in cache and 2 in cache
         stats = cache.stats()
         assert stats["size"] == 3 and stats["capacity"] == 3
+
+
+class TestFusedProgramCaches:
+    def test_canonical_stack_key_hits_on_permuted_batches(self, power7_arch):
+        """Permuting a kernel batch re-uses the compiled stack (memo
+        keys canonicalize to sorted content digests, not batch order)."""
+        machine = Machine(power7_arch, vector=True)
+        scalar = Machine(power7_arch, vector=False)
+        kernels = [random_kernel(4200 + index) for index in range(10)]
+        config = MachineConfig(4, 2)
+        first = machine.run_many(kernels, config, _DURATION)
+        assert first == scalar.run_many(kernels, config, _DURATION)
+        permuted = list(kernels)
+        random.Random(7).shuffle(permuted)
+        hits_before = machine.cache_stats()["stacks"]["hits"]
+        second = machine.run_many(permuted, config, _DURATION)
+        assert machine.cache_stats()["stacks"]["hits"] > hits_before
+        assert second == scalar.run_many(permuted, config, _DURATION)
+
+    def test_sensor_draw_constants_cached_across_batches(self, power7_arch):
+        """Re-measuring the same cells re-uses cached MT19937 draws."""
+        from repro.sim.sensors import draw_cache_stats
+
+        machine = Machine(power7_arch, vector=True)
+        kernels = [random_kernel(4400 + index) for index in range(12)]
+        config = MachineConfig(8, 1)
+        first = machine.run_many(kernels, config, _DURATION)
+        hits_before = draw_cache_stats()["hits"]
+        assert machine.run_many(kernels, config, _DURATION) == first
+        assert draw_cache_stats()["hits"] >= hits_before + len(kernels)
+
+    def test_plan_program_cache_replays_bit_identically(self, power7_arch):
+        """run_cells(plan=...) caches the fused program; the cached
+        replay produces the same bytes as scalar and as compile-time."""
+        machine = Machine(power7_arch, vector=True)
+        scalar = Machine(power7_arch, vector=False)
+        kernels = [random_kernel(4600 + index) for index in range(9)]
+        plan = ExperimentPlan.cross(
+            kernels,
+            [MachineConfig(2, 2), MachineConfig(4, 1)],
+            duration=_DURATION,
+        )
+        assert machine._vector.cached_program(plan) is None
+        first = machine.run_cells(plan.cells, plan=plan)
+        program = machine._vector.cached_program(plan)
+        assert program is not None
+        replay = machine.run_cells(plan.cells, plan=plan)
+        assert replay == first
+        assert machine._vector.cached_program(plan) is program
+        assert first == scalar.run_cells(plan.cells)
+
+    def test_program_cache_is_weak(self, power7_arch):
+        """Dropping the plan drops its compiled program."""
+        machine = Machine(power7_arch, vector=True)
+        plan = ExperimentPlan.cross(
+            [random_kernel(4800 + index) for index in range(8)],
+            [MachineConfig(4, 2)],
+            duration=_DURATION,
+        )
+        machine.run_cells(plan.cells, plan=plan)
+        assert machine._vector.cached_program(plan) is not None
+        del plan
+        import gc
+
+        gc.collect()
+        assert len(machine._vector._programs) == 0
