@@ -260,6 +260,47 @@ def test_warm_store_speedup(arch, tmp_path):
     assert speedup >= 2.0
 
 
+def test_run_registry_overhead(tmp_path):
+    """The persistent run registry must stay invisible next to
+    measurement cost: flock'd appends in the tens-of-microseconds
+    range, full replay of a busy server's history well under a second.
+    Loose gates -- this documents the envelope, not a razor's edge."""
+    from repro.exec.registry import RunRegistry
+
+    registry = RunRegistry(tmp_path)
+    runs = 500
+    start = time.perf_counter()
+    for index in range(runs):
+        run = f"{index:024x}"
+        registry.record(run, "running", cells=8, plan="bench plan")
+        registry.record(run, "complete", measured=8, warm=0)
+    record_elapsed = time.perf_counter() - start
+    per_record_us = record_elapsed / (2 * runs) * 1e6
+
+    start = time.perf_counter()
+    replayed = RunRegistry(tmp_path)
+    replay_elapsed = time.perf_counter() - start
+    assert len(replayed) == runs
+
+    start = time.perf_counter()
+    dropped = registry.compact()
+    compact_elapsed = time.perf_counter() - start
+    assert dropped == runs  # two lines per run collapse to one
+
+    print(
+        f"\nregistry: {per_record_us:.0f} us/record (append+flock), "
+        f"replay of {2 * runs} lines: {replay_elapsed * 1e3:.0f} ms, "
+        f"compact: {compact_elapsed * 1e3:.0f} ms"
+    )
+    record_result(
+        "exec_engine",
+        registry_record_us=round(per_record_us, 1),
+        registry_replay_ms=round(replay_elapsed * 1e3, 1),
+    )
+    assert per_record_us < 5000  # 5 ms/record is already pathological
+    assert replay_elapsed < 2.0
+
+
 def test_parallel_executor_wall_time(arch):
     plan = _plan(arch)
     start = time.perf_counter()

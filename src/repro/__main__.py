@@ -363,6 +363,9 @@ def _cmd_stressmark(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.exec.service import MeasurementService, build_server
 
     parallel = args.parallel
@@ -373,22 +376,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     port = args.port
     if port is None:
         port = int(os.environ.get("REPRO_SERVE_PORT", "8787"))
+    token = args.token or os.environ.get("REPRO_TOKEN")
 
-    service = MeasurementService(store=store, parallel=parallel)
+    service = MeasurementService(
+        store=store,
+        parallel=parallel,
+        token=token,
+        max_inflight_cells=args.max_inflight_cells,
+        max_requests=args.max_requests,
+        write_deadline=args.write_deadline,
+    )
     server = build_server(service, host=args.host, port=port)
     bound = f"http://{args.host}:{server.server_port}"
     print(
         f"campaign service on {bound} "
         f"(store: {store or 'none'}, "
-        f"workers: {parallel or 'serial'})",
+        f"workers: {parallel or 'serial'}, "
+        f"auth: {'token' if token else 'open'})",
         flush=True,
     )
-    logger.info("endpoints: POST /plans, GET /runs/<id>, GET /stats, GET /health")
+    logger.info(
+        "endpoints: POST /plans, GET /runs, GET /runs/<id>, GET /stats, "
+        "GET /health"
+    )
+
+    # SIGTERM drains: stop admitting (503 + Retry-After), let in-flight
+    # submissions finish streaming, flush the registry, exit 0.  The
+    # actual shutdown must run off-signal -- server.shutdown() blocks
+    # until serve_forever returns.
+    def _drain(signo, frame):  # pragma: no cover - signal path
+        service.drain()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except ValueError:  # pragma: no cover - non-main thread (tests)
+        pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("campaign service shutting down")
     finally:
+        if service.draining:
+            drained = service.wait_idle(timeout=args.drain_grace)
+            print(
+                "campaign service drained"
+                if drained
+                else f"campaign service drain grace ({args.drain_grace:g}s) "
+                "expired with requests still in flight",
+                flush=True,
+            )
         server.server_close()
         service.close()
     return 0
@@ -399,6 +436,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_store(args: argparse.Namespace) -> int:
     from repro.exec.journal import audit_journals, gc_journals
+    from repro.exec.registry import RunRegistry
     from repro.exec.store import ResultStore
 
     root = args.store or os.environ.get("REPRO_STORE")
@@ -419,6 +457,16 @@ def _cmd_store(args: argparse.Namespace) -> int:
                 f"{journals['complete']} complete, "
                 f"{journals['interrupted']} interrupted"
             )
+        registry = RunRegistry(store.root)
+        if len(registry):
+            summary = registry.summary()
+            print(
+                f"registry: {summary['runs']} run(s), "
+                f"{summary['complete']} complete, "
+                f"{summary['interrupted']} interrupted, "
+                f"{summary['quarantined']} quarantined, "
+                f"{summary['running']} running"
+            )
         if not report.ok:
             print(
                 "store has damaged records; "
@@ -430,10 +478,16 @@ def _cmd_store(args: argparse.Namespace) -> int:
     report = store.scrub()
     print(f"store {store.root}: {report.describe()}")
     # Scrub is also the retention pass: journals of completed runs
-    # whose cells are durable carry nothing the store does not.
+    # whose cells are durable carry nothing the store does not, and
+    # the run registry collapses to one line per run.
     removed = gc_journals(store)
     if removed:
         print(f"journals: {removed} completed run journal(s) reclaimed")
+    registry = RunRegistry(store.root)
+    if len(registry):
+        dropped = registry.compact()
+        if dropped > 0:
+            print(f"registry: compacted away {dropped} superseded line(s)")
     return 0
 
 
@@ -572,6 +626,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="result store backing the service; warm cells are served "
         "from disk with zero measurements (default: REPRO_STORE, "
         "else no store)",
+    )
+    serve.add_argument(
+        "--token",
+        metavar="SECRET",
+        default=None,
+        help="require 'Authorization: Bearer SECRET' on every endpoint "
+        "but /health (default: the REPRO_TOKEN environment variable, "
+        "else open)",
+    )
+    serve.add_argument(
+        "--max-inflight-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission budget: reject plan submissions with 429 + "
+        "Retry-After while more than N cells are admitted and "
+        "unfinished (default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission budget: at most N concurrently admitted plan "
+        "submissions; excess answers 429 + Retry-After (default: "
+        "unbounded)",
+    )
+    serve.add_argument(
+        "--write-deadline",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-connection socket deadline; a client that stops "
+        "draining its response stream is disconnected instead of "
+        "wedging the engine queue (default 60)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM, how long to wait for in-flight submissions "
+        "to finish streaming before exiting (default 30)",
     )
     serve.set_defaults(handler=_cmd_serve)
     return parser

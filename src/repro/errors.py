@@ -71,11 +71,29 @@ class ServiceError(MicroProbeError):
     Carries the HTTP status the service handler should answer with;
     raised before any response bytes stream, so clients always get a
     clean error document rather than a truncated result stream.
+
+    ``retry_after`` (seconds) is set on backpressure responses --
+    admission-control 429s and drain-time 503s -- and rendered as the
+    HTTP ``Retry-After`` header; clients with retry budget left sleep
+    that long before resubmitting.  :attr:`transient` is the client's
+    retry predicate: true exactly for connection/transport failures and
+    the backpressure statuses, never for plan errors (a malformed plan
+    stays malformed however often it is retried).
     """
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        retry_after: float | None = None,
+    ) -> None:
         self.status = status
+        self.retry_after = retry_after
         super().__init__(message)
+
+    @property
+    def transient(self) -> bool:
+        return self.status in (429, 503)
 
 
 class PlanValidationError(MicroProbeError):

@@ -27,6 +27,7 @@ from repro.exec.executors import (
 )
 from repro.exec.faults import FaultPlan, parse_faults
 from repro.exec.journal import RunJournal, gc_journals, run_id
+from repro.exec.registry import RunRegistry
 from repro.exec.plan import (
     ExperimentPlan,
     PlanCell,
@@ -50,6 +51,7 @@ __all__ = [
     "RemoteExecutor",
     "ResultStore",
     "RunJournal",
+    "RunRegistry",
     "SerialExecutor",
     "ServiceClient",
     "ShardedExecutor",

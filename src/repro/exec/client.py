@@ -19,6 +19,17 @@ the chunked framing transparently and its response object supports
 ``readline()``, so streaming consumption is just a loop.  Errors
 surface as :class:`~repro.errors.ServiceError` -- connection refusals,
 HTTP error documents and mid-stream ``{"error": ...}`` lines alike.
+
+Resilience: both layers retry *transient* failures with capped,
+deterministic (jitter-free -- reproducibility is the house rule)
+exponential backoff.  :class:`ServiceClient` retries its idempotent
+GETs (``/health``, ``/stats``, ``/runs``) through connection resets;
+:class:`RemoteExecutor` retries whole plan submissions on transport
+deaths and on the service's admission-control ``429``/``503`` answers,
+honoring their ``Retry-After``.  Retrying a submission is always safe:
+measurements are pure functions of content and the server dedupes
+against its store, so the retried response is bit-identical and no
+cell is ever re-measured warm.
 """
 
 from __future__ import annotations
@@ -26,6 +37,8 @@ from __future__ import annotations
 import http.client
 import json
 import logging
+import os
+import time
 from collections.abc import Iterator
 from urllib.parse import urlsplit
 
@@ -37,6 +50,31 @@ from repro.measure.measurement import Measurement
 
 logger = logging.getLogger("repro.exec.client")
 
+#: Deterministic client backoff: attempt N sleeps min(cap, base * 2^N)
+#: (or the server's ``Retry-After`` if longer).  No jitter on purpose.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 2.0
+
+#: Default attempts-after-the-first for transient failures.
+DEFAULT_CLIENT_RETRIES = 3
+
+
+def _retry_sleep(attempt: int, retry_after: float | None = None) -> None:
+    delay = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2.0**attempt))
+    if retry_after is not None:
+        delay = max(delay, min(_BACKOFF_CAP_S, retry_after))
+    time.sleep(delay)
+
+
+def _retry_after_of(response: http.client.HTTPResponse) -> float | None:
+    header = response.getheader("Retry-After")
+    if header is None:
+        return None
+    try:
+        return float(header)
+    except ValueError:
+        return None
+
 
 class ServiceClient:
     """HTTP client for one campaign-service endpoint.
@@ -45,9 +83,21 @@ class ServiceClient:
     connection per request (the service closes streamed connections),
     so a client object is cheap and thread-compatible as long as each
     thread drives its own calls to completion.
+
+    ``token`` (default: the ``REPRO_TOKEN`` environment variable) is
+    sent as ``Authorization: Bearer <token>`` on every request when
+    set.  ``retries`` bounds the transparent re-attempts of idempotent
+    GETs through connection resets; plan submissions stream, so their
+    retry policy lives in :class:`RemoteExecutor`.
     """
 
-    def __init__(self, url: str, timeout: float | None = None) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float | None = None,
+        token: str | None = None,
+        retries: int = DEFAULT_CLIENT_RETRIES,
+    ) -> None:
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if parts.scheme not in ("", "http"):
             raise ServiceError(
@@ -57,6 +107,10 @@ class ServiceClient:
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 80
         self.timeout = timeout
+        self.token = (
+            token if token is not None else os.environ.get("REPRO_TOKEN")
+        ) or None
+        self.retries = max(0, retries)
         self.url = f"http://{self.host}:{self.port}"
 
     def _connect(self) -> http.client.HTTPConnection:
@@ -71,6 +125,8 @@ class ServiceClient:
         try:
             payload = None
             headers = {}
+            if self.token:
+                headers["Authorization"] = f"Bearer {self.token}"
             if body is not None:
                 payload = json.dumps(body).encode()
                 headers["Content-Type"] = "application/json"
@@ -84,10 +140,19 @@ class ServiceClient:
             ) from None
         return connection, response
 
-    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+    def _json_once(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
         connection, response = self._request(method, path, body)
         try:
-            data = response.read()
+            try:
+                data = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"campaign service connection to {self.url} reset "
+                    f"mid-response: {exc}",
+                    status=503,
+                ) from None
         finally:
             connection.close()
         document = self._decode(response, data)
@@ -95,8 +160,32 @@ class ServiceClient:
             raise ServiceError(
                 document.get("error", f"HTTP {response.status} on {path}"),
                 status=response.status,
+                retry_after=_retry_after_of(response),
             )
         return document
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+        """One JSON round trip; idempotent GETs retry transient failures.
+
+        POSTs never retry here (``/plans`` streams and ``/probe`` is
+        cheap enough that callers own the policy); GETs are safe to
+        re-issue by construction, so connection resets and backpressure
+        answers get ``retries`` deterministic backed-off re-attempts.
+        """
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        for attempt in range(attempts):
+            try:
+                return self._json_once(method, path, body)
+            except ServiceError as exc:
+                if not exc.transient or attempt + 1 >= attempts:
+                    raise
+                logger.warning(
+                    "retrying %s %s after transient failure "
+                    "(attempt %d/%d): %s",
+                    method, path, attempt + 1, attempts, exc,
+                )
+                _retry_sleep(attempt, exc.retry_after)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @staticmethod
     def _decode(response: http.client.HTTPResponse, data: bytes) -> dict:
@@ -121,6 +210,7 @@ class ServiceClient:
                 raise ServiceError(
                     document.get("error", f"HTTP {response.status} on {path}"),
                     status=response.status,
+                    retry_after=_retry_after_of(response),
                 )
             while True:
                 try:
@@ -217,6 +307,15 @@ class RemoteExecutor:
     ``fault_counters`` carry the service-side accounting under
     ``service.*`` keys; clean runs keep them empty, matching the local
     executors (and keeping CLI output byte-identical either way).
+
+    Transient failures -- the connection dying mid-stream, the service
+    answering ``429``/``503`` backpressure -- are retried by
+    resubmitting the whole plan up to ``retries`` times with capped
+    deterministic backoff (``Retry-After`` honored).  Purity makes the
+    resubmission free of side effects: every cell the first attempt
+    landed is warm in the server's store, so the retry re-measures
+    nothing and the assembled report is bit-identical.  ``progress``
+    fires once per unique cell across all attempts.
     """
 
     def __init__(
@@ -225,6 +324,7 @@ class RemoteExecutor:
         arch: str = "POWER7",
         seed: int = 0,
         vector: bool | None = None,
+        retries: int = DEFAULT_CLIENT_RETRIES,
     ) -> None:
         self.client = (
             client if isinstance(client, ServiceClient) else ServiceClient(client)
@@ -232,32 +332,66 @@ class RemoteExecutor:
         self.arch = arch
         self.seed = seed
         self.vector = vector
+        self.retries = max(0, retries)
         self.store = None
         self.last_report: ExecutionReport | None = None
+        #: Transient-submission re-attempts performed over this
+        #: executor's lifetime; the shard fabric reads (and resets)
+        #: this for its per-replica fault accounting.
+        self.transport_retries = 0
 
     def execute(self, plan: ExperimentPlan, progress=None) -> ExecutionReport:
         unique: list[Measurement | None] = [None] * len(plan.cells)
-        failures: list[CellFailure] = []
         counters: dict[str, int] = {}
-        for line in self.client.submit(
-            plan, arch=self.arch, seed=self.seed, vector=self.vector
-        ):
-            if "measurement" in line and "cell" in line:
-                index = line["cell"]
-                measurement = Measurement.from_dict(line["measurement"])
-                unique[index] = measurement
-                source = line.get("source", "measured")
-                counters[f"service.{source}"] = (
-                    counters.get(f"service.{source}", 0) + 1
+        #: Cell indices already handed to ``progress`` -- a retried
+        #: submission re-streams cells the dead attempt delivered, and
+        #: callers must see each exactly once.
+        delivered: set[int] = set()
+        attempts = 1 + self.retries
+        for attempt in range(attempts):
+            failures: list[CellFailure] = []
+            try:
+                for line in self.client.submit(
+                    plan, arch=self.arch, seed=self.seed, vector=self.vector
+                ):
+                    if "measurement" in line and "cell" in line:
+                        index = line["cell"]
+                        measurement = Measurement.from_dict(
+                            line["measurement"]
+                        )
+                        unique[index] = measurement
+                        source = line.get("source", "measured")
+                        if index not in delivered:
+                            delivered.add(index)
+                            counters[f"service.{source}"] = (
+                                counters.get(f"service.{source}", 0) + 1
+                            )
+                            if progress is not None:
+                                progress(
+                                    [plan.cells[index]],
+                                    [measurement],
+                                    source == "store",
+                                )
+                    elif "failure" in line:
+                        failures.append(
+                            CellFailure.from_dict(line["failure"])
+                        )
+                    elif line.get("complete"):
+                        counters["service.measured"] = line.get("measured", 0)
+                break
+            except ServiceError as exc:
+                if not exc.transient or attempt + 1 >= attempts:
+                    raise
+                self.transport_retries += 1
+                counters["service.retries"] = (
+                    counters.get("service.retries", 0) + 1
                 )
-                if progress is not None:
-                    progress(
-                        [plan.cells[index]], [measurement], source == "store"
-                    )
-            elif "failure" in line:
-                failures.append(CellFailure.from_dict(line["failure"]))
-            elif line.get("complete"):
-                counters["service.measured"] = line.get("measured", 0)
+                logger.warning(
+                    "resubmitting plan to %s after transient failure "
+                    "(attempt %d/%d): %s",
+                    self.client.url, attempt + 1, attempts, exc,
+                )
+                _retry_sleep(attempt, exc.retry_after)
         missing = sum(1 for entry in unique if entry is None)
         if missing and len(failures) < missing:
             raise ServiceError(

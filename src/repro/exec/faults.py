@@ -30,6 +30,14 @@ Sites:
 ``poison``   measuring a matching cell raises
              :class:`FaultInjectedError` everywhere (worker *and*
              in-process), so the cell ends up quarantined.
+``reject``   the campaign service answers a plan submission with
+             ``429 Too Many Requests`` (+ ``Retry-After``) before any
+             work happens -- an admission-control rejection, for
+             exercising client retry/backoff deterministically.
+``stall``    the campaign service sleeps ``stall_s`` seconds mid-plan
+             (after the stream header, before any cell) -- a slow
+             replica, for exercising shard circuit breakers and
+             follower timeouts; results are unaffected.
 
 Activation: :func:`active` returns the installed plan (tests inject one
 with :func:`injected`) or, failing that, parses the ``REPRO_FAULTS``
@@ -39,9 +47,9 @@ arms the whole execution tree.  The spec is comma-separated tokens::
     REPRO_FAULTS="seed:42,crash:0.05,hang:0.01:2,io:0.1,slow:1.0"
 
 ``site:probability[:times]`` arms a site (``times`` defaults to 1 for
-crash/hang/io/corrupt/torn -- transient -- and unbounded for
-slow/poison); ``seed:N`` seeds the draws; ``hang_s:X``/``slow_s:X``
-set the sleep durations.  No variable, no installed plan: zero
+crash/hang/io/corrupt/torn/reject/stall -- transient -- and unbounded
+for slow/poison); ``seed:N`` seeds the draws;
+``hang_s:X``/``slow_s:X``/``stall_s:X`` set the sleep durations.  No variable, no installed plan: zero
 overhead -- every hook starts with an ``active() is None`` check.
 """
 
@@ -61,8 +69,22 @@ logger = logging.getLogger("repro.exec.faults")
 
 #: Sites that default to firing once per key (transient faults); the
 #: rest (slow, poison) default to firing on every attempt.
-_TRANSIENT_SITES = frozenset({"crash", "hang", "io", "corrupt", "torn"})
-SITES = frozenset({"crash", "hang", "io", "corrupt", "torn", "slow", "poison"})
+_TRANSIENT_SITES = frozenset(
+    {"crash", "hang", "io", "corrupt", "torn", "reject", "stall"}
+)
+SITES = frozenset(
+    {
+        "crash",
+        "hang",
+        "io",
+        "corrupt",
+        "torn",
+        "slow",
+        "poison",
+        "reject",
+        "stall",
+    }
+)
 
 _UNBOUNDED = 1 << 30
 
@@ -111,6 +133,7 @@ class FaultPlan:
     specs: dict[str, FaultSpec] = field(default_factory=dict)
     hang_s: float = 30.0
     slow_s: float = 0.05
+    stall_s: float = 0.5
     _attempts: dict[tuple[str, str], int] = field(
         default_factory=dict, repr=False
     )
@@ -165,6 +188,14 @@ class FaultPlan:
         if self.fire("io", key):
             raise OSError(f"injected transient I/O fault on {key}")
 
+    def maybe_reject(self, key: str) -> bool:
+        """Whether the service should 429 this submission (service-side)."""
+        return self.fire("reject", key)
+
+    def maybe_stall(self, key: str) -> None:
+        if self.fire("stall", key):
+            time.sleep(self.stall_s)
+
     def maybe_poison(self, key: str) -> None:
         if self.fire("poison", key):
             raise FaultInjectedError(f"injected poison fault on cell {key}")
@@ -184,6 +215,8 @@ class FaultPlan:
             tokens.append(f"hang_s:{self.hang_s:g}")
         if self.specs.get("slow") and self.slow_s != 0.05:
             tokens.append(f"slow_s:{self.slow_s:g}")
+        if self.specs.get("stall") and self.stall_s != 0.5:
+            tokens.append(f"stall_s:{self.stall_s:g}")
         return ",".join(tokens)
 
 
@@ -203,6 +236,8 @@ def parse_faults(spec: str) -> FaultPlan:
                 plan.hang_s = float(parts[1])
             elif name == "slow_s":
                 plan.slow_s = float(parts[1])
+            elif name == "stall_s":
+                plan.stall_s = float(parts[1])
             elif name in SITES:
                 probability = float(parts[1]) if len(parts) > 1 else 1.0
                 times = int(parts[2]) if len(parts) > 2 else None

@@ -57,6 +57,29 @@ logger = logging.getLogger("repro.exec.journal")
 FORMAT = "repro-run-v1"
 
 
+def append_jsonl(path: Path, entry: dict) -> None:
+    """Append one JSON line to ``path`` under an exclusive ``flock``.
+
+    The shared crash-safe append discipline of the run journals and the
+    run registry: the parent directory is created on demand, the line
+    is written with a single ``write`` call and flushed, and the lock is
+    always released.  Raises ``OSError`` on failure -- callers decide
+    whether the line is load-bearing (the registry logs and continues;
+    results always live in the store).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(entry, sort_keys=True).encode() + b"\n"
+    with path.open("ab") as handle:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            handle.write(line)
+            handle.flush()
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
 def run_id(cell_keys: Sequence[str]) -> str:
     """Content-addressed identity of one plan execution.
 
@@ -117,21 +140,18 @@ class RunJournal:
                 self.completed = True
         self.resumed = header_seen and not self.completed
 
+    @property
+    def state(self) -> str:
+        """This run's lifecycle state, as the run registry spells it."""
+        if not self.completed:
+            return "interrupted"
+        return "quarantined" if self.prior_failures else "complete"
+
     # -- writing ---------------------------------------------------------------
 
     def _append(self, entry: dict) -> None:
         try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            line = json.dumps(entry, sort_keys=True).encode() + b"\n"
-            with self.path.open("ab") as handle:
-                if fcntl is not None:
-                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-                try:
-                    handle.write(line)
-                    handle.flush()
-                finally:
-                    if fcntl is not None:
-                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            append_jsonl(self.path, entry)
         except OSError as exc:
             # The journal is observability, never load-bearing for
             # results: losing a line degrades resume *reporting*, not

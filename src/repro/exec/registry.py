@@ -1,0 +1,226 @@
+"""Persistent run registry: every run the service ever served, durably.
+
+The campaign service's ``GET /runs``/``GET /runs/<id>`` endpoints were
+originally backed by the per-run journals alone -- and journals of
+*completed* runs are garbage-collected once their cells are durable in
+the store, so a run's very existence was forgotten minutes after it
+finished.  The :class:`RunRegistry` fixes that: an append-only, flock'd
+``<store>/registry.jsonl`` records one line per run state transition
+(submitted, completed, interrupted, quarantined), is replayed on server
+start, and survives both journal GC and server restarts.
+
+Records are JSON lines; per run, the *last* record wins on replay::
+
+    {"registry": "repro-registry-v1", "run": ..., "state": "running",
+     "cells": N, "plan": ..., "plan_digest": ..., "arch": ..., "seed": ...}
+    {"run": ..., "state": "complete", "measured": N, "warm": N, ...}
+
+The registry is *accounting*, never a second store: losing a line
+degrades the run listing, not results (the store remains the source of
+truth for measurements, the journals for per-cell resume).  Appends
+therefore log-and-continue on ``OSError`` exactly like the journals,
+and a torn tail from a ``kill -9`` mid-append is skipped on replay.
+
+Crash recovery: a registry entry still in state ``running`` when a
+server *starts* belongs to a run interrupted by the previous process's
+death -- nothing can be running before the first request.
+:meth:`RunRegistry.recover` reconciles those entries against the run's
+journal (a journal that says complete wins) and appends the corrected
+state, so ``GET /runs`` on a restarted server lists the interrupted
+run immediately; resubmitting its plan is the resume path, warm cells
+serving from the store with zero re-measurement.
+
+Retention: one line per state transition grows forever on a busy
+server; :meth:`RunRegistry.compact` rewrites the file to one line per
+run (newest state), called from ``python -m repro store scrub``
+alongside journal GC.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.exec.journal import RunJournal, append_jsonl
+from repro.hashing import content_hex
+
+logger = logging.getLogger("repro.exec.registry")
+
+FORMAT = "repro-registry-v1"
+
+STATES = ("running", "complete", "interrupted", "quarantined")
+
+
+def plan_digest(cell_keys) -> str:
+    """Content digest of a plan as submitted: its store keys, in order.
+
+    Distinct from the run id only in salt -- recorded separately so a
+    registry consumer can group resubmissions of the same plan without
+    re-deriving key lists.
+    """
+    return content_hex("plan-v1|" + "|".join(cell_keys), size=12)
+
+
+class RunRegistry:
+    """Durable, replayable record of every run against one store."""
+
+    def __init__(self, store_root: str | os.PathLike) -> None:
+        self.path = Path(store_root) / "registry.jsonl"
+        self._lock = threading.Lock()
+        #: run id -> merged record (last state wins), insertion-ordered
+        #: by first sighting, so listings read oldest-first.
+        self._runs: dict[str, dict] = {}
+        self._replay()
+
+    # -- reading ---------------------------------------------------------------
+
+    def _replay(self) -> None:
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        except OSError as exc:
+            logger.warning("cannot read run registry %s: %s", self.path, exc)
+            return
+        for line in data.split(b"\n"):
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                # A torn tail from a kill mid-append; later appends
+                # land on their own line (append_jsonl writes whole
+                # lines), so only the remnant is lost.
+                logger.warning(
+                    "skipping torn line in run registry %s", self.path
+                )
+                continue
+            run = entry.get("run")
+            if not run:
+                continue
+            entry.pop("registry", None)
+            merged = self._runs.get(run)
+            if merged is None:
+                self._runs[run] = dict(entry)
+            else:
+                merged.update(entry)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._runs)
+
+    def __contains__(self, run: str) -> bool:
+        with self._lock:
+            return run in self._runs
+
+    def get(self, run: str) -> dict | None:
+        """The merged record of one run, or ``None``."""
+        with self._lock:
+            found = self._runs.get(run)
+            return dict(found) if found is not None else None
+
+    def runs(self) -> list[dict]:
+        """Every run's merged record, oldest first."""
+        with self._lock:
+            return [dict(record) for record in self._runs.values()]
+
+    def summary(self) -> dict[str, int]:
+        """Run counts per state, for ``GET /stats`` and ``store verify``."""
+        totals = {"runs": 0, **{state: 0 for state in STATES}}
+        with self._lock:
+            for record in self._runs.values():
+                totals["runs"] += 1
+                state = record.get("state")
+                if state in totals:
+                    totals[state] += 1
+        return totals
+
+    # -- writing ---------------------------------------------------------------
+
+    def record(self, run: str, state: str, **fields) -> None:
+        """Append one state transition (and merge it in memory).
+
+        ``fields`` ride along on the record -- plan description and
+        digest on submission, accounting on completion.  Never raises:
+        the registry is observability, the store has the results.
+        """
+        entry: dict = {"run": run, "state": state, **fields}
+        with self._lock:
+            merged = self._runs.get(run)
+            if merged is None:
+                entry.setdefault("first_seen", time.time())
+                self._runs[run] = dict(entry)
+            else:
+                merged.update(entry)
+            entry["updated"] = self._runs[run]["updated"] = time.time()
+        try:
+            append_jsonl(self.path, {"registry": FORMAT, **entry})
+        except OSError as exc:
+            logger.warning(
+                "cannot append to run registry %s: %s", self.path, exc
+            )
+
+    def recover(self, store_root: str | os.PathLike | None = None) -> int:
+        """Reconcile stale ``running`` entries after a process death.
+
+        Called once on server start, before any request: every entry
+        still ``running`` was interrupted by the previous process (a
+        fresh server runs nothing).  The run's journal gets the final
+        word -- a journal with a completion trailer means the run
+        finished and only the registry append was lost -- otherwise the
+        entry flips to ``interrupted``.  Returns how many entries were
+        corrected.
+        """
+        root = Path(store_root) if store_root is not None else self.path.parent
+        with self._lock:
+            stale = [
+                run
+                for run, record in self._runs.items()
+                if record.get("state") == "running"
+            ]
+        corrected = 0
+        for run in stale:
+            journal = RunJournal(root, run)
+            state = journal.state if journal.path.exists() else "interrupted"
+            self.record(run, state, recovered=True)
+            corrected += 1
+            logger.warning(
+                "run %s was in flight when the previous server died; "
+                "registry now records it %s",
+                run,
+                state,
+            )
+        return corrected
+
+    def compact(self) -> int:
+        """Rewrite the file to one line per run; lines dropped, or -1.
+
+        Uses the journals' atomic-enough discipline: write a sibling
+        then ``os.replace``.  Safe against concurrent *readers*; run it
+        from ``store scrub``, between campaigns, like shard compaction.
+        """
+        with self._lock:
+            records = [dict(record) for record in self._runs.values()]
+        try:
+            raw = self.path.read_bytes() if self.path.exists() else b""
+            before = sum(1 for line in raw.split(b"\n") if line)
+            fresh = self.path.with_suffix(".jsonl.compact")
+            with fresh.open("wb") as handle:
+                for record in records:
+                    handle.write(
+                        json.dumps(
+                            {"registry": FORMAT, **record}, sort_keys=True
+                        ).encode()
+                        + b"\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(fresh, self.path)
+        except OSError as exc:
+            logger.warning("cannot compact run registry %s: %s", self.path, exc)
+            return -1
+        return before - len(records)

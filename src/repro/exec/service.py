@@ -23,17 +23,40 @@ Endpoints (all JSON; streamed bodies are chunked JSON Lines):
     the cell's index in the submitted plan, its store key, its
     ``source`` (``store``/``measured``/``dedup``) and the full
     measurement.
+``GET /runs``
+    The persistent :class:`~repro.exec.registry.RunRegistry` listing:
+    every run ever served against this store -- id, plan digest, state
+    (``running``/``complete``/``interrupted``/``quarantined``) and
+    accounting -- surviving journal GC and server restarts.
 ``GET /runs/<id>``
-    Resume/status endpoint backed by the per-run
-    :class:`~repro.exec.journal.RunJournal`: streams the journal's
-    status and the stored measurement of every cell journaled done.
-    Completed runs whose journals were garbage-collected report
-    ``found: false`` -- resubmitting the plan *is* the resume path
-    then (every cell is warm).
+    Resume/status endpoint: the registry's durable record plus, while
+    the run's :class:`~repro.exec.journal.RunJournal` exists, the
+    stored measurement of every cell journaled done.  Resubmitting the
+    plan is always the resume path (warm cells serve from the store
+    with zero re-measurement).
 ``GET /stats``
-    Cache / store / fault / dedup counters of the whole service.
+    Cache / store / fault / dedup / admission counters of the whole
+    service.
 ``GET /health``
-    Liveness probe.
+    Liveness probe (the only endpoint exempt from token auth).
+
+Hardening (this layer treats survivable restarts and bounded
+degradation as first-class):
+
+* **run registry** -- every submission appends its state transitions
+  to a crash-safe, flock'd ``<store>/registry.jsonl``; a restarted
+  server replays it and reconciles runs that were in flight when the
+  previous process died, so ``kill -9`` loses no run history and
+  resumed plans re-measure nothing the store already holds.
+* **admission control** -- optional bearer-token auth (``REPRO_TOKEN``
+  / ``--token``; 401 without it), a bounded in-flight cell budget and
+  request cap answering ``429 Too Many Requests`` with ``Retry-After``
+  (clients back off and resubmit; measurements are pure, so a retried
+  submission is bit-identical), and per-connection write deadlines so
+  one stalled reader can never wedge a flight other clients wait on.
+* **graceful drain** -- SIGTERM (``python -m repro serve``) stops
+  admission (503 + ``Retry-After``), lets in-flight flights finish
+  streaming, flushes the registry, and exits 0.
 
 Multi-tenant contracts:
 
@@ -59,6 +82,7 @@ connected client -- so the service adds no dependencies.
 
 from __future__ import annotations
 
+import hmac
 import json
 import logging
 import threading
@@ -71,9 +95,11 @@ from repro.errors import (
     ServiceError,
     UnknownArchitectureError,
 )
+from repro.exec import faults
 from repro.exec.executors import ParallelExecutor, SerialExecutor
 from repro.exec.journal import RunJournal, audit_journals, gc_journals, run_id
 from repro.exec.plan import ExperimentPlan
+from repro.exec.registry import RunRegistry, plan_digest
 from repro.exec.serialize import plan_from_dict
 from repro.exec.store import ResultStore
 from repro.measure.measurement import Measurement
@@ -86,6 +112,19 @@ FORMAT = "repro-serve-v1"
 #: How long a follower waits on another client's in-flight cell before
 #: rescuing it (re-probing the store, then measuring it itself).
 DEFAULT_FLIGHT_TIMEOUT_S = 600.0
+
+#: Per-connection socket deadline: the longest one blocking read or
+#: write against a client may stall.  Leaders emit while holding the
+#: engine lock, so without a deadline one reader that stops draining
+#: its socket wedges every queued plan; with it, the write raises and
+#: the run completes server-side (followers and the store still get
+#: every cell).
+DEFAULT_WRITE_DEADLINE_S = 60.0
+
+#: ``Retry-After`` seconds on backpressure responses (429/503).
+#: Deliberately short: clients own the capped exponential backoff, the
+#: header only keeps the first retry from landing instantly.
+DEFAULT_RETRY_AFTER_S = 0.25
 
 
 # -- single-flight registry ----------------------------------------------------
@@ -173,6 +212,11 @@ class MeasurementService:
         timeout: float | None = None,
         flight_timeout: float = DEFAULT_FLIGHT_TIMEOUT_S,
         journal_gc: bool = True,
+        token: str | None = None,
+        max_inflight_cells: int | None = None,
+        max_requests: int | None = None,
+        write_deadline: float = DEFAULT_WRITE_DEADLINE_S,
+        retry_after: float = DEFAULT_RETRY_AFTER_S,
     ) -> None:
         self.store = (
             ResultStore(store)
@@ -184,6 +228,11 @@ class MeasurementService:
         self.timeout = timeout
         self.flight_timeout = flight_timeout
         self.journal_gc = journal_gc
+        self.token = token or None
+        self.max_inflight_cells = max_inflight_cells
+        self.max_requests = max_requests
+        self.write_deadline = write_deadline
+        self.retry_after = retry_after
         self._engines: dict[tuple, _Engine] = {}
         #: Serializes executor.execute calls: the resident machines'
         #: caches and the parallel worker pool are single-writer.
@@ -192,6 +241,11 @@ class MeasurementService:
         self._engine_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._flights = _FlightRegistry()
+        #: Admitted-but-unfinished work, bounded by the budgets above.
+        self._inflight_requests = 0
+        self._inflight_cells = 0
+        self._idle = threading.Condition(self._state_lock)
+        self._draining = threading.Event()
         self._counters = {
             "requests": 0,
             "cells_requested": 0,
@@ -202,13 +256,123 @@ class MeasurementService:
             "follower_rescues": 0,
             "quarantined_cells": 0,
             "journals_gcd": 0,
+            "rejected_requests": 0,
+            "drain_rejected": 0,
+            "auth_failures": 0,
+            "broken_streams": 0,
         }
+        #: Durable run listing; replayed from ``<store>/registry.jsonl``
+        #: and reconciled against journals: nothing can be ``running``
+        #: before this process serves its first request.
+        self.registry: RunRegistry | None = None
+        if self.store is not None:
+            self.registry = RunRegistry(self.store.root)
+            recovered = self.registry.recover(self.store.root)
+            if recovered:
+                logger.warning(
+                    "run registry: reconciled %d run(s) left in flight by "
+                    "the previous server process",
+                    recovered,
+                )
 
     # -- counters --------------------------------------------------------------
 
     def _count(self, name: str, value: int = 1) -> None:
         with self._state_lock:
             self._counters[name] = self._counters.get(name, 0) + value
+
+    # -- admission control -----------------------------------------------------
+
+    def authorized(self, header: str | None) -> bool:
+        """Whether ``Authorization: Bearer <token>`` matches the service
+        token (constant-time compare); trivially true without a token."""
+        if self.token is None:
+            return True
+        if not header:
+            return False
+        presented = header.strip()
+        if presented.lower().startswith("bearer "):
+            presented = presented[len("bearer ") :].strip()
+        return hmac.compare_digest(presented, self.token)
+
+    def _admit(self, run: str, cells: int) -> None:
+        """Admit one plan submission or raise the backpressure error.
+
+        Rejections are cheap and honest: they happen before the stream
+        header, before the journal, before any flight claim -- the
+        client sees a clean 429/503 with ``Retry-After`` and resubmits,
+        and because measurements are pure the retried submission is
+        bit-identical to one that was admitted first try.
+        """
+        if self._draining.is_set():
+            self._count("drain_rejected")
+            raise ServiceError(
+                "service is draining (shutdown in progress)",
+                status=503,
+                retry_after=self.retry_after,
+            )
+        plan = faults.active()
+        if plan is not None and plan.maybe_reject(f"serve:{run}"):
+            self._count("rejected_requests")
+            raise ServiceError(
+                "injected admission rejection (chaos testing)",
+                status=429,
+                retry_after=self.retry_after,
+            )
+        with self._state_lock:
+            over_requests = (
+                self.max_requests is not None
+                and self._inflight_requests >= self.max_requests
+            )
+            # A request's first admission always passes an empty cell
+            # budget, so one oversized plan degrades to "alone on the
+            # service" instead of being unservable.
+            over_cells = (
+                self.max_inflight_cells is not None
+                and self._inflight_cells > 0
+                and self._inflight_cells + cells > self.max_inflight_cells
+            )
+            if over_requests or over_cells:
+                self._counters["rejected_requests"] += 1
+                kind = "requests" if over_requests else "cells"
+                raise ServiceError(
+                    f"service at capacity ({kind} budget); retry shortly",
+                    status=429,
+                    retry_after=self.retry_after,
+                )
+            self._inflight_requests += 1
+            self._inflight_cells += cells
+
+    def _release(self, cells: int) -> None:
+        with self._idle:
+            self._inflight_requests -= 1
+            self._inflight_cells -= cells
+            if self._inflight_requests == 0:
+                self._idle.notify_all()
+
+    def drain(self) -> None:
+        """Stop admitting work; in-flight submissions finish streaming."""
+        if not self._draining.is_set():
+            self._draining.set()
+            logger.warning(
+                "drain: admission closed; finishing in-flight submissions"
+            )
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no admitted submission is in flight.
+
+        Completion records append synchronously, so once this returns
+        true the registry is flushed; ``True`` iff idle within
+        ``timeout``.
+        """
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._inflight_requests == 0, timeout
+            )
 
     # -- engines ---------------------------------------------------------------
 
@@ -291,6 +455,26 @@ class MeasurementService:
         executor = engine.executor
         keys = [executor.key_of(cell) for cell in plan.cells]
         run = run_id(keys)
+        self._admit(run, len(keys))
+        try:
+            return self._serve(
+                plan, keys, run, arch_name, seed, executor, start
+            )
+        finally:
+            self._release(len(keys))
+
+    def _serve(
+        self,
+        plan: ExperimentPlan,
+        keys: list[str],
+        run: str,
+        arch_name: str,
+        seed: int,
+        executor,
+        start,
+    ) -> dict:
+        """The admitted half of :meth:`submit`: journal, registry,
+        classification, execution, trailer."""
         self._count("requests")
         self._count("cells_requested", len(keys))
         logger.info(
@@ -300,8 +484,21 @@ class MeasurementService:
             seed,
             run,
         )
+        if self.registry is not None:
+            self.registry.record(
+                run,
+                "running",
+                cells=len(keys),
+                plan=plan.describe(),
+                plan_digest=plan_digest(keys),
+                arch=arch_name,
+                seed=seed,
+            )
 
         emit = start()
+        fault_plan = faults.active()
+        if fault_plan is not None:
+            fault_plan.maybe_stall(f"serve:{run}")
         emit(
             {
                 "service": FORMAT,
@@ -311,6 +508,40 @@ class MeasurementService:
                 "seed": seed,
             }
         )
+        try:
+            trailer = self._execute(plan, keys, run, executor, emit)
+        except BaseException as exc:
+            # The run died mid-flight (engine failure, shutdown): the
+            # registry must not keep saying "running" -- the journal
+            # and store already hold whatever landed, so a resubmit
+            # resumes warm.
+            if self.registry is not None:
+                self.registry.record(
+                    run,
+                    "interrupted",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            raise
+        if self.registry is not None:
+            self.registry.record(
+                run,
+                "quarantined" if trailer["failures"] else "complete",
+                measured=trailer["measured"],
+                warm=trailer["warm"],
+                deduped=trailer["deduped"],
+                failures=len(trailer["failures"]),
+            )
+        return trailer
+
+    def _execute(
+        self,
+        plan: ExperimentPlan,
+        keys: list[str],
+        run: str,
+        executor,
+        emit,
+    ) -> dict:
+        """Classify, measure and stream one admitted run; the trailer."""
         journal: RunJournal | None = None
         if self.store is not None:
             journal = RunJournal(self.store.root, run)
@@ -540,18 +771,25 @@ class MeasurementService:
         payload: dict = {
             "service": counters,
             "inflight_cells": len(self._flights),
+            "admission": {
+                "draining": self.draining,
+                "inflight_requests": self._inflight_requests,
+                "admitted_cells": self._inflight_cells,
+                "max_requests": self.max_requests,
+                "max_inflight_cells": self.max_inflight_cells,
+                "auth": self.token is not None,
+                "write_deadline_s": self.write_deadline,
+            },
             "store": None,
             "engines": [],
         }
         if self.store is not None:
             payload["store"] = {
-                "root": str(self.store.root),
-                "cells": len(self.store),
-                "hits": self.store.hits,
-                "misses": self.store.misses,
-                "faults": self.store.fault_stats(),
+                **self.store.snapshot_stats(),
                 "journals": audit_journals(self.store.root),
             }
+        if self.registry is not None:
+            payload["registry"] = self.registry.summary()
         for (arch_name, seed, resolved), engine in engines.items():
             report = engine.executor.last_report
             payload["engines"].append(
@@ -605,6 +843,19 @@ class MeasurementService:
             "classes": class_ok,
         }
 
+    def runs_listing(self) -> dict:
+        """The ``GET /runs`` payload: durable registry + live journals."""
+        if self.store is None:
+            raise ServiceError(
+                "the service has no result store attached; the run "
+                "registry needs --store", status=404,
+            )
+        payload: dict = {"journals": audit_journals(self.store.root)}
+        if self.registry is not None:
+            payload["registry"] = self.registry.summary()
+            payload["runs"] = self.registry.runs()
+        return payload
+
     def run_status(self, run: str) -> tuple[dict, list[tuple[str, dict | None]]]:
         """Status + stored results of one run, for ``GET /runs/<id>``."""
         if self.store is None:
@@ -612,27 +863,46 @@ class MeasurementService:
                 "the service has no result store attached; resume needs "
                 "--store", status=404,
             )
+        record = self.registry.get(run) if self.registry is not None else None
         journal = RunJournal(self.store.root, run)
         if not journal.path.exists():
+            if record is not None:
+                # Journal GC'd (or lost), registry remembers: report the
+                # durable record; resubmitting the plan is the resume
+                # path (warm cells serve with zero measurements).
+                return (
+                    {
+                        "run": run,
+                        "found": True,
+                        "state": record.get("state"),
+                        "registry": record,
+                        "note": "journal reclaimed; resubmit the plan -- "
+                        "warm cells serve from the store with zero "
+                        "measurements",
+                    },
+                    [],
+                )
             return (
                 {
                     "run": run,
                     "found": False,
-                    "note": "unknown run (completed journals are "
-                    "garbage-collected once every cell is durable; "
-                    "resubmit the plan -- warm cells serve from the "
-                    "store with zero measurements)",
+                    "note": "unknown run (never served against this "
+                    "store); resubmit the plan -- warm cells serve from "
+                    "the store with zero measurements",
                 },
                 [],
             )
         status = {
             "run": run,
             "found": True,
+            "state": journal.state,
             "completed": journal.completed,
             "resumed": journal.resumed,
             "done": len(journal.done),
             "quarantined": journal.prior_failures,
         }
+        if record is not None:
+            status["registry"] = record
         results = []
         for key in sorted(journal.done):
             found = self.store.get(key)
@@ -658,18 +928,49 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def service(self) -> MeasurementService:
         return self.server.service  # type: ignore[attr-defined]
 
+    def setup(self) -> None:
+        # The write deadline doubles as the read deadline: a client
+        # that stops draining its response -- or never finishes sending
+        # its request -- gets its socket operations timed out instead
+        # of holding a handler thread (and, for leaders, the engine
+        # lock's queue) hostage.
+        self.timeout = self.service.write_deadline
+        super().setup()
+
     def log_message(self, format: str, *args) -> None:
         logger.info("%s %s", self.address_string(), format % args)
 
     # -- response helpers ------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, retry_after: float | None = None
+    ) -> None:
         body = json.dumps(payload).encode() + b"\n"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
         self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.wfile.write(body)
+        except OSError:
+            self.close_connection = True
+
+    def _send_error(self, exc: ServiceError) -> None:
+        self._send_json(
+            exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+        )
+
+    def _authorized(self) -> bool:
+        """Gate every endpoint but ``/health`` behind the bearer token."""
+        if self.service.authorized(self.headers.get("Authorization")):
+            return True
+        self.service._count("auth_failures")
+        self._send_json(
+            401, {"error": "unauthorized: missing or wrong bearer token"}
+        )
+        return False
 
     def _start_stream(self):
         """Send stream headers; the returned emit never raises.
@@ -695,10 +996,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self.wfile.flush()
             except OSError:
                 state["broken"] = True
+                self.service._count("broken_streams")
                 logger.warning(
-                    "client %s went away mid-stream; continuing the run "
-                    "for its followers and the store",
+                    "client %s went away or stalled past the %.0fs write "
+                    "deadline mid-stream; continuing the run for its "
+                    "followers and the store",
                     self.address_string(),
+                    self.service.write_deadline,
                 )
 
         state["emit"] = emit
@@ -717,16 +1021,24 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
         path = urlsplit(self.path).path.rstrip("/") or "/"
         if path == "/health":
-            self._send_json(200, {"ok": True, "service": FORMAT})
-        elif path == "/stats":
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "service": FORMAT,
+                    "draining": self.service.draining,
+                },
+            )
+            return
+        if not self._authorized():
+            return
+        if path == "/stats":
             self._send_json(200, self.service.stats())
         elif path == "/runs":
-            if self.service.store is None:
-                self._send_json(404, {"error": "no result store attached"})
-            else:
-                self._send_json(
-                    200, audit_journals(self.service.store.root)
-                )
+            try:
+                self._send_json(200, self.service.runs_listing())
+            except ServiceError as exc:
+                self._send_error(exc)
         elif path.startswith("/runs/"):
             self._get_run(path[len("/runs/") :])
         else:
@@ -736,7 +1048,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         try:
             status, results = self.service.run_status(run)
         except ServiceError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
+            self._send_error(exc)
             return
         emit, state = self._start_stream()
         emit(status)
@@ -748,6 +1060,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         path = urlsplit(self.path).path.rstrip("/")
         if path not in ("/plans", "/probe"):
             self._send_json(404, {"error": f"unknown endpoint {path!r}"})
+            return
+        if not self._authorized():
             return
         try:
             length = int(self.headers.get("Content-Length", "0"))
@@ -762,7 +1076,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             try:
                 self._send_json(200, self.service.probe(request))
             except ServiceError as exc:
-                self._send_json(exc.status, {"error": str(exc)})
+                self._send_error(exc)
             return
 
         state = None
@@ -776,7 +1090,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self.service.submit(request, start)
         except ServiceError as exc:
             if state is None:
-                self._send_json(exc.status, {"error": str(exc)})
+                self._send_error(exc)
                 return
             state["emit"]({"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive

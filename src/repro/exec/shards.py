@@ -34,6 +34,17 @@ Why this is sound, and bit-identical to one-shot serial execution:
   by purity.  Losing a replica costs time, never correctness -- and
   with a store attached, whatever the dead replica already persisted
   locally is not re-measured on the next run.
+* **Self-healing.**  Each replica sits behind a circuit breaker:
+  consecutive failures (probe or mid-run) open it, an open breaker
+  takes no cells, and after a cooldown the next plan half-opens it --
+  one fresh health + digest probe re-admits a recovered replica
+  mid-campaign (a campaign is many plans through one executor).  The
+  transient layer underneath -- :class:`~repro.exec.client.RemoteExecutor`
+  resubmitting on transport deaths and 429/503 backpressure with
+  capped deterministic backoff -- means the breaker only ever counts
+  *exhausted* failures, not blips.  Per-replica fault counters ride
+  the :class:`~repro.exec.report.ExecutionReport` and
+  :meth:`ShardedExecutor.replica_stats`.
 
 The scheduler subclasses the executor base, so stores, journals, warm
 serving, quarantine reports and the ``execute``/``run`` surface all
@@ -48,7 +59,9 @@ from __future__ import annotations
 
 import logging
 import threading
+import time
 from collections.abc import Sequence
+from urllib.parse import urlsplit
 
 from repro.errors import ServiceError
 from repro.exec.client import RemoteExecutor, ServiceClient
@@ -67,24 +80,140 @@ logger = logging.getLogger("repro.exec.shards")
 #: replica count.
 _SHARD_PREFIX = 8
 
+#: Consecutive exhausted failures (probe or mid-run, each already past
+#: the transient-retry layer) that open a replica's circuit breaker.
+_BREAKER_THRESHOLD = 3
+
+#: Seconds an open breaker sits out before the next plan half-opens it
+#: with a fresh probe.
+_BREAKER_COOLDOWN_S = 5.0
+
 
 def parse_shard_endpoints(spec: str) -> list[str]:
-    """Split a ``--shards host1:port,host2:port`` spec into endpoints."""
-    return [entry.strip() for entry in spec.split(",") if entry.strip()]
+    """Split a ``--shards host1:port,host2:port`` spec into endpoints.
+
+    Entries are normalized (surrounding whitespace and trailing
+    slashes stripped) and deduplicated on their resolved (host, port)
+    -- ``http://a:1/`` and ``a:1`` are the same replica, and routing
+    the same shard twice would silently halve the fabric's width.
+    """
+    endpoints: list[str] = []
+    seen: set[tuple] = set()
+    for entry in spec.split(","):
+        entry = entry.strip().rstrip("/")
+        if not entry:
+            continue
+        parts = urlsplit(entry if "//" in entry else f"http://{entry}")
+        identity = (parts.hostname or "127.0.0.1", parts.port or 80)
+        if identity in seen:
+            logger.warning(
+                "duplicate shard endpoint %s (same host:port already "
+                "listed); ignoring it", entry,
+            )
+            continue
+        seen.add(identity)
+        endpoints.append(entry)
+    return endpoints
+
+
+class _CircuitBreaker:
+    """Consecutive-failure breaker guarding one replica.
+
+    ``closed`` routes normally; ``threshold`` consecutive failures trip
+    it ``open`` (the replica takes no cells); once ``cooldown`` seconds
+    pass, the next routing decision half-opens it -- exactly one fresh
+    probe is allowed, whose outcome either closes the breaker (the
+    replica rejoins mid-campaign) or re-opens it for another cooldown.
+    All counters are lifetime totals for observability.
+    """
+
+    __slots__ = (
+        "threshold",
+        "cooldown",
+        "state",
+        "consecutive",
+        "failures",
+        "successes",
+        "opened",
+        "opened_at",
+    )
+
+    def __init__(
+        self,
+        threshold: int = _BREAKER_THRESHOLD,
+        cooldown: float = _BREAKER_COOLDOWN_S,
+    ) -> None:
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self.state = "closed"
+        self.consecutive = 0
+        self.failures = 0
+        self.successes = 0
+        self.opened = 0
+        self.opened_at: float | None = None
+
+    def admits(self) -> bool:
+        """Whether the replica may be probed/routed right now.
+
+        An open breaker past its cooldown transitions to half-open and
+        admits one probe; before the cooldown it admits nothing.
+        """
+        if self.state == "open":
+            if (
+                self.opened_at is not None
+                and time.monotonic() - self.opened_at >= self.cooldown
+            ):
+                self.state = "half-open"
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        rejoined = self.state != "closed"
+        self.state = "closed"
+        self.consecutive = 0
+        self.successes += 1
+        self.opened_at = None
+        if rejoined:
+            logger.info("circuit breaker closed: replica rejoins routing")
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self.consecutive += 1
+        if self.state == "half-open" or self.consecutive >= self.threshold:
+            if self.state != "open":
+                self.opened += 1
+            self.state = "open"
+            self.opened_at = time.monotonic()
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive,
+            "failures": self.failures,
+            "successes": self.successes,
+            "opened": self.opened,
+        }
 
 
 class _RemoteShard:
-    """One serve replica: its client, executor adapter and health."""
+    """One serve replica: its client, executor adapter and breaker."""
 
-    __slots__ = ("endpoint", "client", "executor", "alive")
+    __slots__ = ("endpoint", "client", "executor", "breaker")
 
-    def __init__(self, endpoint: str, executor: RemoteExecutor) -> None:
+    def __init__(
+        self,
+        endpoint: str,
+        executor: RemoteExecutor,
+        breaker: _CircuitBreaker,
+    ) -> None:
         self.endpoint = endpoint
         self.client = executor.client
         self.executor = executor
-        #: Flips False on probe failure or a mid-run death; a dead
-        #: shard takes no further cells this executor lifetime.
-        self.alive = True
+        #: Health state machine: probe/mid-run failures (each already
+        #: past the transient-retry layer) open it, a cooldown-gated
+        #: half-open probe re-admits a recovered replica.
+        self.breaker = breaker
 
 
 class ShardedExecutor(_ExecutorBase):
@@ -116,6 +245,8 @@ class ShardedExecutor(_ExecutorBase):
         retries: int | None = None,
         timeout: float | None = None,
         request_timeout: float | None = None,
+        breaker_threshold: int = _BREAKER_THRESHOLD,
+        breaker_cooldown: float = _BREAKER_COOLDOWN_S,
     ) -> None:
         super().__init__(machine, store, retries=retries, timeout=timeout)
         if isinstance(endpoints, str):
@@ -131,6 +262,7 @@ class ShardedExecutor(_ExecutorBase):
                     seed=machine.seed,
                     vector=machine.vector_enabled,
                 ),
+                _CircuitBreaker(breaker_threshold, breaker_cooldown),
             )
             for endpoint in endpoints
         ]
@@ -138,7 +270,10 @@ class ShardedExecutor(_ExecutorBase):
             raise ValueError(
                 "ShardedExecutor needs at least one endpoint or local=True"
             )
-        #: Endpoint -> probe verdict, memoized per (plan class-set).
+        #: Endpoint -> positive digest verdict, memoized per (plan
+        #: class-set).  Only *answers* memoize; transport failures feed
+        #: the breaker and are always re-probed, which is what lets a
+        #: restarted replica rejoin.
         self._probe_memo: dict[tuple, bool] = {}
 
     # -- probing ---------------------------------------------------------------
@@ -160,11 +295,21 @@ class ShardedExecutor(_ExecutorBase):
         return digests
 
     def _probe_shard(self, shard: _RemoteShard, classes: dict) -> bool:
-        """Whether one endpoint rebuilds every definition exactly."""
+        """Whether one endpoint is reachable and rebuilds every
+        definition exactly; feeds the replica's breaker.
+
+        Digest verdicts memoize (content answers are stable), so a
+        closed-breaker replica probes at most once per class-set; a
+        half-open replica always re-probes over the wire -- that fresh
+        round trip *is* the health re-check that rejoins a recovered
+        replica mid-campaign.
+        """
         memo_key = (shard.endpoint, tuple(sorted(classes)))
-        found = self._probe_memo.get(memo_key)
-        if found is not None:
-            return found
+        recovering = shard.breaker.state != "closed"
+        if not recovering:
+            found = self._probe_memo.get(memo_key)
+            if found is not None:
+                return found
         try:
             verdict = shard.client.probe(
                 self.machine.arch.name, self._arch_digest, classes
@@ -183,8 +328,13 @@ class ShardedExecutor(_ExecutorBase):
                 shard.endpoint,
                 exc,
             )
-            shard.alive = False
-            sound = False
+            shard.breaker.record_failure()
+            return False
+        # The replica answered: transport-wise it is healthy, whatever
+        # the digest verdict (a digest-unsound replica is excluded by
+        # the memo, not the breaker -- it is up, just wrong for this
+        # plan).
+        shard.breaker.record_success()
         self._probe_memo[memo_key] = sound
         return sound
 
@@ -202,7 +352,7 @@ class ShardedExecutor(_ExecutorBase):
         live = [
             shard
             for shard in self._shards
-            if shard.alive and self._probe_shard(shard, classes)
+            if shard.breaker.admits() and self._probe_shard(shard, classes)
         ]
         lanes = len(live) + (1 if self.local else 0)
         if lanes == 0 or (lanes == 1 and not live):
@@ -236,25 +386,30 @@ class ShardedExecutor(_ExecutorBase):
 
         def run_remote(shard: _RemoteShard, indices: list[int]) -> None:
             subplan = ExperimentPlan([cells[i] for i in indices])
+            retries_before = shard.executor.transport_retries
             try:
                 report = shard.executor.execute(subplan)
             except Exception as exc:
-                # ServiceError for transport/HTTP deaths; anything else
-                # a sick replica managed to produce routes through the
+                # ServiceError for transport/HTTP deaths (already past
+                # RemoteExecutor's transient retries); anything else a
+                # sick replica managed to produce routes through the
                 # same failover -- a shard must never take the campaign
                 # down with it.
                 with lock:
-                    shard.alive = False
+                    shard.breaker.record_failure()
                     failed_lanes.append(indices)
+                    builder.count(f"shard[{shard.endpoint}].failures")
                 logger.warning(
                     "shard %s died mid-run (%s); its %d cells fail over "
-                    "to the local plane",
+                    "to the local plane (breaker: %s)",
                     shard.endpoint,
                     exc,
                     len(indices),
+                    shard.breaker.state,
                 )
                 return
             with lock:
+                shard.breaker.record_success()
                 for position, index in enumerate(indices):
                     results[index] = report.measurements[position]
                 # A remotely quarantined cell failed *measurement*, not
@@ -264,6 +419,11 @@ class ShardedExecutor(_ExecutorBase):
                 builder.failures.extend(report.failures)
                 for name, value in report.fault_counters.items():
                     builder.count(name, value)
+                retried = shard.executor.transport_retries - retries_before
+                if retried:
+                    builder.count(
+                        f"shard[{shard.endpoint}].retries", retried
+                    )
 
         threads = [
             threading.Thread(
@@ -315,6 +475,24 @@ class ShardedExecutor(_ExecutorBase):
                     [results[index] for index in landed],
                 )
         return results
+
+    # -- observability ---------------------------------------------------------
+
+    def replica_stats(self) -> list[dict]:
+        """Per-replica health: breaker state + lifetime fault counters.
+
+        The campaign CLI logs this after a sharded run; the same
+        numbers ride the :class:`~repro.exec.report.ExecutionReport`
+        fault counters as ``shard[<endpoint>].*`` keys.
+        """
+        return [
+            {
+                "endpoint": shard.endpoint,
+                "transport_retries": shard.executor.transport_retries,
+                **shard.breaker.to_dict(),
+            }
+            for shard in self._shards
+        ]
 
     def close(self) -> None:
         """Release backend adapters (remote shards hold no sockets open)."""

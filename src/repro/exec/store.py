@@ -288,6 +288,24 @@ class ResultStore:
         }
         return {name: value for name, value in counters.items() if value}
 
+    def snapshot_stats(self) -> dict:
+        """One consistent, JSON-able view of the store's counters.
+
+        Taken under the store lock so a concurrent reader (the campaign
+        service's ``GET /stats``, drain-time logging) never observes a
+        hit counted whose miss twin is still in flight; includes the
+        cell count, which walks the shard indexes and therefore also
+        wants the lock.
+        """
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "cells": len(self),
+                "hits": self.hits,
+                "misses": self.misses,
+                "faults": self.fault_stats(),
+            }
+
     def _count_io_error(self, path: Path, exc: OSError) -> None:
         """Count a swallowed OSError, warning once per shard path."""
         self.io_errors += 1

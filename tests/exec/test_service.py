@@ -415,10 +415,20 @@ class TestEndpoints:
         assert stats["service"]["requests"] == 1
         assert stats["store"]["cells"] == 1
         # The run completed with its cells durable, so its journal was
-        # garbage-collected; the resume endpoint says so explicitly.
+        # garbage-collected -- but the run registry still remembers it,
+        # and the resume endpoint serves the durable record.
         status = next(iter(client.run_status(run)))
-        assert status["found"] is False
+        assert status["found"] is True
+        assert status["state"] == "complete"
+        assert status["registry"]["measured"] == 1
         assert stats["service"]["journals_gcd"] == 1
+        assert stats["registry"]["complete"] == 1
+        listing = client.runs()
+        assert [record["run"] for record in listing["runs"]] == [run]
+        assert listing["registry"]["runs"] == 1
+        # A run id never seen by this store is a clean not-found.
+        missing = next(iter(client.run_status("0" * 24)))
+        assert missing["found"] is False
 
     def test_interrupted_run_is_resumable(self, served, small_kernel_factory):
         """A journal without a completion trailer survives GC and

@@ -1,0 +1,597 @@
+"""Service hardening: run registry, admission control, drain, healing.
+
+The robustness properties layered onto the campaign service:
+
+* **durable run history** -- the flock'd ``<store>/registry.jsonl``
+  survives journal GC *and* server restarts: a fresh service on the
+  same store lists every past run, and entries left ``running`` by a
+  dead process are reconciled against their journals on start;
+* **admission control** -- bearer-token auth (401), request/cell
+  budgets and injected rejections answer 429 + ``Retry-After``, drain
+  answers 503, and the client layers retry transparently with capped
+  deterministic backoff -- always byte-identical to an un-throttled
+  run, because measurements are pure and the store dedupes;
+* **self-healing shards** -- a replica that goes down trips its
+  circuit breaker open (cells fail over locally), and once it comes
+  back the cooldown-gated half-open probe re-admits it mid-campaign.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.exec import (
+    ExperimentPlan,
+    MeasurementService,
+    RemoteExecutor,
+    RunRegistry,
+    SerialExecutor,
+    ServiceClient,
+    build_server,
+)
+from repro.exec import faults
+from repro.exec.faults import FaultPlan
+from repro.exec.journal import RunJournal, run_id
+from repro.exec.registry import plan_digest
+from repro.exec.shards import ShardedExecutor, _CircuitBreaker
+from repro.sim import Machine, MachineConfig
+
+_DURATION = 1.0
+
+
+def _start(service):
+    server = build_server(service)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, f"http://127.0.0.1:{server.server_port}"
+
+
+def _plan(make_kernel, count=24) -> ExperimentPlan:
+    return ExperimentPlan.cross(
+        [make_kernel("add", count=count), make_kernel("mulld", count=count)],
+        [MachineConfig(1, 1), MachineConfig(2, 2)],
+        duration=_DURATION,
+    )
+
+
+# -- run registry --------------------------------------------------------------
+
+
+class TestRunRegistry:
+    def test_record_replay_and_summary(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record("r1", "running", cells=4, plan="p")
+        registry.record("r1", "complete", measured=4)
+        registry.record("r2", "running", cells=2)
+        assert len(registry) == 2 and "r1" in registry
+        assert registry.get("r1")["state"] == "complete"
+        assert registry.get("r1")["cells"] == 4  # earlier fields merge
+        summary = registry.summary()
+        assert summary["runs"] == 2
+        assert summary["complete"] == 1 and summary["running"] == 1
+        # A fresh instance replays the same view from disk.
+        replayed = RunRegistry(tmp_path)
+        assert [r["run"] for r in replayed.runs()] == ["r1", "r2"]
+        assert replayed.get("r1")["measured"] == 4
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record("r1", "complete", measured=1)
+        with registry.path.open("ab") as handle:
+            handle.write(b'{"registry": "repro-registry-v1", "run": "r2"')
+        replayed = RunRegistry(tmp_path)
+        assert len(replayed) == 1
+        assert replayed.get("r1")["state"] == "complete"
+
+    def test_recover_reconciles_stale_running_entries(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record("dead", "running", cells=3)
+        registry.record("fine", "complete", measured=1)
+        # A run whose journal has a completion trailer really finished;
+        # only its registry append was lost.
+        journal = RunJournal(tmp_path, "landed")
+        journal.start(1, "p")
+        journal.mark_done(["k"])
+        journal.complete(1, {})
+        registry.record("landed", "running", cells=1)
+        corrected = registry.recover(tmp_path)
+        assert corrected == 2
+        assert registry.get("dead")["state"] == "interrupted"
+        assert registry.get("dead")["recovered"] is True
+        assert registry.get("landed")["state"] == "complete"
+        assert registry.get("fine")["state"] == "complete"
+        # Recovery is durable, not just in-memory.
+        assert RunRegistry(tmp_path).get("dead")["state"] == "interrupted"
+
+    def test_compact_collapses_to_one_line_per_run(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        for attempt in range(3):
+            registry.record("r1", "running", attempt=attempt)
+            registry.record("r1", "complete", measured=attempt)
+        assert registry.compact() == 5
+        lines = [
+            json.loads(line)
+            for line in registry.path.read_bytes().splitlines()
+            if line
+        ]
+        assert len(lines) == 1
+        assert lines[0]["state"] == "complete" and lines[0]["measured"] == 2
+        assert RunRegistry(tmp_path).get("r1")["state"] == "complete"
+
+    def test_registry_survives_service_restart(
+        self, tmp_path, small_kernel_factory, power7_arch
+    ):
+        plan = _plan(small_kernel_factory)
+        keys = None
+        service = MeasurementService(store=tmp_path / "store")
+        try:
+            lines = []
+            trailer = service.submit(
+                plan_request(plan), lambda: lines.append
+            )
+            keys = [
+                service._engine("POWER7", 0, None).executor.key_of(cell)
+                for cell in plan.cells
+            ]
+            assert trailer["complete"] is True
+        finally:
+            service.close()
+        run = run_id(keys)
+        # A brand-new service on the same store remembers the run even
+        # though its journal was garbage-collected on completion.
+        reborn = MeasurementService(store=tmp_path / "store")
+        try:
+            listing = reborn.runs_listing()
+            assert [r["run"] for r in listing["runs"]] == [run]
+            record = reborn.registry.get(run)
+            assert record["state"] == "complete"
+            assert record["plan_digest"] == plan_digest(keys)
+            status, _ = reborn.run_status(run)
+            assert status["found"] is True and status["state"] == "complete"
+        finally:
+            reborn.close()
+
+
+def plan_request(plan, **extra):
+    from repro.exec.serialize import plan_to_dict
+
+    request = plan_to_dict(plan)
+    request.update(extra)
+    return request
+
+
+# -- admission control ---------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_token_auth(self, tmp_path, small_kernel_factory):
+        service = MeasurementService(store=tmp_path / "store", token="s3cret")
+        server, url = _start(service)
+        try:
+            # /health stays open (load balancers probe unauthenticated).
+            assert ServiceClient(url, token=None).health()["ok"] is True
+            with pytest.raises(ServiceError) as excinfo:
+                ServiceClient(url, token=None).stats()
+            assert excinfo.value.status == 401
+            with pytest.raises(ServiceError) as excinfo:
+                ServiceClient(url, token="wrong").runs()
+            assert excinfo.value.status == 401
+            authed = ServiceClient(url, token="s3cret")
+            assert authed.stats()["admission"]["auth"] is True
+            plan = ExperimentPlan.single(
+                small_kernel_factory("add", count=24),
+                MachineConfig(1, 1),
+                _DURATION,
+            )
+            report = RemoteExecutor(authed).execute(plan)
+            assert report.ok
+            assert service._counters["auth_failures"] == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_request_budget_answers_429_and_retry_succeeds(
+        self, tmp_path, small_kernel_factory, power7_arch
+    ):
+        plan = ExperimentPlan.single(
+            small_kernel_factory("add", count=24),
+            MachineConfig(1, 1),
+            _DURATION,
+        )
+        baseline = SerialExecutor(Machine(power7_arch)).run(plan)
+        service = MeasurementService(
+            store=tmp_path / "store", max_requests=1, retry_after=0.05
+        )
+        server, url = _start(service)
+        try:
+            # Saturate the budget, as a stuck request would.
+            service._admit("occupier", 0)
+            with pytest.raises(ServiceError) as excinfo:
+                RemoteExecutor(url, retries=0).execute(plan)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after == pytest.approx(0.05)
+            assert excinfo.value.transient
+            # With retry budget, the client rides out the backpressure
+            # window transparently -- and the bytes are identical.
+            releaser = threading.Timer(0.2, service._release, args=(0,))
+            releaser.start()
+            try:
+                report = RemoteExecutor(url, retries=4).execute(plan)
+            finally:
+                releaser.join()
+            assert report.ok
+            assert list(report.measurements) == baseline
+            assert service._counters["rejected_requests"] >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_cell_budget_rejects_second_plan_not_first(self, tmp_path):
+        service = MeasurementService(
+            store=tmp_path / "store", max_inflight_cells=10
+        )
+        try:
+            # An oversized plan admits against an empty budget...
+            service._admit("big", 50)
+            # ...but the next submission bounces until it drains.
+            with pytest.raises(ServiceError) as excinfo:
+                service._admit("next", 1)
+            assert excinfo.value.status == 429
+            service._release(50)
+            service._admit("next", 1)
+            service._release(1)
+        finally:
+            service.close()
+
+    def test_injected_rejection_is_deterministic_and_retryable(
+        self, tmp_path, small_kernel_factory, power7_arch
+    ):
+        plan = _plan(small_kernel_factory)
+        baseline = SerialExecutor(Machine(power7_arch)).run(plan)
+        with faults.injected(FaultPlan(seed=3).arm("reject")):
+            service = MeasurementService(store=tmp_path / "store")
+            server, url = _start(service)
+            try:
+                with pytest.raises(ServiceError) as excinfo:
+                    RemoteExecutor(url, retries=0).execute(plan)
+                assert excinfo.value.status == 429
+                # The reject site is transient (times=1): the same
+                # submission retried passes admission and the response
+                # byte-matches the serial baseline.
+                report = RemoteExecutor(url, retries=2).execute(plan)
+                assert report.ok
+                assert list(report.measurements) == baseline
+                assert service._counters["rejected_requests"] >= 1
+            finally:
+                server.shutdown()
+                server.server_close()
+                service.close()
+
+    def test_drain_rejects_with_503_and_goes_idle(
+        self, tmp_path, small_kernel_factory
+    ):
+        plan = _plan(small_kernel_factory)
+        service = MeasurementService(store=tmp_path / "store")
+        server, url = _start(service)
+        try:
+            report = RemoteExecutor(url, retries=0).execute(plan)
+            assert report.ok
+            service.drain()
+            assert ServiceClient(url).health()["draining"] is True
+            with pytest.raises(ServiceError) as excinfo:
+                RemoteExecutor(url, retries=0).execute(plan)
+            assert excinfo.value.status == 503
+            assert excinfo.value.transient
+            assert service.wait_idle(timeout=5.0) is True
+            assert service._counters["drain_rejected"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_stalled_service_stream_is_still_bit_identical(
+        self, tmp_path, small_kernel_factory, power7_arch
+    ):
+        plan = _plan(small_kernel_factory)
+        baseline = SerialExecutor(Machine(power7_arch)).run(plan)
+        with faults.injected(
+            FaultPlan(seed=1).arm("stall"),
+        ) as armed:
+            armed.stall_s = 0.2
+            service = MeasurementService(store=tmp_path / "store")
+            server, url = _start(service)
+            try:
+                report = RemoteExecutor(url).execute(plan)
+            finally:
+                server.shutdown()
+                server.server_close()
+                service.close()
+        assert report.ok
+        assert list(report.measurements) == baseline
+
+
+class TestClientRetries:
+    def test_idempotent_gets_retry_through_transient_failures(
+        self, monkeypatch
+    ):
+        client = ServiceClient("http://127.0.0.1:1", retries=3)
+        calls = {"n": 0}
+
+        def flaky(method, path, body=None):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ServiceError("connection reset", status=503)
+            return {"ok": True}
+
+        monkeypatch.setattr(client, "_json_once", flaky)
+        monkeypatch.setattr("repro.exec.client.time.sleep", lambda s: None)
+        assert client.health() == {"ok": True}
+        assert calls["n"] == 3
+
+    def test_post_never_retries_and_terminal_errors_propagate(
+        self, monkeypatch
+    ):
+        client = ServiceClient("http://127.0.0.1:1", retries=3)
+        calls = {"n": 0}
+
+        def always_down(method, path, body=None):
+            calls["n"] += 1
+            raise ServiceError("boom", status=503)
+
+        monkeypatch.setattr(client, "_json_once", always_down)
+        monkeypatch.setattr("repro.exec.client.time.sleep", lambda s: None)
+        with pytest.raises(ServiceError):
+            client.probe("POWER7", 0)
+        assert calls["n"] == 1  # POST: no transparent retry
+        calls["n"] = 0
+        with pytest.raises(ServiceError):
+            client.stats()
+        assert calls["n"] == 4  # GET: 1 + retries attempts
+
+    def test_non_transient_errors_never_retry(self, monkeypatch):
+        client = ServiceClient("http://127.0.0.1:1", retries=3)
+        calls = {"n": 0}
+
+        def bad_request(method, path, body=None):
+            calls["n"] += 1
+            raise ServiceError("nope", status=404)
+
+        monkeypatch.setattr(client, "_json_once", bad_request)
+        with pytest.raises(ServiceError):
+            client.runs()
+        assert calls["n"] == 1
+
+
+# -- circuit breakers ----------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_state_machine(self):
+        breaker = _CircuitBreaker(threshold=2, cooldown=0.05)
+        assert breaker.admits() and breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.admits()  # one failure: still closed
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.opened == 1
+        assert not breaker.admits()
+        time.sleep(0.06)
+        assert breaker.admits()  # cooldown elapsed: half-open probe
+        assert breaker.state == "half-open"
+        breaker.record_failure()  # probe failed: straight back open
+        assert breaker.state == "open" and breaker.opened == 2
+        time.sleep(0.06)
+        assert breaker.admits()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.consecutive == 0
+        assert breaker.to_dict()["failures"] == 3
+
+    def test_downed_replica_rejoins_mid_campaign(
+        self, tmp_path, small_kernel_factory, power7_arch
+    ):
+        plans = [
+            ExperimentPlan.single(
+                small_kernel_factory("add", count=24 + 8 * n),
+                MachineConfig(1, 1),
+                _DURATION,
+            )
+            for n in range(3)
+        ]
+        baseline = [
+            SerialExecutor(Machine(power7_arch)).run(plan) for plan in plans
+        ]
+        # Reserve a port for the replica without serving on it yet.
+        import socket
+
+        probe_sock = socket.socket()
+        probe_sock.bind(("127.0.0.1", 0))
+        port = probe_sock.getsockname()[1]
+        probe_sock.close()
+
+        executor = ShardedExecutor(
+            Machine(power7_arch),
+            [f"http://127.0.0.1:{port}"],
+            store=None,
+            local=True,
+            request_timeout=2.0,
+            breaker_threshold=1,
+            breaker_cooldown=0.2,
+        )
+        shard = executor._shards[0]
+        # Replica down: the first plan trips the breaker open and every
+        # cell fails over to the local plane.
+        first = executor.execute(plans[0])
+        assert first.ok
+        assert list(first.measurements) == baseline[0]
+        assert shard.breaker.state == "open"
+        # Still inside the cooldown: the breaker admits nothing (no
+        # probe round trip is even attempted against the dead port).
+        second = executor.execute(plans[1])
+        assert list(second.measurements) == baseline[1]
+
+        # The replica comes back; after the cooldown, the half-open
+        # probe re-admits it mid-campaign.
+        replica_service = MeasurementService()
+        server = build_server(replica_service, port=port)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            time.sleep(0.25)
+            third = executor.execute(plans[2])
+            assert list(third.measurements) == baseline[2]
+            assert shard.breaker.state == "closed"
+            stats = executor.replica_stats()
+            assert stats[0]["opened"] >= 1
+            assert stats[0]["state"] == "closed"
+            assert stats[0]["successes"] >= 1
+        finally:
+            executor.close()
+            server.shutdown()
+            server.server_close()
+            replica_service.close()
+
+
+# -- kill -9 the server --------------------------------------------------------
+
+
+def _serve_env(fault_spec: str | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p
+    )
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_TOKEN", None)
+    if fault_spec:
+        env["REPRO_FAULTS"] = fault_spec
+    return env
+
+
+def _spawn_server(store_dir, fault_spec=None):
+    """``python -m repro serve`` on an ephemeral port; (process, url)."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--store",
+            str(store_dir),
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_serve_env(fault_spec),
+    )
+    # The banner line carries the bound ephemeral port.
+    banner = process.stdout.readline()
+    assert "campaign service on " in banner, banner
+    url = banner.split("campaign service on ", 1)[1].split()[0]
+    return process, url
+
+
+class TestServerKillNineRestart:
+    def test_sigkilled_server_restarts_and_resumes_warm(
+        self, tmp_path, power7_arch
+    ):
+        """The tentpole acceptance: kill -9 ``repro serve`` mid-run,
+        restart it on the same store, and the restarted server (a) lists
+        the interrupted run in ``GET /runs`` via the recovered registry,
+        and (b) serves the resubmitted plan with zero re-measurement of
+        warm cells, byte-identical to a one-shot serial execution."""
+        from repro.march import get_architecture
+        from repro.workloads import daxpy_kernels
+
+        store_dir = tmp_path / "store"
+        arch = get_architecture("POWER7")
+        plan = ExperimentPlan.cross(
+            [daxpy_kernels(arch, loop_size=96)[0]],
+            [
+                MachineConfig(1, 1), MachineConfig(2, 1), MachineConfig(2, 2),
+                MachineConfig(4, 1), MachineConfig(4, 2), MachineConfig(4, 4),
+            ],
+            duration=_DURATION,
+        )
+        keys = [
+            SerialExecutor(Machine(arch)).key_of(cell) for cell in plan.cells
+        ]
+        run = run_id(keys)
+
+        # First server: paced (each measured batch sleeps 0.5 s) so it
+        # is killable between durable batches.
+        process, url = _spawn_server(store_dir, "slow:1,slow_s:0.5")
+        failure: list = []
+
+        def submit_and_die():
+            try:
+                RemoteExecutor(url, retries=0).execute(plan)
+            except ServiceError:
+                pass  # the stream dies with the server -- expected
+            except Exception as exc:  # pragma: no cover - diagnostics
+                failure.append(exc)
+
+        client_thread = threading.Thread(target=submit_and_die, daemon=True)
+        try:
+            client_thread.start()
+            from repro.exec import ResultStore
+
+            deadline = time.monotonic() + 60
+            while len(ResultStore(store_dir)) < 2:
+                assert time.monotonic() < deadline, "no progress to kill"
+                assert process.poll() is None, process.communicate()[1]
+                time.sleep(0.05)
+            os.kill(process.pid, signal.SIGKILL)
+            process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.communicate()
+        assert process.returncode == -signal.SIGKILL
+        client_thread.join(timeout=30)
+        assert not failure, failure
+        persisted = len(ResultStore(store_dir))
+        assert 2 <= persisted < len(plan.cells)
+        # The kill -9 left the registry's last word at "running".
+        assert RunRegistry(store_dir).get(run)["state"] == "running"
+
+        # Second server, same store, no faults: start-up recovery
+        # reconciles the stale entry, GET /runs lists the interruption.
+        process, url = _spawn_server(store_dir)
+        try:
+            client = ServiceClient(url)
+            listing = client.runs()
+            record = {r["run"]: r for r in listing["runs"]}[run]
+            assert record["state"] == "interrupted"
+            assert record["recovered"] is True
+            assert listing["journals"]["interrupted"] == 1
+
+            # Resubmit: the warm cells serve from the store with zero
+            # re-measurement, the rest measure, and the whole response
+            # is byte-identical to a one-shot serial run.
+            report = RemoteExecutor(url).execute(plan)
+            assert report.ok
+            stats = client.stats()
+            assert stats["service"]["warm_cells"] == persisted
+            assert stats["service"]["measured_cells"] == (
+                len(plan.cells) - persisted
+            )
+            assert client.runs()["registry"]["complete"] == 1
+            clean = SerialExecutor(Machine(power7_arch)).run(plan)
+            assert list(report.measurements) == clean
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                out, err = process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+                out, err = process.communicate()
+        # SIGTERM is the drain path: exit 0, drain banner printed.
+        assert process.returncode == 0, (out, err)
+        assert "drained" in out

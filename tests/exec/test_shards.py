@@ -299,6 +299,15 @@ class TestShardPlumbing:
             " http://a:1 ,http://b:2,, "
         ) == ["http://a:1", "http://b:2"]
 
+    def test_parse_shard_endpoints_normalizes_and_dedupes(self):
+        # Trailing slashes are noise, and the same (host, port) listed
+        # twice -- with or without an explicit scheme -- is one replica:
+        # double-routing it would silently halve the fabric's width.
+        assert parse_shard_endpoints(
+            "http://a:1/,a:1,http://a:1,http://b:2/"
+        ) == ["http://a:1", "http://b:2"]
+        assert parse_shard_endpoints("a:1,b:2,a:1") == ["a:1", "b:2"]
+
     def test_needs_an_endpoint_or_local(self, power7_arch):
         with pytest.raises(ValueError):
             ShardedExecutor(Machine(power7_arch), [], local=False)
