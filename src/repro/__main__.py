@@ -113,6 +113,16 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "to local execution, merged through --store when given "
         "(default: the REPRO_SHARDS environment variable)",
     )
+    parser.add_argument(
+        "--wire",
+        choices=("auto", "1", "2"),
+        default="auto",
+        help="plan wire format for --server/--shards submissions: "
+        "1 inline cells, 2 digest-pooled (v2); auto negotiates per "
+        "server and falls back to v1 for old servers (default: the "
+        "REPRO_WIRE environment variable, else auto); results are "
+        "bit-identical either way",
+    )
 
 
 def _build_machine(arch, args: argparse.Namespace) -> Machine:
@@ -128,6 +138,8 @@ def _build_executor(machine: Machine, args: argparse.Namespace):
     # REPRO_PARALLEL / REPRO_STORE / REPRO_SERVER / REPRO_SHARDS
     # environment knobs.
     shards = getattr(args, "shards", None) or os.environ.get("REPRO_SHARDS")
+    wire_choice = getattr(args, "wire", "auto")
+    wire = int(wire_choice) if wire_choice in ("1", "2") else None
     if shards:
         from repro.exec.shards import ShardedExecutor
         from repro.exec.store import ResultStore
@@ -139,6 +151,7 @@ def _build_executor(machine: Machine, args: argparse.Namespace):
             machine,
             shards,
             store=ResultStore(store_dir) if store_dir else None,
+            wire=wire,
         )
     server = getattr(args, "server", None) or os.environ.get("REPRO_SERVER")
     if server:
@@ -149,6 +162,7 @@ def _build_executor(machine: Machine, args: argparse.Namespace):
             arch=args.arch,
             seed=args.seed,
             vector=False if args.no_vector else None,
+            wire=wire,
         )
     return default_executor(machine, parallel=args.parallel, store=args.store)
 
@@ -378,6 +392,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port = int(os.environ.get("REPRO_SERVE_PORT", "8787"))
     token = args.token or os.environ.get("REPRO_TOKEN")
 
+    from repro.exec.serialize import DEFAULT_INTERN_CAPACITY
+
+    intern_capacity = args.intern_cache
+    if intern_capacity is None:
+        raw = os.environ.get("REPRO_INTERN_CACHE", "")
+        intern_capacity = (
+            int(raw) if raw.strip() else DEFAULT_INTERN_CAPACITY
+        )
     service = MeasurementService(
         store=store,
         parallel=parallel,
@@ -385,6 +407,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight_cells=args.max_inflight_cells,
         max_requests=args.max_requests,
         write_deadline=args.write_deadline,
+        intern_capacity=intern_capacity,
+        wire_v2=not args.wire_v1,
     )
     server = build_server(service, host=args.host, port=port)
     bound = f"http://{args.host}:{server.server_port}"
@@ -392,7 +416,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"campaign service on {bound} "
         f"(store: {store or 'none'}, "
         f"workers: {parallel or 'serial'}, "
-        f"auth: {'token' if token else 'open'})",
+        f"auth: {'token' if token else 'open'}, "
+        f"wire: {'+'.join(str(v) for v in service.wire_versions)})",
         flush=True,
     )
     logger.info(
@@ -447,6 +472,13 @@ def _cmd_store(args: argparse.Namespace) -> int:
         )
         return 2
     store = ResultStore(root)
+    if args.action == "index":
+        rebuilt = store.rebuild_index()
+        print(
+            f"store {store.root}: rebuilt {rebuilt} sidecar index(es), "
+            f"{len(store)} cell(s) indexed"
+        )
+        return 0
     if args.action == "verify":
         report = store.verify()
         print(f"store {store.root}: {report.describe()}")
@@ -582,10 +614,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store.add_argument(
         "action",
-        choices=("verify", "scrub"),
-        help="verify: read-only audit (checksums, torn tails, run "
-        "journals; exit 1 on damage); scrub: repair and compact "
-        "every shard in place",
+        choices=("verify", "scrub", "index"),
+        help="verify: read-only audit (checksums, torn tails, sidecar "
+        "indexes, run journals; exit 1 on damage); scrub: repair and "
+        "compact every shard in place; index: force-rebuild every "
+        "shard's persistent sidecar index from a full scan",
     )
     store.add_argument(
         "--store",
@@ -669,6 +702,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="on SIGTERM, how long to wait for in-flight submissions "
         "to finish streaming before exiting (default 30)",
+    )
+    serve.add_argument(
+        "--intern-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cross-request wire intern cache capacity: distinct "
+        "workloads/configs kept rebuilt and digest-pinned so repeat "
+        "campaigns deserialize zero kernels (default 4096; 0 disables)",
+    )
+    serve.add_argument(
+        "--wire-v1",
+        action="store_true",
+        help="refuse wire-format-v2 (digest-pooled) plan bodies and "
+        "advertise v1 only, exactly like a pre-v2 server (migration "
+        "escape hatch; results are identical either way)",
     )
     serve.set_defaults(handler=_cmd_serve)
     return parser

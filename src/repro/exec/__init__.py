@@ -35,7 +35,18 @@ from repro.exec.plan import (
     workload_fingerprint,
 )
 from repro.exec.report import CellFailure, ExecutionReport
-from repro.exec.serialize import cell_from_dict, cell_to_dict, plan_from_dict, plan_to_dict
+from repro.exec.serialize import (
+    WIRE_V1,
+    WIRE_V2,
+    WIRE_VERSIONS,
+    WireInternCache,
+    cell_from_dict,
+    cell_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+    plan_to_dict_v2,
+    wire_digest,
+)
 from repro.exec.service import MeasurementService, build_server
 from repro.exec.shards import ShardedExecutor, parse_shard_endpoints
 from repro.exec.store import ResultStore, StoreReport
@@ -56,6 +67,10 @@ __all__ = [
     "ServiceClient",
     "ShardedExecutor",
     "StoreReport",
+    "WIRE_V1",
+    "WIRE_V2",
+    "WIRE_VERSIONS",
+    "WireInternCache",
     "build_server",
     "cell_from_dict",
     "cell_to_dict",
@@ -65,7 +80,9 @@ __all__ = [
     "parse_shard_endpoints",
     "plan_from_dict",
     "plan_to_dict",
+    "plan_to_dict_v2",
     "run_id",
     "sweep_configs",
+    "wire_digest",
     "workload_fingerprint",
 ]

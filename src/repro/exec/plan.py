@@ -47,18 +47,34 @@ def workload_fingerprint(workload: object) -> tuple:
     if callable(custom):
         return tuple(custom())
     if isinstance(workload, Placement):
-        return (
-            "placement",
-            workload.name,
-            workload.canonical_salt(),
-            tuple(
-                workload_fingerprint(w) for w in workload.thread_workloads
-            ),
-        )
+        # Placements are frozen; their recursive fingerprint is pure
+        # content, so cache it on the instance the same way kernels
+        # cache their digest.  Interned wire objects (serialize.py)
+        # are fingerprinted once per process instead of once per
+        # request.
+        cached = workload.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = (
+                "placement",
+                workload.name,
+                workload.canonical_salt(),
+                tuple(
+                    workload_fingerprint(w) for w in workload.thread_workloads
+                ),
+            )
+            object.__setattr__(workload, "_fingerprint", cached)
+        return cached
     profile = getattr(workload, "profile", None)
     if profile is not None:
-        name = getattr(workload, "name", type(workload).__name__)
-        return ("profile", name, content_hash(repr(profile)))
+        cached = getattr(workload, "_fingerprint", None)
+        if cached is None:
+            name = getattr(workload, "name", type(workload).__name__)
+            cached = ("profile", name, content_hash(repr(profile)))
+            try:
+                workload._fingerprint = cached  # type: ignore[attr-defined]
+            except (AttributeError, TypeError):
+                pass  # exotic profile carriers may refuse attributes
+        return cached
     # Kernels and bare protocol workloads share the noise-salt identity
     # (delegation, so the store/dedup identity can never drift from the
     # physical noise identity): ("kernel", name, digest) for kernels,

@@ -22,10 +22,14 @@ store keys all agree between client and server.
 
 from __future__ import annotations
 
+import json
+import threading
 from dataclasses import fields
 
+from repro.caching import LRUCache
 from repro.errors import MeasurementError
-from repro.exec.plan import ExperimentPlan, PlanCell
+from repro.exec.plan import ExperimentPlan, PlanCell, workload_fingerprint
+from repro.hashing import content_hex
 from repro.sim.config import MachineConfig
 from repro.sim.kernel import Kernel
 from repro.sim.placement import Placement
@@ -148,9 +152,307 @@ def plan_to_dict(plan: ExperimentPlan) -> dict:
     return {"cells": [cell_to_dict(cell) for cell in plan.cells]}
 
 
-def plan_from_dict(data: dict) -> ExperimentPlan:
-    """Rebuild a plan serialized by :func:`plan_to_dict`."""
+# -- wire format v2: digest-interned pools -------------------------------------
+#
+# A v1 plan body repeats the full workload/config wire form in every
+# cell, so a 24-config sweep over one stressmark ships the kernel 24
+# times and the server rebuilds it 24 times.  Wire v2 ships each
+# distinct ingredient once in a digest-keyed pool and cells reference
+# pool entries by digest:
+#
+#     {"wire": "plan-v2",
+#      "pool": {"workloads": [[digest, entry], ...],
+#               "configs":   [[digest, entry], ...]},
+#      "cells": [{"workload": digest, "config": digest, "duration": s}, ...]}
+#
+# The digest is the content hash of the entry's *compact, order
+# preserving* JSON encoding (``wire_digest``).  Order preservation
+# matters: profiled-workload fingerprints hash ``repr(profile)``, which
+# embeds dict insertion order, so two profiles that differ only in key
+# order are different content and must not alias to one pool entry --
+# ``sort_keys`` would merge them.  Pools are [digest, entry] pairs, not
+# JSON objects, because object parsing silently collapses duplicate
+# keys and a duplicated digest must be *rejected*, not absorbed.
+#
+# A server-side :class:`WireInternCache` keys rebuilt objects on these
+# digests across requests: the first intern of a claimed digest is
+# verified (the entry is re-hashed) and the rebuilt object's own content
+# digest/fingerprint is pinned, so repeat campaigns rebuild zero kernels
+# and skip every fingerprint recompute.  Rebuilt objects are frozen
+# (kernels, placements, configs) or never mutated (profiled workloads),
+# so sharing them across handler threads is safe.
+
+PLAN_WIRE_V2 = "plan-v2"
+WIRE_V1 = 1
+WIRE_V2 = 2
+WIRE_VERSIONS = (WIRE_V1, WIRE_V2)
+DEFAULT_INTERN_CAPACITY = 4096
+
+
+def wire_digest(entry: dict) -> str:
+    """Content digest of one pool entry's canonical (compact) encoding."""
+    return content_hex(
+        "wire-v2|" + json.dumps(entry, separators=(",", ":"))
+    )
+
+
+def _pin_workload(workload: object) -> None:
+    """Precompute the rebuilt workload's content identity once.
+
+    Kernel digests and placement/profile fingerprints are pure content;
+    computing them at intern time means every later request served from
+    the cache skips the recursive fingerprint walk entirely.
+    """
+    workload_fingerprint(workload)
+
+
+class WireInternCache:
+    """Bounded cross-request intern cache: wire digest -> rebuilt object.
+
+    Thread-safe.  ``verify=True`` (untrusted, client-claimed digests)
+    re-hashes the entry before first intern and rejects mismatches;
+    ``verify=False`` (digests the server computed itself from a v1 body)
+    trusts the key.  Hits return the already-built object -- same
+    instance, same pinned digest -- so overlapping campaigns share one
+    kernel graph.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_INTERN_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._workloads: LRUCache[str, object] = LRUCache(
+            capacity, "wire.workloads"
+        )
+        self._configs: LRUCache[str, object] = LRUCache(capacity, "wire.configs")
+        self.verified = 0
+        self.rejected = 0
+
+    def _intern(self, cache, digest, entry, builder, pin, verify):
+        with self._lock:
+            found = cache.get(digest)
+            if found is not None:
+                return found
+            if entry is None:
+                raise MeasurementError(
+                    f"references pool digest {digest!r} which the pool does "
+                    "not define"
+                )
+            if verify:
+                actual = wire_digest(entry)
+                if actual != digest:
+                    self.rejected += 1
+                    raise MeasurementError(
+                        f"pool entry claims digest {digest!r} but its content "
+                        f"hashes to {actual!r}"
+                    )
+                self.verified += 1
+            built = builder(entry)
+            pin(built)
+            cache.put(digest, built)
+            return built
+
+    def workload(
+        self, digest: str, entry: dict | None = None, *, verify: bool = True
+    ) -> object:
+        """The interned workload for ``digest``, building from ``entry``."""
+        return self._intern(
+            self._workloads, digest, entry, workload_from_dict,
+            _pin_workload, verify,
+        )
+
+    def config(
+        self, digest: str, entry: dict | None = None, *, verify: bool = True
+    ) -> object:
+        """The interned configuration for ``digest``."""
+        return self._intern(
+            self._configs, digest, entry, config_from_dict,
+            lambda built: None, verify,
+        )
+
+    def clear(self) -> None:
+        """Drop every interned object (counters are preserved)."""
+        with self._lock:
+            self._workloads.clear()
+            self._configs.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction and verification counters for diagnostics."""
+        with self._lock:
+            return {
+                "workloads": self._workloads.stats(),
+                "configs": self._configs.stats(),
+                "verified": self.verified,
+                "rejected": self.rejected,
+            }
+
+
+def plan_to_dict_v2(plan: ExperimentPlan) -> dict:
+    """Dictionary-encoded wire form: pooled ingredients, digest refs.
+
+    Each distinct workload/config serializes once; repeated objects
+    (the common case -- ``ExperimentPlan.cross`` shares instances) are
+    recognized by identity before falling back to content digest, so a
+    stressmark x 24-config sweep hashes the kernel once, not 24 times.
+    """
+    workload_pool: list[list] = []
+    config_pool: list[list] = []
+    workload_by_id: dict[int, str] = {}
+    config_by_id: dict[int, str] = {}
+    workload_digests: set[str] = set()
+    config_digests: set[str] = set()
+    cells = []
+    for cell in plan.cells:
+        wdigest = workload_by_id.get(id(cell.workload))
+        if wdigest is None:
+            entry = workload_to_dict(cell.workload)
+            wdigest = wire_digest(entry)
+            if wdigest not in workload_digests:
+                workload_digests.add(wdigest)
+                workload_pool.append([wdigest, entry])
+            workload_by_id[id(cell.workload)] = wdigest
+        cdigest = config_by_id.get(id(cell.config))
+        if cdigest is None:
+            entry = config_to_dict(cell.config)
+            cdigest = wire_digest(entry)
+            if cdigest not in config_digests:
+                config_digests.add(cdigest)
+                config_pool.append([cdigest, entry])
+            config_by_id[id(cell.config)] = cdigest
+        cells.append(
+            {"workload": wdigest, "config": cdigest, "duration": cell.duration}
+        )
+    return {
+        "wire": PLAN_WIRE_V2,
+        "pool": {"workloads": workload_pool, "configs": config_pool},
+        "cells": cells,
+    }
+
+
+def _pool_entries(raw: object, label: str, cells: list, field: str) -> dict:
+    """Validate one pool section into a digest -> entry mapping.
+
+    Duplicate digests are rejected (they signal a malformed or
+    tampered encoder) and the error names the first cell that
+    references the offending digest so the client can locate it.
+    """
+    if raw is None:
+        return {}
+    if not isinstance(raw, list):
+        raise MeasurementError(
+            f"plan-v2 pool {label!r} must be a list of [digest, entry] pairs"
+        )
+    entries: dict[str, dict] = {}
+    for item in raw:
+        if (
+            not isinstance(item, (list, tuple))
+            or len(item) != 2
+            or not isinstance(item[0], str)
+            or not isinstance(item[1], dict)
+        ):
+            raise MeasurementError(
+                f"plan-v2 pool {label!r} entry {item!r} is not a "
+                "[digest, entry] pair"
+            )
+        digest, entry = item
+        if digest in entries:
+            index = next(
+                (
+                    i
+                    for i, cell in enumerate(cells)
+                    if isinstance(cell, dict) and cell.get(field) == digest
+                ),
+                None,
+            )
+            where = (
+                f" (first referenced by cell {index})" if index is not None else ""
+            )
+            raise MeasurementError(
+                f"plan-v2 pool {label!r} defines digest {digest!r} "
+                f"twice{where}"
+            )
+        entries[digest] = entry
+    return entries
+
+
+def _plan_from_v2(data: dict, intern: WireInternCache | None) -> ExperimentPlan:
+    """Rebuild a v2 plan, interning pool entries through ``intern``."""
+    pool = data.get("pool")
+    if not isinstance(pool, dict):
+        raise MeasurementError("plan-v2 request carries no 'pool' object")
+    cell_forms = data.get("cells")
+    if not isinstance(cell_forms, list):
+        raise MeasurementError("plan request carries no 'cells' list")
+    workloads = _pool_entries(
+        pool.get("workloads"), "workloads", cell_forms, "workload"
+    )
+    configs = _pool_entries(pool.get("configs"), "configs", cell_forms, "config")
+    if intern is None:
+        # One-shot private intern: a standalone decode still deduplicates
+        # rebuild work within the request.
+        intern = WireInternCache(
+            capacity=max(1, len(workloads) + len(configs))
+        )
+    cells = []
+    for index, form in enumerate(cell_forms):
+        try:
+            workload = intern.workload(
+                form["workload"], workloads.get(form["workload"])
+            )
+            config = intern.config(form["config"], configs.get(form["config"]))
+            duration = float(form["duration"])
+        except MeasurementError as exc:
+            raise MeasurementError(f"plan-v2 cell {index}: {exc}") from None
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MeasurementError(
+                f"plan-v2 cell {index}: malformed cell reference ({exc})"
+            ) from None
+        cells.append(
+            PlanCell(workload=workload, config=config, duration=duration)
+        )
+    return ExperimentPlan(cells)
+
+
+def _cell_from_dict_interned(data: dict, intern: WireInternCache) -> PlanCell:
+    """v1 cell decode routed through the intern cache.
+
+    The server computes the digests itself from the inline entries, so
+    they are trusted (``verify=False``); a warm cache then hands v1
+    clients the same zero-rebuild path v2 clients get.
+    """
+    try:
+        workload_entry = data["workload"]
+        config_entry = data["config"]
+        workload = intern.workload(
+            wire_digest(workload_entry), workload_entry, verify=False
+        )
+        config = intern.config(
+            wire_digest(config_entry), config_entry, verify=False
+        )
+        return PlanCell(
+            workload=workload,
+            config=config,
+            duration=float(data["duration"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MeasurementError(f"malformed plan cell: {exc}") from None
+
+
+def plan_from_dict(
+    data: dict, intern: WireInternCache | None = None
+) -> ExperimentPlan:
+    """Rebuild a plan serialized by :func:`plan_to_dict` or
+    :func:`plan_to_dict_v2`, dispatching on the ``wire`` marker.
+
+    ``intern`` (optional) is a cross-request :class:`WireInternCache`;
+    with one attached, both wire versions rebuild each distinct
+    ingredient at most once per cache lifetime.
+    """
+    if data.get("wire") == PLAN_WIRE_V2:
+        return _plan_from_v2(data, intern)
     cells = data.get("cells")
     if not isinstance(cells, list):
         raise MeasurementError("plan request carries no 'cells' list")
-    return ExperimentPlan(cell_from_dict(cell) for cell in cells)
+    if intern is None:
+        return ExperimentPlan(cell_from_dict(cell) for cell in cells)
+    return ExperimentPlan(
+        _cell_from_dict_interned(cell, intern) for cell in cells
+    )

@@ -1,0 +1,229 @@
+"""Persistent compacted store index: sidecar write, trust, and heal.
+
+The sidecar (``shards/<xx>.idx``) is an accelerator, never an
+authority: a fresh store instance seeds its in-memory offsets from it
+instead of rescanning the shard JSONL, but every serve still verifies
+the key and checksum at the recorded offset.  These tests pin the
+trust rules -- offset-validated against shard size and mtime, torn or
+stale sidecars fall back to a scan and heal in place -- and the
+counters that make cold-start behaviour observable.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.exec import ResultStore
+from repro.exec.store import INDEX_FORMAT
+from repro.sim import MachineConfig
+
+_DURATION = 1.0
+
+
+@pytest.fixture()
+def measurement(machine, small_kernel_factory):
+    return machine.run(
+        small_kernel_factory("add", count=24), MachineConfig(1, 1), _DURATION
+    )
+
+
+def _keys(prefix: str, count: int) -> list[str]:
+    return [prefix + format(n, "030x") for n in range(count)]
+
+
+def _populate(root, measurement, keys) -> ResultStore:
+    store = ResultStore(root)
+    store.put_many([(key, measurement) for key in keys])
+    return store
+
+
+class TestSidecarLifecycle:
+    def test_append_writes_sidecar(self, tmp_path, measurement):
+        store = _populate(tmp_path, measurement, _keys("ab", 3))
+        sidecar = store.shard_dir / "ab.idx"
+        assert sidecar.exists()
+        assert store.index_appends == 1
+        lines = sidecar.read_bytes().splitlines()
+        assert json.loads(lines[0]) == {"format": INDEX_FORMAT}
+        entries = [json.loads(line) for line in lines[1:-1]]
+        assert [entry[0] for entry in entries] == _keys("ab", 3)
+        commit = json.loads(lines[-1])
+        shard = store.shard_dir / "ab.jsonl"
+        assert commit["commit"] == [0, shard.stat().st_size]
+        assert commit["mtime_ns"] == shard.stat().st_mtime_ns
+
+    def test_cold_open_serves_from_sidecar(self, tmp_path, measurement):
+        keys = _keys("ab", 4) + _keys("cd", 2)
+        _populate(tmp_path, measurement, keys)
+        warm = ResultStore(tmp_path)
+        assert warm.keys() == sorted(keys)
+        assert len(warm) == len(keys)
+        assert warm.get(keys[0]) == measurement
+        stats = warm.snapshot_stats()["index"]
+        assert stats["hits"] == 2
+        assert stats["misses"] == 0
+        assert stats["rebuilds"] == 0
+
+    def test_successive_batches_extend_one_sidecar(
+        self, tmp_path, measurement
+    ):
+        keys = _keys("ab", 4)
+        store = _populate(tmp_path, measurement, keys[:2])
+        store.put_many([(key, measurement) for key in keys[2:]])
+        assert store.index_appends == 2
+        warm = ResultStore(tmp_path)
+        assert warm.keys() == sorted(keys)
+        assert warm.index_hits == 1 and warm.index_misses == 0
+
+    def test_missing_sidecar_heals_on_read(self, tmp_path, measurement):
+        _populate(tmp_path, measurement, _keys("ab", 3))
+        sidecar = tmp_path / "shards" / "ab.idx"
+        sidecar.unlink()
+        warm = ResultStore(tmp_path)
+        assert warm.keys() == sorted(_keys("ab", 3))
+        assert warm.index_misses == 1
+        assert warm.index_rebuilds == 1
+        assert sidecar.exists()
+        third = ResultStore(tmp_path)
+        assert len(third) == 3
+        assert third.index_hits == 1
+
+    def test_scrub_rewrites_sidecar(self, tmp_path, measurement, machine):
+        keys = _keys("ab", 2)
+        store = _populate(tmp_path, measurement, keys)
+        store.put(keys[0], measurement)  # superseded duplicate
+        report = store.scrub()
+        assert report.ok
+        warm = ResultStore(tmp_path)
+        assert warm.keys() == sorted(keys)
+        assert warm.index_hits == 1 and warm.index_misses == 0
+        assert warm.verify().ok
+
+    def test_rebuild_index_command(self, tmp_path, measurement):
+        keys = _keys("ab", 2) + _keys("cd", 1)
+        _populate(tmp_path, measurement, keys)
+        for sidecar in (tmp_path / "shards").glob("*.idx"):
+            sidecar.unlink()
+        store = ResultStore(tmp_path)
+        assert store.rebuild_index() == 2
+        warm = ResultStore(tmp_path)
+        assert warm.keys() == sorted(keys)
+        assert warm.index_hits == 2 and warm.index_misses == 0
+
+
+class TestSidecarDistrust:
+    def test_partial_coverage_scans_tail_and_heals(
+        self, tmp_path, measurement
+    ):
+        keys = _keys("ab", 2)
+        _populate(tmp_path, measurement, keys[:1])
+        sidecar = tmp_path / "shards" / "ab.idx"
+        frozen = sidecar.read_bytes()
+        later = _populate(tmp_path, measurement, keys[1:])
+        assert later.get(keys[1]) == measurement
+        # Regress the sidecar to its one-record snapshot: still a valid
+        # committed prefix, just short of the shard's current size.
+        sidecar.write_bytes(frozen)
+        warm = ResultStore(tmp_path)
+        assert warm.keys() == sorted(keys)
+        assert warm.get(keys[1]) == measurement
+        assert warm.index_hits == 1  # the prefix was still useful...
+        assert warm.index_rebuilds == 1  # ...and the heal re-snapshotted
+        third = ResultStore(tmp_path)
+        assert third.keys() == sorted(keys)
+        assert third.index_hits == 1 and third.index_rebuilds == 0
+
+    def test_torn_sidecar_tail_keeps_committed_prefix(
+        self, tmp_path, measurement
+    ):
+        keys = _keys("ab", 2)
+        store = _populate(tmp_path, measurement, keys[:1])
+        committed = (tmp_path / "shards" / "ab.idx").read_bytes()
+        store.put(keys[1], measurement)
+        sidecar = tmp_path / "shards" / "ab.idx"
+        torn = sidecar.read_bytes()[: len(committed) + 7]  # mid-entry crash
+        sidecar.write_bytes(torn)
+        warm = ResultStore(tmp_path)
+        assert warm.keys() == sorted(keys)
+        assert warm.get(keys[1]) == measurement
+        assert warm.index_hits == 1 and warm.index_rebuilds == 1
+
+    def test_rewritten_shard_distrusts_stale_sidecar(
+        self, tmp_path, measurement
+    ):
+        keys = _keys("ab", 2)
+        _populate(tmp_path, measurement, keys)
+        shard = tmp_path / "shards" / "ab.jsonl"
+        # Out-of-band truncation to the first record: the sidecar's
+        # commit now overruns the shard and must be thrown away whole.
+        lines = shard.read_bytes().splitlines(keepends=True)
+        shard.write_bytes(lines[0])
+        warm = ResultStore(tmp_path)
+        assert warm.keys() == [keys[0]]
+        assert warm.get(keys[1]) is None
+        assert warm.index_stale == 1 and warm.index_misses == 1
+
+    def test_same_size_rewrite_distrusted_via_mtime(
+        self, tmp_path, measurement
+    ):
+        keys = _keys("ab", 1)
+        _populate(tmp_path, measurement, keys)
+        shard = tmp_path / "shards" / "ab.jsonl"
+        data = shard.read_bytes()
+        shard.write_bytes(data)  # same bytes, new mtime
+        os.utime(shard, ns=(0, shard.stat().st_mtime_ns + 1_000_000_000))
+        warm = ResultStore(tmp_path)
+        assert warm.keys() == keys  # scan fallback still serves
+        assert warm.index_stale == 1
+
+    def test_garbage_sidecar_falls_back_to_scan(self, tmp_path, measurement):
+        keys = _keys("ab", 2)
+        _populate(tmp_path, measurement, keys)
+        (tmp_path / "shards" / "ab.idx").write_bytes(b"not an index\n")
+        warm = ResultStore(tmp_path)
+        assert warm.keys() == sorted(keys)
+        assert warm.get(keys[0]) == measurement
+        assert warm.index_stale == 1 and warm.index_misses == 1
+        assert warm.index_rebuilds == 1
+
+    def test_sidecar_never_overrides_read_verification(
+        self, tmp_path, measurement
+    ):
+        # Even a trusted sidecar only accelerates the seek: a record
+        # tampered in place is still caught by the checksum on get().
+        keys = _keys("ab", 1)
+        _populate(tmp_path, measurement, keys)
+        shard = tmp_path / "shards" / "ab.jsonl"
+        data = shard.read_bytes()
+        mtime = shard.stat().st_mtime_ns
+        shard.write_bytes(data.replace(b'"mean_power": ', b'"mean_powex": '))
+        os.utime(shard, ns=(mtime, mtime))  # hide the rewrite entirely
+        warm = ResultStore(tmp_path)
+        assert warm.get(keys[0]) is None  # the serve refused the record
+        assert warm.index_hits == 1  # even though the sidecar was trusted
+        assert warm.checksum_failures + warm.corrupt_records >= 1
+
+
+class TestVerifyReportsIndex:
+    def test_clean_store_counts_sidecars(self, tmp_path, measurement):
+        _populate(tmp_path, measurement, _keys("ab", 2) + _keys("cd", 1))
+        report = ResultStore(tmp_path).verify()
+        assert report.ok
+        assert report.index_sidecars == 2
+        assert report.index_stale == 0
+        assert "index: 2 sidecar(s)" in report.describe()
+
+    def test_stale_sidecar_reported_not_fatal(self, tmp_path, measurement):
+        keys = _keys("ab", 2)
+        _populate(tmp_path, measurement, keys[:1])
+        frozen = (tmp_path / "shards" / "ab.idx").read_bytes()
+        _populate(tmp_path, measurement, keys[1:])
+        (tmp_path / "shards" / "ab.idx").write_bytes(frozen)
+        report = ResultStore(tmp_path).verify()
+        assert report.ok  # staleness heals on read; data is intact
+        assert report.index_stale == 1
+        assert any(
+            "will rebuild on next read" in problem
+            for problem in report.problems
+        )

@@ -1,0 +1,355 @@
+"""Wire format v2: digest-interned pools, negotiation, bit-identity.
+
+The fast lane's acceptance properties:
+
+* a v2 (pooled) plan body rebuilds to the same fingerprints, store
+  keys and measurement bytes as the v1 (inline) body and as local
+  execution -- through real JSON bytes;
+* the server's cross-request intern cache hands repeat campaigns the
+  *same* rebuilt objects with zero re-deserialization, verifying each
+  claimed digest exactly once;
+* clients negotiate per server: a v2 client falls back to v1 bodies
+  against an old server byte-identically, a v1 client is served by a
+  v2 server byte-identically, and forced mismatches fail cleanly;
+* malformed pools -- duplicate digests, tampered entries, dangling
+  references -- are rejected naming the offending cell.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import MeasurementError, ServiceError
+from repro.exec import (
+    ExperimentPlan,
+    MeasurementService,
+    PlanCell,
+    RemoteExecutor,
+    SerialExecutor,
+    ServiceClient,
+    build_server,
+)
+from repro.exec.plan import workload_fingerprint
+from repro.exec.serialize import (
+    WIRE_V1,
+    WIRE_V2,
+    WireInternCache,
+    plan_from_dict,
+    plan_to_dict,
+    plan_to_dict_v2,
+    wire_digest,
+    workload_to_dict,
+)
+from repro.sim import Machine, MachineConfig, Placement, get_pstate
+from repro.sim.topology import parse_topology
+from repro.workloads import spec_cpu2006
+
+_DURATION = 1.0
+
+
+def _wire(data: dict) -> dict:
+    """Round-trip through real JSON bytes, as the socket does."""
+    return json.loads(json.dumps(data))
+
+
+def _mixed_plan(make_kernel) -> ExperimentPlan:
+    """Every workload kind x both config shapes x a DVFS point."""
+    kernels = [
+        make_kernel("add", count=24),
+        make_kernel("ld", count=24, level="MEM"),
+    ]
+    mix = Placement("mix", ((kernels[0],), (kernels[1],)))
+    configs = [
+        MachineConfig(1, 1),
+        MachineConfig(2, 1),
+        MachineConfig(2, 2).with_p_state(get_pstate("p2")),
+        parse_topology("2big+2little"),
+    ]
+    plan = ExperimentPlan.cross(
+        kernels + [spec_cpu2006()[2]], configs, duration=_DURATION
+    )
+    extra = PlanCell(mix, MachineConfig(2, 1), _DURATION)
+    return ExperimentPlan(list(plan.cells) + [extra])
+
+
+class TestV2RoundTrip:
+    def test_fingerprints_and_keys_match_v1(
+        self, power7_arch, small_kernel_factory
+    ):
+        plan = _mixed_plan(small_kernel_factory)
+        executor = SerialExecutor(Machine(power7_arch))
+        from_v1 = plan_from_dict(_wire(plan_to_dict(plan)))
+        from_v2 = plan_from_dict(_wire(plan_to_dict_v2(plan)))
+        assert [workload_fingerprint(c.workload) for c in from_v2.cells] == [
+            workload_fingerprint(c.workload) for c in plan.cells
+        ]
+        assert [executor.key_of(c) for c in from_v2.cells] == [
+            executor.key_of(c) for c in from_v1.cells
+        ] == [executor.key_of(c) for c in plan.cells]
+
+    def test_pool_ships_each_ingredient_once(self, small_kernel_factory):
+        kernel = small_kernel_factory("add", count=24)
+        configs = [MachineConfig(1, s) for s in (1, 2, 4)]
+        plan = ExperimentPlan.cross([kernel], configs, duration=_DURATION)
+        body = plan_to_dict_v2(plan)
+        assert len(body["pool"]["workloads"]) == 1
+        assert len(body["pool"]["configs"]) == 3
+        assert len(body["cells"]) == 3
+        # The pooled body is strictly smaller than the inline one.
+        assert len(json.dumps(body)) < len(json.dumps(plan_to_dict(plan)))
+
+    def test_v1_body_is_unchanged(self, small_kernel_factory):
+        # Old servers key their dispatch off the absence of "wire";
+        # the v1 encoder must stay byte-compatible with them forever.
+        plan = ExperimentPlan.cross(
+            [small_kernel_factory("add", count=24)],
+            [MachineConfig(1, 1)],
+            duration=_DURATION,
+        )
+        body = plan_to_dict(plan)
+        assert set(body) == {"cells"}
+        assert "wire" not in body
+
+    def test_content_equal_objects_share_one_pool_entry(
+        self, small_kernel_factory
+    ):
+        # Two distinct-but-equal kernel objects collapse to one digest.
+        a = small_kernel_factory("add", count=24)
+        b = small_kernel_factory("add", count=24)
+        plan = ExperimentPlan(
+            [
+                PlanCell(a, MachineConfig(1, 1), _DURATION),
+                PlanCell(b, MachineConfig(2, 1), _DURATION),
+            ]
+        )
+        body = plan_to_dict_v2(plan)
+        assert len(body["pool"]["workloads"]) == 1
+
+
+class TestInternCache:
+    def test_repeat_decode_rebuilds_nothing(self, small_kernel_factory):
+        plan = _mixed_plan(small_kernel_factory)
+        body = plan_to_dict_v2(plan)
+        intern = WireInternCache()
+        first = plan_from_dict(_wire(body), intern=intern)
+        misses = intern.stats()["workloads"]["misses"]
+        second = plan_from_dict(_wire(body), intern=intern)
+        assert intern.stats()["workloads"]["misses"] == misses
+        for one, two in zip(first.cells, second.cells):
+            assert one.workload is two.workload
+            assert one.config is two.config
+
+    def test_claimed_digests_verify_exactly_once(self, small_kernel_factory):
+        plan = _mixed_plan(small_kernel_factory)
+        intern = WireInternCache()
+        plan_from_dict(_wire(plan_to_dict_v2(plan)), intern=intern)
+        verified = intern.stats()["verified"]
+        assert verified > 0
+        plan_from_dict(_wire(plan_to_dict_v2(plan)), intern=intern)
+        assert intern.stats()["verified"] == verified
+
+    def test_v1_bodies_intern_under_trusted_digests(
+        self, small_kernel_factory
+    ):
+        plan = _mixed_plan(small_kernel_factory)
+        intern = WireInternCache()
+        from_v1 = plan_from_dict(_wire(plan_to_dict(plan)), intern=intern)
+        # Server-computed digests skip verification entirely...
+        assert intern.stats()["verified"] == 0
+        # ...and a v2 body then reuses the v1-built objects.
+        from_v2 = plan_from_dict(_wire(plan_to_dict_v2(plan)), intern=intern)
+        for one, two in zip(from_v1.cells, from_v2.cells):
+            assert one.workload is two.workload
+
+    def test_capacity_bounds_and_counts_evictions(self, small_kernel_factory):
+        intern = WireInternCache(capacity=1)
+        kernels = [
+            small_kernel_factory("add", count=24),
+            small_kernel_factory("mulld", count=24),
+        ]
+        for kernel in kernels:
+            entry = workload_to_dict(kernel)
+            intern.workload(wire_digest(entry), entry)
+        stats = intern.stats()["workloads"]
+        assert stats["size"] == 1
+        assert stats["evictions"] == 1
+
+
+class TestMalformedPools:
+    @pytest.fixture()
+    def body(self, small_kernel_factory):
+        plan = ExperimentPlan.cross(
+            [small_kernel_factory("add", count=24)],
+            [MachineConfig(1, 1), MachineConfig(2, 1)],
+            duration=_DURATION,
+        )
+        return _wire(plan_to_dict_v2(plan))
+
+    def test_duplicate_digest_rejected_with_cell_index(self, body):
+        body["pool"]["workloads"].append(body["pool"]["workloads"][0])
+        with pytest.raises(MeasurementError, match=r"twice.*cell 0"):
+            plan_from_dict(body)
+
+    def test_tampered_entry_rejected_with_cell_index(self, body):
+        body["pool"]["workloads"][0][1]["kernel"]["name"] = "tampered"
+        with pytest.raises(MeasurementError, match=r"cell 0:.*hashes to"):
+            plan_from_dict(body)
+
+    def test_dangling_reference_rejected_with_cell_index(self, body):
+        body["pool"]["workloads"] = []
+        with pytest.raises(
+            MeasurementError, match=r"cell 0:.*does not define"
+        ):
+            plan_from_dict(body)
+
+    def test_non_list_pool_rejected(self, body):
+        body["pool"]["configs"] = {"digest": {}}
+        with pytest.raises(MeasurementError, match="list of"):
+            plan_from_dict(body)
+
+    def test_malformed_pair_rejected(self, body):
+        body["pool"]["workloads"].append(["digest-without-entry"])
+        with pytest.raises(MeasurementError, match="pair"):
+            plan_from_dict(body)
+
+    def test_missing_pool_rejected(self, body):
+        del body["pool"]
+        with pytest.raises(MeasurementError, match="pool"):
+            plan_from_dict(body)
+
+    def test_malformed_cell_rejected_with_index(self, body):
+        del body["cells"][1]["duration"]
+        with pytest.raises(MeasurementError, match="cell 1"):
+            plan_from_dict(body)
+
+
+# -- negotiation over real sockets ---------------------------------------------
+
+
+def _start(service):
+    server = build_server(service)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, f"http://127.0.0.1:{server.server_port}"
+
+
+@pytest.fixture()
+def servers(tmp_path):
+    """One v2-speaking and one v1-only service, both store-backed."""
+    v2 = MeasurementService(store=tmp_path / "v2", flight_timeout=60.0)
+    v1 = MeasurementService(
+        store=tmp_path / "v1", flight_timeout=60.0, wire_v2=False
+    )
+    started = [_start(v2), _start(v1)]
+    yield (v2, started[0][1]), (v1, started[1][1])
+    for server, _url in started:
+        server.shutdown()
+        server.server_close()
+    v2.close()
+    v1.close()
+
+
+class TestNegotiation:
+    def _serial(self, power7_arch, plan):
+        return [
+            m.to_dict() for m in SerialExecutor(Machine(power7_arch)).run(plan)
+        ]
+
+    def test_v2_client_v2_server_bit_identical(
+        self, servers, power7_arch, small_kernel_factory
+    ):
+        (service, url), _v1 = servers
+        plan = _mixed_plan(small_kernel_factory)
+        executor = RemoteExecutor(url)
+        served = [m.to_dict() for m in executor.run(plan)]
+        assert served == self._serial(power7_arch, plan)
+        assert executor.client.wire_version == WIRE_V2
+        stats = service.stats()
+        assert stats["service"]["wire_v2_requests"] == 1
+        assert stats["intern"]["workloads"]["misses"] > 0
+        assert stats["wire"] == [1, 2]
+
+    def test_v2_client_v1_server_falls_back_bit_identical(
+        self, servers, power7_arch, small_kernel_factory
+    ):
+        _v2, (service, url) = servers
+        plan = _mixed_plan(small_kernel_factory)
+        executor = RemoteExecutor(url)
+        served = [m.to_dict() for m in executor.run(plan)]
+        assert served == self._serial(power7_arch, plan)
+        assert executor.client.wire_version == WIRE_V1
+        assert service.stats()["service"]["wire_v2_requests"] == 0
+        assert service.stats()["wire"] == [1]
+
+    def test_v1_client_v2_server_bit_identical(
+        self, servers, power7_arch, small_kernel_factory
+    ):
+        (service, url), _v1 = servers
+        plan = _mixed_plan(small_kernel_factory)
+        executor = RemoteExecutor(ServiceClient(url, wire=1))
+        served = [m.to_dict() for m in executor.run(plan)]
+        assert served == self._serial(power7_arch, plan)
+        assert service.stats()["service"]["wire_v2_requests"] == 0
+        # The v1 body still interns server-side under trusted digests.
+        assert service.stats()["intern"]["workloads"]["misses"] > 0
+
+    def test_forced_v2_client_v1_server_fails_cleanly(
+        self, servers, small_kernel_factory
+    ):
+        _v2, (_service, url) = servers
+        plan = ExperimentPlan.cross(
+            [small_kernel_factory("add", count=24)],
+            [MachineConfig(1, 1)],
+            duration=_DURATION,
+        )
+        executor = RemoteExecutor(ServiceClient(url, wire=2), retries=0)
+        with pytest.raises(ServiceError, match="wire format v2"):
+            executor.run(plan)
+
+    def test_repeat_campaign_rebuilds_zero_ingredients(
+        self, servers, small_kernel_factory
+    ):
+        (service, url), _v1 = servers
+        plan = _mixed_plan(small_kernel_factory)
+        RemoteExecutor(url).run(plan)
+        before = service.intern.stats()
+        RemoteExecutor(url).run(plan)
+        after = service.intern.stats()
+        assert after["workloads"]["misses"] == before["workloads"]["misses"]
+        assert after["configs"]["misses"] == before["configs"]["misses"]
+        assert after["workloads"]["hits"] > before["workloads"]["hits"]
+
+    def test_health_and_probe_advertise_wire(
+        self, servers, power7_arch
+    ):
+        (_service, url_v2), (_old, url_v1) = servers
+        assert ServiceClient(url_v2).health()["wire"] == [1, 2]
+        assert ServiceClient(url_v1).health()["wire"] == [1]
+        probe = ServiceClient(url_v2).probe(
+            "POWER7", power7_arch.content_digest()
+        )
+        assert probe["wire"] == [1, 2]
+
+    def test_health_without_wire_key_pins_v1(self):
+        # A genuinely old server never sent the key at all.
+        client = ServiceClient("http://127.0.0.1:1")
+        client._note_wire({"ok": True, "service": "repro-serve-v1"})
+        assert client.wire_version is None
+        client._note_wire({"wire": "nonsense"})
+        assert client.wire_version is None
+
+    def test_unreachable_server_does_not_pin_negotiation(self):
+        client = ServiceClient("http://127.0.0.1:1", retries=0)
+        assert client.negotiated_wire() == WIRE_V1
+        # Nothing was memoized: a later handshake can still pick v2.
+        assert client._negotiated is None
+
+    def test_repro_wire_env_forces_version(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE", "1")
+        assert ServiceClient("http://127.0.0.1:1").wire == 1
+        monkeypatch.setenv("REPRO_WIRE", "2")
+        assert ServiceClient("http://127.0.0.1:1").wire == 2
+        monkeypatch.setenv("REPRO_WIRE", "auto")
+        assert ServiceClient("http://127.0.0.1:1").wire is None
+        with pytest.raises(ServiceError):
+            ServiceClient("http://127.0.0.1:1", wire=3)
